@@ -1,0 +1,412 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment from
+// internal/experiments (at a scale reduced from the paper's 8×4-GPU
+// testbed to keep iterations fast — cmd/kubeshare-sim runs full scale) and
+// reports the figure's headline quantity through b.ReportMetric, so
+// `go test -bench=.` reproduces the paper's qualitative results table by
+// table. BenchmarkFig11SchedulingTime measures real CPU time of the actual
+// Algorithm 1 implementation, which is what Figure 11 is about.
+package kubeshare
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/cuda"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/experiments"
+	"kubeshare/internal/gpusim"
+	"kubeshare/internal/sim"
+)
+
+// cellF parses a table cell as float64.
+func cellF(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable1Fragmentation regenerates the Table 1 / Figure 3
+// comparison: over-commitment and active-GPU counts under the
+// scheduler-extender baseline vs KubeShare.
+func BenchmarkTable1Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1(experiments.Table1Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][3]), "extender-active-gpus")
+			b.ReportMetric(cellF(b, t.Rows[0][4]), "kubeshare-active-gpus")
+			b.ReportMetric(cellF(b, t.Rows[4][3]), "extender-overcommitted")
+		}
+	}
+}
+
+// BenchmarkFig5InferenceUsage regenerates Figure 5: inference GPU usage
+// under increasing client request rates.
+func BenchmarkFig5InferenceUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig5(experiments.Fig5Config{
+			Rates: []float64{4, 12, 24}, Duration: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[1][1]), "util-at-12rps")
+		}
+	}
+}
+
+// BenchmarkFig6Isolation regenerates Figure 6: the three-job isolation
+// timeline on one shared GPU.
+func BenchmarkFig6Isolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.Fig6Config{Stagger: 100 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, res.Table.Rows[0][2]), "jobA-solo-usage")
+			b.ReportMetric(cellF(b, res.Table.Rows[1][2]), "jobA-shared-usage")
+		}
+	}
+}
+
+// BenchmarkFig7QuotaOverhead regenerates Figure 7: normalized training
+// throughput across token quotas.
+func BenchmarkFig7QuotaOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7(experiments.Fig7Config{
+			Quotas: []time.Duration{30 * time.Millisecond, 100 * time.Millisecond},
+			Steps:  2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][2]), "normalized-tput-30ms")
+			b.ReportMetric(cellF(b, t.Rows[1][2]), "normalized-tput-100ms")
+		}
+	}
+}
+
+// fig8Scale is the reduced-scale configuration shared by the Fig 8 benches.
+var fig8Scale = experiments.Fig8Config{
+	Jobs: 60, Nodes: 2, GPUsPerNode: 4, JobDuration: 30 * time.Second,
+}
+
+// BenchmarkFig8aJobFrequency regenerates Figure 8a: throughput vs job
+// frequency for Kubernetes and KubeShare.
+func BenchmarkFig8aJobFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig8a(fig8Scale, []float64{1, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[1][2]), "k8s-jobs-per-min")
+			b.ReportMetric(cellF(b, t.Rows[1][3]), "kubeshare-jobs-per-min")
+			b.ReportMetric(cellF(b, t.Rows[1][4]), "saturated-speedup")
+		}
+	}
+}
+
+// BenchmarkFig8bMeanDemand regenerates Figure 8b: throughput vs mean GPU
+// demand.
+func BenchmarkFig8bMeanDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig8b(fig8Scale, []float64{0.2, 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][3]), "speedup-at-20pct")
+			b.ReportMetric(cellF(b, t.Rows[1][3]), "speedup-at-60pct")
+		}
+	}
+}
+
+// BenchmarkFig8cDemandVariance regenerates Figure 8c: throughput vs demand
+// variance (flat).
+func BenchmarkFig8cDemandVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig8c(fig8Scale, []float64{0.5, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][2]), "kubeshare-at-var0.5")
+			b.ReportMetric(cellF(b, t.Rows[1][2]), "kubeshare-at-var4")
+		}
+	}
+}
+
+// BenchmarkFig9Utilization regenerates Figure 9: utilization and active
+// GPUs over time for both systems.
+func BenchmarkFig9Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Fig9Config{
+			Fig8Config: fig8Scale,
+			FreqFactor: 2.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Makespan[experiments.Kubernetes].Seconds(), "k8s-makespan-s")
+			b.ReportMetric(res.Makespan[experiments.KubeShare].Seconds(), "kubeshare-makespan-s")
+		}
+	}
+}
+
+// BenchmarkFig10PodCreation regenerates Figure 10: pod creation latency for
+// native pods, sharePods without vGPU creation, and with vGPU creation.
+func BenchmarkFig10PodCreation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig10(experiments.Fig10Config{
+			Concurrency: []int{1, 8}, Nodes: 2, GPUsPerNode: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][4]), "no-vgpu-overhead-x")
+			b.ReportMetric(cellF(b, t.Rows[0][5]), "with-vgpu-overhead-x")
+		}
+	}
+}
+
+// BenchmarkFig11SchedulingTime measures one full KubeShare-Sched decision
+// (pool build + Algorithm 1) against real state with N existing SharePods —
+// the real-CPU-time figure. The paper's claim: linear in N, ≪400ms at 100.
+func BenchmarkFig11SchedulingTime(b *testing.B) {
+	for _, n := range []int{10, 25, 50, 100, 200, 400} {
+		b.Run("sharepods="+strconv.Itoa(n), func(b *testing.B) {
+			srv := experiments.PopulateSchedulingState(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				experiments.ScheduleOnce(srv)
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Interference regenerates Figure 12: per-combination
+// slowdowns on a shared GPU.
+func BenchmarkFig12Interference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig12(experiments.Fig12Config{Steps: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report := map[string]float64{}
+			for _, row := range t.Rows {
+				v := cellF(b, row[2])
+				if v > report[row[0]] {
+					report[row[0]] = v
+				}
+			}
+			b.ReportMetric(report["A+A"], "slowdown-A+A")
+			b.ReportMetric(report["B+B"], "slowdown-B+B")
+			b.ReportMetric(report["A+B"], "slowdown-A+B")
+		}
+	}
+}
+
+// BenchmarkFig13AntiAffinity regenerates Figure 13: throughput of the three
+// settings across the Job-A ratio.
+func BenchmarkFig13AntiAffinity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig13(experiments.Fig13Config{
+			Jobs: 24, Steps: 800, Nodes: 1, GPUsPerNode: 4, Ratios: []float64{0, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][2]), "ratio0-kubeshare")
+			b.ReportMetric(cellF(b, t.Rows[0][1]), "ratio0-kubernetes")
+			b.ReportMetric(cellF(b, t.Rows[1][3]), "ratio1-antiaffinity")
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §4) ---
+
+// BenchmarkAblationPlacement compares Algorithm 1's paper placement policy
+// (best fit + worst fit) against alternatives on a synthetic request mix,
+// reporting how many devices each policy ends up using.
+func BenchmarkAblationPlacement(b *testing.B) {
+	policies := map[string]core.PlacementPolicy{
+		"paper-best+worst": core.PaperPolicy,
+		"best+best":        core.BestBest,
+		"worst+worst":      core.WorstWorst,
+		"first-fit":        core.FirstFit,
+	}
+	for name, policy := range policies {
+		b.Run(name, func(b *testing.B) {
+			devices := 0.0
+			for i := 0; i < b.N; i++ {
+				pool := &core.Pool{
+					FreePhysical: map[string]int{"n0": 16, "n1": 16},
+					NewID:        newIDGen(),
+				}
+				// A mix of plain, affinity and anti-affinity requests.
+				for j := 0; j < 64; j++ {
+					r := core.Request{Util: []float64{0.5, 0.3, 0.2, 0.6}[j%4], Mem: 0.2}
+					switch j % 5 {
+					case 3:
+						r.Aff = []string{"g1", "g2"}[j%2]
+					case 4:
+						r.Anti = "spread"
+					}
+					core.ScheduleWithPolicy(r, pool, policy)
+				}
+				devices = float64(len(pool.Devices))
+			}
+			b.ReportMetric(devices, "devices-used")
+		})
+	}
+}
+
+// BenchmarkAblationQuota sweeps the token quota and reports the effective
+// training throughput ratio (the Figure 7 knob as an ablation).
+func BenchmarkAblationQuota(b *testing.B) {
+	for _, quota := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(quota.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Fig7(experiments.Fig7Config{
+					Quotas: []time.Duration{quota}, Steps: 1000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(cellF(b, t.Rows[0][2]), "normalized-tput")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPoolPolicy compares on-demand vs reservation vGPU pools
+// on repeat-submission latency (the §4.4 trade-off).
+func BenchmarkAblationPoolPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig10(experiments.Fig10Config{
+			Concurrency: []int{4}, Nodes: 1, GPUsPerNode: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(cellF(b, t.Rows[0][2]), "reservation-create-s")
+			b.ReportMetric(cellF(b, t.Rows[0][3]), "ondemand-create-s")
+		}
+	}
+}
+
+// BenchmarkAblationMemOvercommit contrasts fitting working sets with
+// over-committed swapped ones (the §6 trade-off): same jobs, the swap
+// traffic stretches the makespan.
+func BenchmarkAblationMemOvercommit(b *testing.B) {
+	run := func(b *testing.B, mem float64, factor float64) float64 {
+		opts := []Option{WithGPUsPerNode(1)}
+		if factor > 1 {
+			opts = append(opts, WithMemOvercommit(factor))
+		}
+		s, err := New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RegisterImage("burn", func(ctx *ContainerCtx) error {
+			if _, err := ctx.CUDA.MemAlloc(ctx.Proc, int64(mem*0.95*float64(16<<30))); err != nil {
+				return err
+			}
+			for i := 0; i < 100; i++ {
+				if err := ctx.CUDA.LaunchKernel(ctx.Proc, 10*time.Millisecond); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		s.Go("submit", func(p *Proc) {
+			for _, n := range []string{"a", "b"} {
+				s.CreateSharePod(&SharePod{
+					ObjectMeta: ObjectMeta{Name: n},
+					Spec: SharePodSpec{
+						GPURequest: 0.5, GPULimit: 1, GPUMem: mem,
+						Pod: PodSpec{Containers: []Container{{Name: "c", Image: "burn"}}},
+					},
+				})
+			}
+		})
+		s.Run()
+		return s.Now().Seconds()
+	}
+	b.Run("fitting-0.4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(b, 0.4, 1), "makespan-s")
+		}
+	})
+	b.Run("overcommit-0.7x1.5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(b, 0.7, 1.5), "makespan-s")
+		}
+	})
+}
+
+// BenchmarkAblationResidualPolicy contrasts the paper's lowest-usage-first
+// residual distribution with plain FIFO: one big-kernel tenant against two
+// small-kernel ones, reporting the big tenant's share (≈0.33 fair vs ≈0.67
+// under FIFO turn rotation).
+func BenchmarkAblationResidualPolicy(b *testing.B) {
+	run := func(policy devlib.ResidualPolicy) float64 {
+		env := sim.NewEnv()
+		dev := gpusim.NewDevice(env, gpusim.Config{NodeName: "n"})
+		mgr := devlib.NewBackend(env, devlib.Config{Residual: policy}).Manager(dev.UUID())
+		launch := func(id string, kernel time.Duration) {
+			f, err := devlib.NewFrontend(cuda.Open(dev, id), mgr, id,
+				devlib.Share{Request: 0.05, Limit: 1, Memory: 0.2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env.Go(id, func(p *sim.Proc) {
+				for !p.Killed() {
+					if err := f.LaunchKernel(p, kernel); err != nil {
+						return
+					}
+				}
+			})
+		}
+		launch("big", 20*time.Millisecond)
+		launch("small1", 5*time.Millisecond)
+		launch("small2", 5*time.Millisecond)
+		env.RunUntil(20 * time.Second)
+		return mgr.UsageRate("big")
+	}
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			b.ReportMetric(run(devlib.LowestUsageFirst), "big-share-lowest-usage")
+			b.ReportMetric(run(devlib.FIFOResidual), "big-share-fifo")
+		} else {
+			run(devlib.LowestUsageFirst)
+		}
+	}
+}
+
+func newIDGen() func() string {
+	n := 0
+	return func() string {
+		n++
+		return "d" + strconv.Itoa(n)
+	}
+}

@@ -1,0 +1,231 @@
+// Command kubeshare-sim regenerates the paper's evaluation tables and
+// figures on the simulated cluster.
+//
+// Usage:
+//
+//	kubeshare-sim [-scale quick|full] [-csv] [-seed N] [experiment ...]
+//
+// Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
+// fig12 fig13, or "all" (the default). Full scale matches the paper's
+// 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
+// cluster and workloads for fast iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kubeshare/internal/experiments"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/workload"
+)
+
+// writeGeneratedTrace emits a Figure-8-style workload (mean demand 30%,
+// variance 2, heavy load) as a replayable CSV trace.
+func writeGeneratedTrace(path string, seed int64) error {
+	jobs := workload.Generate(workload.GeneratorConfig{
+		Jobs:             200,
+		MeanInterArrival: 600 * time.Millisecond,
+		DemandMean:       0.3,
+		DemandVar:        2,
+		JobDuration:      40 * time.Second,
+		Seed:             seed,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, jobs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d jobs to %s\n", len(jobs), path)
+	return nil
+}
+
+// replayTrace runs a recorded workload under the chosen system on the
+// paper-scale cluster and prints the outcome.
+func replayTrace(path, system string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	jobs, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var sys experiments.System
+	switch system {
+	case "kubernetes":
+		sys = experiments.Kubernetes
+	case "kubeshare":
+		sys = experiments.KubeShare
+	case "extender":
+		sys = experiments.Extender
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+	res, err := experiments.RunSharing(experiments.SharingConfig{
+		System: sys, Nodes: 8, GPUsPerNode: 4, Jobs: jobs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system=%s jobs=%d completed=%d failed=%d makespan=%v throughput=%.2f jobs/min\n",
+		system, len(jobs), res.Completed, res.Failed,
+		res.Makespan.Round(time.Second), res.ThroughputPerMin)
+	return nil
+}
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	genTrace := flag.String("gen-trace", "", "write a Figure-8-style workload trace to this file and exit")
+	replay := flag.String("replay", "", "replay a workload trace file instead of running named experiments")
+	system := flag.String("system", "kubeshare", "system for -replay: kubernetes, kubeshare or extender")
+	flag.Parse()
+
+	if *genTrace != "" {
+		if err := writeGeneratedTrace(*genTrace, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayTrace(*replay, *system); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	full := false
+	switch *scale {
+	case "quick":
+	case "full":
+		full = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
+			"fig9", "fig10", "fig11", "fig12", "fig13"}
+	}
+	for _, name := range names {
+		tb, err := run(name, full, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", tb.Title)
+			if err := tb.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			tb.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+// run executes one named experiment at the requested scale.
+func run(name string, full bool, seed int64) (*metrics.Table, error) {
+	// Quick scale shrinks the cluster to 2×4 GPUs and the workloads to
+	// roughly a quarter of the paper's; full scale is the paper's testbed.
+	fig8 := experiments.Fig8Config{Seed: seed}
+	if full {
+		fig8.Repeats = 5
+	} else {
+		fig8.Nodes, fig8.GPUsPerNode = 2, 4
+		fig8.Jobs = 60
+		fig8.JobDuration = 30 * time.Second
+	}
+	switch name {
+	case "table1":
+		return experiments.Table1(experiments.Table1Config{})
+	case "fig5":
+		return experiments.Fig5(experiments.Fig5Config{Seed: seed})
+	case "fig6":
+		cfg := experiments.Fig6Config{}
+		if !full {
+			cfg.Stagger = 100 * time.Second
+		}
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		chart := metrics.NewChart("Figure 6 timeline: per-job GPU usage share")
+		chart.YMax = 1
+		for _, name := range []string{"job-a", "job-b", "job-c"} {
+			chart.Add(res.Usage[name])
+		}
+		chart.Render(os.Stdout)
+		return res.Table, nil
+	case "fig7":
+		cfg := experiments.Fig7Config{}
+		if !full {
+			cfg.Steps = 2000
+		}
+		return experiments.Fig7(cfg)
+	case "fig8a":
+		return experiments.Fig8a(fig8, nil)
+	case "fig8b":
+		return experiments.Fig8b(fig8, nil)
+	case "fig8c":
+		return experiments.Fig8c(fig8, nil)
+	case "fig9":
+		cfg := experiments.Fig9Config{Fig8Config: fig8}
+		if !full {
+			cfg.FreqFactor = 2.5
+		}
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			return nil, err
+		}
+		util := metrics.NewChart("Figure 9 timeline: average GPU utilization")
+		util.YMax = 1
+		res.Util[experiments.Kubernetes].Name = "kubernetes"
+		res.Util[experiments.KubeShare].Name = "kubeshare"
+		util.Add(res.Util[experiments.Kubernetes]).Add(res.Util[experiments.KubeShare])
+		util.Render(os.Stdout)
+		active := metrics.NewChart("Figure 9 timeline: allocated GPUs")
+		res.Active[experiments.Kubernetes].Name = "kubernetes"
+		res.Active[experiments.KubeShare].Name = "kubeshare"
+		active.Add(res.Active[experiments.Kubernetes]).Add(res.Active[experiments.KubeShare])
+		active.Render(os.Stdout)
+		return res.Table, nil
+	case "fig10":
+		cfg := experiments.Fig10Config{}
+		if !full {
+			cfg.Concurrency = []int{1, 4, 16}
+			cfg.Nodes = 2
+		}
+		return experiments.Fig10(cfg)
+	case "fig11":
+		return experiments.Fig11(experiments.Fig11Config{})
+	case "fig12":
+		cfg := experiments.Fig12Config{}
+		if !full {
+			cfg.Steps = 2000
+		}
+		return experiments.Fig12(cfg)
+	case "fig13":
+		cfg := experiments.Fig13Config{Seed: seed}
+		if !full {
+			cfg.Jobs, cfg.Steps = 24, 1000
+			cfg.Nodes, cfg.GPUsPerNode = 1, 4
+		}
+		return experiments.Fig13(cfg)
+	}
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig13)")
+}

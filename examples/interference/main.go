@@ -1,0 +1,97 @@
+// Interference & locality constraints (§5.5): two job profiles share GPUs —
+// resilient Job A (over-provisioned request) and fragile Job B
+// (under-provisioned, high duty). Without constraints, two Bs can land on
+// the same GPU and slow each other ≈1.5×; tagging the Bs with an
+// anti-affinity label forces them onto different devices, and the
+// first-class GPUID makes the placement visible and verifiable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kubeshare"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// submitJob creates one A- or B-profile training sharePod.
+func submitJob(s *kubeshare.Sim, name, kind, antiAff string) {
+	var request float64
+	var kernelMS, hostMS string
+	if kind == "A" {
+		request, kernelMS, hostMS = 0.5, "10", "23.3" // needs ≈0.3 duty
+	} else {
+		request, kernelMS, hostMS = 0.4, "10", "3.3" // needs ≈0.75 duty
+	}
+	_, err := s.CreateSharePod(&kubeshare.SharePod{
+		ObjectMeta: kubeshare.ObjectMeta{Name: name},
+		Spec: kubeshare.SharePodSpec{
+			GPURequest:   request,
+			GPULimit:     1.0,
+			GPUMem:       0.2,
+			AntiAffinity: antiAff,
+			Pod: kubeshare.PodSpec{Containers: []kubeshare.Container{{
+				Name:  "train",
+				Image: workload.TrainImage,
+				Env: map[string]string{
+					workload.EnvSteps:        "1500",
+					workload.EnvStepKernelMS: kernelMS,
+					workload.EnvStepHostMS:   hostMS,
+				},
+			}}},
+		},
+	})
+	if err != nil {
+		log.Fatalf("submit %s: %v", name, err)
+	}
+}
+
+// runScenario submits two Bs and one A, optionally spreading the Bs.
+func runScenario(useAntiAffinity bool) {
+	s, err := kubeshare.New(kubeshare.WithNodes(1), kubeshare.WithGPUsPerNode(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := ""
+	if useAntiAffinity {
+		label = "spread-the-Bs"
+	}
+	s.Go("client", func(p *sim.Proc) {
+		// Staggered submissions so the Bs are scheduled first: without the
+		// label, best-fit then packs them together (their requests fit).
+		submitJob(s, "b-one", "B", label)
+		p.Sleep(500 * time.Millisecond)
+		submitJob(s, "b-two", "B", label)
+		p.Sleep(500 * time.Millisecond)
+		submitJob(s, "a-one", "A", "")
+	})
+	s.Run()
+
+	fmt.Printf("\n--- anti-affinity on B: %v ---\n", useAntiAffinity)
+	fmt.Println("job    kind  gpuid      wall")
+	for _, name := range []string{"b-one", "b-two", "a-one"} {
+		sp, err := s.SharePods().Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sp.Status.Phase != kubeshare.SharePodSucceeded {
+			log.Fatalf("%s: %s (%s)", name, sp.Status.Phase, sp.Status.Message)
+		}
+		fmt.Printf("%-6s %-5s %-10s %v\n", name, name[:1], sp.Spec.GPUID,
+			(sp.Status.FinishTime - sp.Status.RunningTime).Round(time.Millisecond))
+	}
+}
+
+func main() {
+	// Without the label, best-fit packs B+B onto one GPU (their requests
+	// fit), and both suffer ≈1.5× interference slowdown.
+	runScenario(false)
+	// With the label the two Bs are forced apart; each B shares with
+	// nothing or with the resilient A, and runs near full speed (a B needs
+	// 1500 × 13.3ms ≈ 20s alone).
+	runScenario(true)
+	fmt.Println("\nWithout the label the co-located Bs take ≈1.5× longer;")
+	fmt.Println("anti-affinity restores them to ≈20s at a small cost to A.")
+}

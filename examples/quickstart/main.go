@@ -1,0 +1,77 @@
+// Quickstart: build a one-node cluster with KubeShare installed, run two
+// fractional training jobs on the same physical GPU, and print where they
+// landed and how the device was shared.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kubeshare"
+	"kubeshare/internal/sim"
+)
+
+func main() {
+	// One node with 4 simulated V100s; KubeShare's controllers and the
+	// vGPU device library are installed automatically.
+	s, err := kubeshare.New(kubeshare.WithNodes(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A GPU application is just a Go function: it receives a CUDA handle
+	// whose calls the vGPU device library intercepts and throttles.
+	s.RegisterImage("demo/train", func(ctx *kubeshare.ContainerCtx) error {
+		if _, err := ctx.CUDA.MemAlloc(ctx.Proc, 2<<30); err != nil {
+			return err
+		}
+		for i := 0; i < 800; i++ {
+			if err := ctx.CUDA.LaunchKernel(ctx.Proc, 10*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	submit := func(name string, request, limit float64) {
+		_, err := s.CreateSharePod(&kubeshare.SharePod{
+			ObjectMeta: kubeshare.ObjectMeta{Name: name},
+			Spec: kubeshare.SharePodSpec{
+				GPURequest: request, // guaranteed minimum compute share
+				GPULimit:   limit,   // elastic maximum
+				GPUMem:     0.25,    // quarter of the 16 GiB device memory
+				Pod: kubeshare.PodSpec{Containers: []kubeshare.Container{{
+					Name: "train", Image: "demo/train",
+				}}},
+			},
+		})
+		if err != nil {
+			log.Fatalf("create %s: %v", name, err)
+		}
+	}
+
+	// Submit two jobs whose gpu_requests sum to 1.0: KubeShare's best-fit
+	// places both on the same vGPU (same physical GPU).
+	s.Go("client", func(p *sim.Proc) {
+		submit("alice", 0.6, 0.8)
+		submit("bob", 0.4, 0.6)
+		for _, name := range []string{"alice", "bob"} {
+			sp, err := s.WaitSharePod(p, name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6s %-10s gpuid=%-10s uuid=%s  wall=%v\n",
+				name, sp.Status.Phase, sp.Spec.GPUID, sp.Status.UUID,
+				(sp.Status.FinishTime - sp.Status.RunningTime).Round(time.Millisecond))
+		}
+	})
+	s.Run()
+
+	// Both jobs ran 8s of device work each on ONE GPU; the device executed
+	// 16s of kernels total.
+	for i, dev := range s.Cluster.Nodes[0].GPUs {
+		fmt.Printf("gpu%d busy=%v\n", i, dev.BusyTime().Round(time.Millisecond))
+	}
+	fmt.Printf("virtual time elapsed: %v (wall time: milliseconds)\n", s.Now().Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module kubeshare
+
+go 1.22

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is Algorithm 1's r: a container's requirements and constraints.
+type Request struct {
+	Util float64 // gpu_request
+	Mem  float64 // gpu_mem
+	Aff  string  // sched_affinity label ("" = none)
+	Anti string  // sched_anti-affinity label
+	Excl string  // sched_exclusion label
+}
+
+// DeviceState is Algorithm 1's d: one vGPU's scheduling view. Residuals are
+// fractions of the device remaining for gpu_request / gpu_mem commitments.
+type DeviceState struct {
+	ID       string
+	NodeName string
+	Util     float64 // residual computing capacity
+	Mem      float64 // residual memory space
+	// MemCapacity is the device's total schedulable memory fraction — 1.0
+	// normally, >1.0 when GPUswap-style over-commitment is enabled.
+	MemCapacity float64
+	Aff         map[string]bool
+	Anti        map[string]bool
+	Excl        string
+	Idle        bool // no container scheduled on the device
+}
+
+// NewDeviceState returns an empty (idle, full-capacity) device.
+func NewDeviceState(id, node string) *DeviceState {
+	return &DeviceState{
+		ID:          id,
+		NodeName:    node,
+		Util:        1,
+		Mem:         1,
+		MemCapacity: 1,
+		Aff:         map[string]bool{},
+		Anti:        map[string]bool{},
+		Idle:        true,
+	}
+}
+
+// fits reports whether r's resource demand fits the residuals. Idle devices
+// may carry stale residual bookkeeping from the pool builder, so capacity is
+// taken as full for them.
+func (d *DeviceState) fits(r Request) bool {
+	if d.Idle {
+		return r.Util <= 1 && r.Mem <= d.memCapacity()
+	}
+	return r.Util <= d.Util+1e-9 && r.Mem <= d.Mem+1e-9
+}
+
+func (d *DeviceState) memCapacity() float64 {
+	if d.MemCapacity <= 0 {
+		return 1
+	}
+	return d.MemCapacity
+}
+
+// Place commits r onto the device, updating residuals and labels. Placing
+// onto an idle device first resets its stale labels (a reused pool device
+// starts fresh, §4.4).
+func (d *DeviceState) Place(r Request) {
+	if d.Idle {
+		d.Util, d.Mem = 1, d.memCapacity()
+		d.Aff = map[string]bool{}
+		d.Anti = map[string]bool{}
+		d.Excl = ""
+		d.Idle = false
+	}
+	d.Util -= r.Util
+	d.Mem -= r.Mem
+	if r.Aff != "" {
+		d.Aff[r.Aff] = true
+	}
+	if r.Anti != "" {
+		d.Anti[r.Anti] = true
+	}
+	d.Excl = r.Excl
+}
+
+// Pool is Algorithm 1's D plus the physical capacity needed to decide
+// whether a new vGPU can be created.
+type Pool struct {
+	Devices []*DeviceState
+	// FreePhysical maps node name → physical GPUs not yet acquired as vGPUs
+	// and not held by native pods.
+	FreePhysical map[string]int
+	// nextID serializes fresh GPUIDs for new_dev.
+	NewID func() string
+	// MemFactor scales each device's schedulable memory (1.0 default;
+	// >1.0 permits over-commitment backed by the device library's swap).
+	MemFactor float64
+}
+
+// Outcome classifies a scheduling decision.
+type Outcome int
+
+// Decision outcomes.
+const (
+	// Assigned: the request fits an existing vGPU.
+	Assigned Outcome = iota
+	// NewDevice: a new vGPU must be created on Decision.NodeName.
+	NewDevice
+	// Rejected: the locality constraints are unsatisfiable (Algorithm 1's
+	// "return -1").
+	Rejected
+	// NoCapacity: a new vGPU is needed but no physical GPU is free; the
+	// request should wait and be retried.
+	NoCapacity
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Assigned:
+		return "Assigned"
+	case NewDevice:
+		return "NewDevice"
+	case Rejected:
+		return "Rejected"
+	case NoCapacity:
+		return "NoCapacity"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Decision is the result of Algorithm 1 for one request.
+type Decision struct {
+	Outcome  Outcome
+	GPUID    string
+	NodeName string
+	Reason   string
+}
+
+// PlacementPolicy selects the fit heuristics of Algorithm 1's step 3 — an
+// ablation knob. The paper's choice is best fit for unlabelled devices and
+// worst fit for affinity-labelled ones.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// PaperPolicy: best fit on plain devices, worst fit on labelled ones.
+	PaperPolicy PlacementPolicy = iota
+	// BestBest: best fit on both groups.
+	BestBest
+	// WorstWorst: worst fit on both groups.
+	WorstWorst
+	// FirstFit: first fitting device in pool order for both groups.
+	FirstFit
+)
+
+// Schedule is Algorithm 1: locality- and resource-aware vGPU selection.
+// On Assigned/NewDevice it also commits the placement onto the pool state
+// (Place), so a sequence of calls sees consistent residuals.
+func Schedule(r Request, pool *Pool) Decision {
+	return ScheduleWithPolicy(r, pool, PaperPolicy)
+}
+
+// ScheduleWithPolicy is Schedule with an explicit step-3 placement policy.
+func ScheduleWithPolicy(r Request, pool *Pool, policy PlacementPolicy) Decision {
+	// Step 1: affinity-directed placement.
+	if r.Aff != "" {
+		if d := findAffinity(pool, r.Aff); d != nil {
+			if d.Excl != r.Excl {
+				return Decision{Outcome: Rejected, Reason: fmt.Sprintf(
+					"affinity device %s has exclusion %q, request has %q", d.ID, d.Excl, r.Excl)}
+			}
+			if r.Anti != "" && d.Anti[r.Anti] {
+				return Decision{Outcome: Rejected, Reason: fmt.Sprintf(
+					"affinity device %s already hosts anti-affinity label %q", d.ID, r.Anti)}
+			}
+			if !d.fits(r) {
+				return Decision{Outcome: Rejected, Reason: fmt.Sprintf(
+					"affinity device %s lacks capacity (util %.2f/%.2f, mem %.2f/%.2f)",
+					d.ID, r.Util, d.Util, r.Mem, d.Mem)}
+			}
+			d.Place(r)
+			return Decision{Outcome: Assigned, GPUID: d.ID, NodeName: d.NodeName}
+		}
+		// First container with this affinity label: prefer an idle device so
+		// the group has room to grow, else a new one.
+		if d := firstIdle(pool); d != nil {
+			d.Place(r)
+			return Decision{Outcome: Assigned, GPUID: d.ID, NodeName: d.NodeName}
+		}
+		return newDevice(r, pool)
+	}
+
+	// Step 2: filter by exclusion, anti-affinity and resources. Idle
+	// devices always qualify — their previous tenants are gone.
+	var candidates []*DeviceState
+	for _, d := range pool.Devices {
+		if !d.Idle {
+			if (r.Excl != "" || d.Excl != "") && r.Excl != d.Excl {
+				continue
+			}
+			if r.Anti != "" && d.Anti[r.Anti] {
+				continue
+			}
+			if !d.fits(r) {
+				continue
+			}
+		}
+		candidates = append(candidates, d)
+	}
+
+	// Step 3: placement. The paper uses best fit among devices without
+	// affinity labels and worst fit among affinity-labelled ones (keeping
+	// room for their future group members), then a new device.
+	var plain, labelled []*DeviceState
+	for _, d := range candidates {
+		if len(d.Aff) == 0 || d.Idle {
+			plain = append(plain, d)
+		} else {
+			labelled = append(labelled, d)
+		}
+	}
+	var plainFit, labelledFit func(Request, []*DeviceState) *DeviceState
+	switch policy {
+	case BestBest:
+		plainFit, labelledFit = bestFit, bestFit
+	case WorstWorst:
+		plainFit, labelledFit = worstFit, worstFit
+	case FirstFit:
+		plainFit, labelledFit = firstFit, firstFit
+	default:
+		plainFit, labelledFit = bestFit, worstFit
+	}
+	d := plainFit(r, plain)
+	if d == nil {
+		d = labelledFit(r, labelled)
+	}
+	if d == nil {
+		return newDevice(r, pool)
+	}
+	d.Place(r)
+	return Decision{Outcome: Assigned, GPUID: d.ID, NodeName: d.NodeName}
+}
+
+// findAffinity returns the device carrying the affinity label (the pool
+// invariant keeps at most one, since affinity forces co-location).
+func findAffinity(pool *Pool, label string) *DeviceState {
+	for _, d := range pool.Devices {
+		if !d.Idle && d.Aff[label] {
+			return d
+		}
+	}
+	return nil
+}
+
+// firstIdle returns an idle pool device, lowest ID first for determinism.
+func firstIdle(pool *Pool) *DeviceState {
+	var idle []*DeviceState
+	for _, d := range pool.Devices {
+		if d.Idle {
+			idle = append(idle, d)
+		}
+	}
+	if len(idle) == 0 {
+		return nil
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].ID < idle[j].ID })
+	return idle[0]
+}
+
+// residual is the fit metric: remaining compute capacity after placement
+// (mem as tie-break).
+func residual(d *DeviceState) float64 {
+	if d.Idle {
+		return 1
+	}
+	return d.Util
+}
+
+// bestFit picks the fitting device with the smallest residual — pack
+// existing devices tight (idle devices, with residual 1, come last).
+func bestFit(r Request, ds []*DeviceState) *DeviceState {
+	var best *DeviceState
+	for _, d := range ds {
+		if !d.fits(r) {
+			continue
+		}
+		if best == nil || residual(d) < residual(best) ||
+			(residual(d) == residual(best) && d.ID < best.ID) {
+			best = d
+		}
+	}
+	return best
+}
+
+// worstFit picks the fitting device with the largest residual — leave the
+// most room next to existing affinity groups.
+func worstFit(r Request, ds []*DeviceState) *DeviceState {
+	var best *DeviceState
+	for _, d := range ds {
+		if !d.fits(r) {
+			continue
+		}
+		if best == nil || residual(d) > residual(best) ||
+			(residual(d) == residual(best) && d.ID < best.ID) {
+			best = d
+		}
+	}
+	return best
+}
+
+// firstFit picks the first fitting device in pool order (ablation
+// baseline).
+func firstFit(r Request, ds []*DeviceState) *DeviceState {
+	for _, d := range ds {
+		if d.fits(r) {
+			return d
+		}
+	}
+	return nil
+}
+
+// newDevice decides where a fresh vGPU goes: the node with the most free
+// physical GPUs (spreading acquisition), or NoCapacity when the cluster has
+// none left.
+func newDevice(r Request, pool *Pool) Decision {
+	bestNode, bestFree := "", 0
+	var nodes []string
+	for n := range pool.FreePhysical {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if free := pool.FreePhysical[n]; free > bestFree {
+			bestNode, bestFree = n, free
+		}
+	}
+	if bestNode == "" {
+		return Decision{Outcome: NoCapacity, Reason: "no free physical GPU in the cluster"}
+	}
+	pool.FreePhysical[bestNode]--
+	id := pool.NewID()
+	d := NewDeviceState(id, bestNode)
+	if pool.MemFactor > 0 {
+		d.MemCapacity = pool.MemFactor
+		d.Mem = pool.MemFactor
+	}
+	d.Place(r)
+	pool.Devices = append(pool.Devices, d)
+	return Decision{Outcome: NewDevice, GPUID: id, NodeName: bestNode}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/sim"
+)
+
+// ExtenderScheduler is the comparison baseline modelled on the
+// scheduler-extender GPU-sharing solutions (Aliyun gpushare, GaiaGPU,
+// Deepomatic — §3.1/§6): fractional demands are counted against each
+// *node's aggregate* GPU capacity (the scaling-factor trick), and the
+// in-node container→device binding is a round-robin the scheduler neither
+// sees nor controls.
+//
+// Because GPUs have no identity at scheduling time, the baseline exhibits
+// exactly the Figure 3a pathology: some devices over-committed while others
+// idle. It also ignores locality constraint labels — the features Table 1
+// marks "No" for these systems.
+//
+// It consumes the same SharePod objects as KubeShare-Sched (install one or
+// the other), and relies on the same DevMgr to materialize pods, so the
+// comparison isolates the scheduling policy.
+type ExtenderScheduler struct {
+	env  *sim.Env
+	srv  *apiserver.Server
+	cfg  SchedulerConfig
+	rr   map[string]int // node → round-robin device cursor
+	wake *sim.Queue[struct{}]
+	proc *sim.Proc
+	// singleDevice restricts binding to device 0 of each node — the
+	// Deepomatic-style limitation (Table 1: no multi-GPU-per-node support).
+	singleDevice bool
+}
+
+// SetSingleDevice switches the baseline into Deepomatic mode: every
+// container binds to the node's first GPU, whatever its load.
+func (s *ExtenderScheduler) SetSingleDevice(v bool) { s.singleDevice = v }
+
+// NewExtenderScheduler creates the baseline scheduler; Start launches it.
+func NewExtenderScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *ExtenderScheduler {
+	if cfg.CycleLatency == 0 {
+		cfg.CycleLatency = DefaultCycleLatency
+	}
+	return &ExtenderScheduler{
+		env:  env,
+		srv:  srv,
+		cfg:  cfg,
+		rr:   make(map[string]int),
+		wake: sim.NewQueue[struct{}](env),
+	}
+}
+
+// Start launches the watch and scheduling loops.
+func (s *ExtenderScheduler) Start() {
+	for _, kind := range []string{KindSharePod, "Pod"} {
+		q := s.srv.Watch(kind, kind == KindSharePod)
+		s.env.Go("extender-watch-"+kind, func(p *sim.Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				if s.wake.Len() == 0 {
+					s.wake.Put(struct{}{})
+				}
+			}
+		})
+	}
+	s.proc = s.env.Go("extender-sched", func(p *sim.Proc) {
+		for {
+			if _, ok := s.wake.Get(p); !ok {
+				return
+			}
+			for s.scheduleNext(p) {
+			}
+		}
+	})
+}
+
+// Stop terminates the scheduler.
+func (s *ExtenderScheduler) Stop() {
+	if s.proc != nil {
+		s.proc.Kill(nil)
+	}
+}
+
+func (s *ExtenderScheduler) scheduleNext(p *sim.Proc) bool {
+	var pending []*SharePod
+	for _, sp := range SharePods(s.srv).List() {
+		if !sp.Placed() && !sp.Terminated() {
+			pending = append(pending, sp)
+		}
+	}
+	if len(pending) == 0 {
+		return false
+	}
+	sortByAge(pending)
+	p.Sleep(s.cfg.CycleLatency)
+	committedUtil, committedMem := s.aggregates()
+	for _, cand := range pending {
+		sp, err := SharePods(s.srv).Get(cand.Name)
+		if err != nil || sp.Placed() || sp.Terminated() {
+			continue
+		}
+		node, gpus := s.pickNode(sp, committedUtil, committedMem)
+		if node == "" {
+			continue // no aggregate capacity anywhere; retry on change
+		}
+		// Round-robin in-node device binding — the piece the extender
+		// architecture cannot make device-load-aware. Deepomatic mode pins
+		// everything to device 0.
+		idx := 0
+		if !s.singleDevice {
+			idx = s.rr[node] % gpus
+			s.rr[node]++
+		}
+		gpuID := fmt.Sprintf("ext-%s-gpu%d", node, idx)
+		_, err = SharePods(s.srv).Mutate(sp.Name, func(cur *SharePod) error {
+			cur.Spec.GPUID = gpuID
+			cur.Spec.NodeName = node
+			cur.Status.Phase = SharePodScheduled
+			cur.Status.ScheduledTime = s.env.Now()
+			return nil
+		})
+		if err != nil && !apiserver.IsNotFound(err) {
+			panic(fmt.Sprintf("extender: assign %s: %v", sp.Name, err))
+		}
+		return true
+	}
+	return false
+}
+
+// aggregates sums live fractional commitments per node.
+func (s *ExtenderScheduler) aggregates() (util, mem map[string]float64) {
+	util = map[string]float64{}
+	mem = map[string]float64{}
+	for _, sp := range SharePods(s.srv).List() {
+		if sp.Placed() && !sp.Terminated() {
+			util[sp.Spec.NodeName] += sp.Spec.GPURequest
+			mem[sp.Spec.NodeName] += sp.Spec.GPUMem
+		}
+	}
+	return util, mem
+}
+
+// pickNode selects the node with the most free aggregate capacity that fits
+// the request. It returns the node name and its GPU count.
+func (s *ExtenderScheduler) pickNode(sp *SharePod, util, mem map[string]float64) (string, int) {
+	type cand struct {
+		name string
+		free float64
+		gpus int
+	}
+	var fits []cand
+	for _, node := range apiserver.Nodes(s.srv).List() {
+		gpus := int(node.Status.Allocatable[api.ResourceGPU])
+		if gpus == 0 {
+			continue
+		}
+		capacity := float64(gpus)
+		if util[node.Name]+sp.Spec.GPURequest > capacity+1e-9 {
+			continue
+		}
+		if mem[node.Name]+sp.Spec.GPUMem > capacity+1e-9 {
+			continue
+		}
+		fits = append(fits, cand{node.Name, capacity - util[node.Name], gpus})
+	}
+	if len(fits) == 0 {
+		return "", 0
+	}
+	sort.Slice(fits, func(i, j int) bool {
+		if fits[i].free != fits[j].free {
+			return fits[i].free > fits[j].free
+		}
+		return fits[i].name < fits[j].name
+	})
+	util[fits[0].name] += sp.Spec.GPURequest
+	mem[fits[0].name] += sp.Spec.GPUMem
+	return fits[0].name, fits[0].gpus
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// PoolPolicy controls what happens to a vGPU when its last tenant leaves
+// (§4.4): OnDemand releases the physical GPU back to Kubernetes
+// immediately; Reservation keeps the vGPU idle in the pool, eliminating
+// acquisition latency for the next request at the cost of holding the GPU;
+// Hybrid keeps up to IdleReserve idle vGPUs and releases the rest — the
+// "hybrid strategy" the paper sketches.
+type PoolPolicy int
+
+// Pool policies.
+const (
+	OnDemand PoolPolicy = iota
+	Reservation
+	Hybrid
+)
+
+// DevMgrConfig parameterizes KubeShare-DevMgr.
+type DevMgrConfig struct {
+	// Policy is the idle-vGPU policy (paper default: on-demand).
+	Policy PoolPolicy
+	// IdleReserve is the idle-vGPU target kept under the Hybrid policy.
+	IdleReserve int
+	// OpLatency models one DevMgr operation (vGPU info query plus bound-pod
+	// construction).
+	OpLatency time.Duration
+}
+
+// DefaultOpLatency is used when OpLatency is zero. It covers the vGPU info
+// query and bound-pod construction; together with the scheduling cycle it
+// produces the paper's ≈15% creation overhead when no vGPU must be created
+// (Fig 10). Binds run concurrently, so the overhead stays constant under
+// concurrent requests.
+const DefaultOpLatency = 150 * time.Millisecond
+
+// HolderImage is the image of the native pods DevMgr launches to acquire
+// physical GPUs from Kubernetes. Its sole purpose is to hold the GPU and
+// report the device UUID from its environment (§4.4).
+const HolderImage = "kubeshare/vgpu-holder"
+
+// DevMgr is KubeShare-DevMgr: the custom controller that owns the vGPU
+// pool, converts GPUIDs to physical UUIDs, creates the bound pods with
+// explicit device binding, and reflects bound-pod status back onto
+// sharePods.
+type DevMgr struct {
+	env *sim.Env
+	srv *apiserver.Server
+	cfg DevMgrConfig
+
+	// creating single-flights vGPU acquisition per GPUID; the event fires
+	// with the UUID (string) or an error.
+	creating map[string]*sim.Event
+	// uuidReports delivers NVIDIA_VISIBLE_DEVICES from holder pods, keyed
+	// by holder pod name.
+	uuidReports map[string]*sim.Event
+	// binding marks sharePods whose bind workflow is in flight.
+	binding map[string]bool
+	procs   []*sim.Proc
+}
+
+// NewDevMgr creates KubeShare-DevMgr; Start launches it.
+func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
+	if cfg.OpLatency == 0 {
+		cfg.OpLatency = DefaultOpLatency
+	}
+	return &DevMgr{
+		env:         env,
+		srv:         srv,
+		cfg:         cfg,
+		creating:    make(map[string]*sim.Event),
+		uuidReports: make(map[string]*sim.Event),
+		binding:     make(map[string]bool),
+	}
+}
+
+// ReportUUID is called by the holder image entrypoint to deliver the device
+// UUID it found in its environment — the stand-in for DevMgr reading the
+// environment variable inside the launched container.
+func (m *DevMgr) ReportUUID(holderPod, uuid string) {
+	ev, ok := m.uuidReports[holderPod]
+	if !ok {
+		ev = sim.NewEvent(m.env)
+		m.uuidReports[holderPod] = ev
+	}
+	ev.Trigger(uuid)
+}
+
+func (m *DevMgr) uuidReport(holderPod string) *sim.Event {
+	ev, ok := m.uuidReports[holderPod]
+	if !ok {
+		ev = sim.NewEvent(m.env)
+		m.uuidReports[holderPod] = ev
+	}
+	return ev
+}
+
+// Start launches the sharePod and pod watch loops.
+func (m *DevMgr) Start() {
+	spQ := m.srv.Watch(KindSharePod, true)
+	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr", func(p *sim.Proc) {
+		for {
+			ev, ok := spQ.Get(p)
+			if !ok {
+				return
+			}
+			sp := ev.Object.(*SharePod)
+			switch ev.Type {
+			case store.Deleted:
+				m.onSharePodGone(sp)
+			default:
+				if sp.Placed() && !sp.Terminated() && sp.Status.BoundPod == "" && !m.binding[sp.Name] {
+					m.binding[sp.Name] = true
+					spCopy := sp
+					m.env.Go("devmgr-bind-"+sp.Name, func(bp *sim.Proc) {
+						defer delete(m.binding, spCopy.Name)
+						m.bind(bp, spCopy)
+					})
+				}
+			}
+		}
+	}))
+	podQ := m.srv.Watch("Pod", true)
+	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr-pods", func(p *sim.Proc) {
+		for {
+			ev, ok := podQ.Get(p)
+			if !ok {
+				return
+			}
+			pod := ev.Object.(*api.Pod)
+			spName := pod.Labels[LabelSharePod]
+			if spName == "" || ev.Type == store.Deleted {
+				continue
+			}
+			m.reflectPodStatus(spName, pod)
+		}
+	}))
+}
+
+// Stop terminates the controller loops.
+func (m *DevMgr) Stop() {
+	for _, p := range m.procs {
+		p.Kill(nil)
+	}
+}
+
+// bind realizes one scheduled sharePod: ensure its vGPU exists, then create
+// the bound pod with the explicit device binding.
+func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
+	uuid, err := m.ensureVGPU(p, sp.Spec.GPUID, sp.Spec.NodeName)
+	if err != nil {
+		m.failSharePod(sp.Name, fmt.Sprintf("vGPU %s: %v", sp.Spec.GPUID, err))
+		return
+	}
+	p.Sleep(m.cfg.OpLatency)
+	// The sharePod may have been deleted while the vGPU was created.
+	cur, err := SharePods(m.srv).Get(sp.Name)
+	if err != nil || cur.Terminated() {
+		m.reconcileVGPU(sp.Spec.GPUID)
+		return
+	}
+	spec := sp.Spec.Pod.Clone()
+	spec.NodeName = sp.Spec.NodeName // explicit binding: no kube-scheduler involvement
+	for i := range spec.Containers {
+		c := &spec.Containers[i]
+		if c.Env == nil {
+			c.Env = map[string]string{}
+		}
+		// The paper's DevMgr converts GPUID to UUID and sets
+		// NVIDIA_VISIBLE_DEVICES itself (§4.4); admission guarantees the
+		// spec requests no device plugin resource, so the physical GPU
+		// stays pinned solely by the holder pod.
+		c.Env["NVIDIA_VISIBLE_DEVICES"] = uuid
+	}
+	pod := &api.Pod{
+		ObjectMeta: api.ObjectMeta{
+			Name:   boundPodName(sp.Name),
+			Labels: map[string]string{LabelSharePod: sp.Name},
+			Annotations: map[string]string{
+				AnnGPURequest: formatFloat(sp.Spec.GPURequest),
+				AnnGPULimit:   formatFloat(sp.Spec.Share().EffectiveLimit()),
+				AnnGPUMem:     formatFloat(sp.Spec.GPUMem),
+				AnnGPUID:      sp.Spec.GPUID,
+			},
+			OwnerName: KindSharePod + "/" + sp.Name,
+		},
+		Spec: spec,
+	}
+	if _, err := apiserver.Pods(m.srv).Create(pod); err != nil && !apiserver.IsExists(err) {
+		m.failSharePod(sp.Name, fmt.Sprintf("create bound pod: %v", err))
+		return
+	}
+	m.updateSharePod(sp.Name, func(cur *SharePod) {
+		cur.Status.BoundPod = pod.Name
+		cur.Status.UUID = uuid
+	})
+	m.markVGPU(sp.Spec.GPUID, VGPUActive)
+}
+
+// ensureVGPU returns the physical UUID behind gpuID, acquiring a GPU from
+// Kubernetes (via a holder pod) when the vGPU does not exist yet. Creation
+// is single-flighted per GPUID.
+func (m *DevMgr) ensureVGPU(p *sim.Proc, gpuID, node string) (string, error) {
+	if v, err := VGPUs(m.srv).Get(gpuID); err == nil && v.Status.UUID != "" {
+		return v.Status.UUID, nil
+	}
+	if ev, inFlight := m.creating[gpuID]; inFlight {
+		switch v := p.Wait(ev).(type) {
+		case string:
+			return v, nil
+		case error:
+			return "", v
+		}
+		return "", fmt.Errorf("vGPU creation produced no UUID")
+	}
+	ev := sim.NewEvent(m.env)
+	m.creating[gpuID] = ev
+	defer delete(m.creating, gpuID)
+	uuid, err := m.createVGPU(p, gpuID, node)
+	if err != nil {
+		ev.Trigger(err)
+		return "", err
+	}
+	ev.Trigger(uuid)
+	return uuid, nil
+}
+
+// createVGPU converts a free physical GPU into a pool vGPU: launch a native
+// holder pod requesting one GPU on the target node, wait for it to run, and
+// read the UUID it reports from its environment.
+func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
+	holder := holderPodName(gpuID)
+	vgpu := &VGPU{
+		ObjectMeta: api.ObjectMeta{Name: gpuID},
+		Spec:       VGPUSpec{GPUID: gpuID, NodeName: node},
+		Status:     VGPUStatus{Phase: VGPUCreating, HolderPod: holder},
+	}
+	if _, err := VGPUs(m.srv).Create(vgpu); err != nil && !apiserver.IsExists(err) {
+		return "", err
+	}
+	pod := &api.Pod{
+		ObjectMeta: api.ObjectMeta{
+			Name:   holder,
+			Labels: map[string]string{LabelVGPUHolder: gpuID},
+		},
+		Spec: api.PodSpec{
+			NodeName: node,
+			Containers: []api.Container{{
+				Name:     "holder",
+				Image:    HolderImage,
+				Requests: api.ResourceList{api.ResourceGPU: 1},
+			}},
+		},
+	}
+	if _, err := apiserver.Pods(m.srv).Create(pod); err != nil && !apiserver.IsExists(err) {
+		return "", err
+	}
+	v := p.Wait(m.uuidReport(holder))
+	uuid, ok := v.(string)
+	if !ok || uuid == "" {
+		return "", fmt.Errorf("holder pod %s reported no device", holder)
+	}
+	_, err := VGPUs(m.srv).Mutate(gpuID, func(cur *VGPU) error {
+		cur.Status.Phase = VGPUActive
+		cur.Status.UUID = uuid
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return uuid, nil
+}
+
+// reflectPodStatus mirrors bound-pod phase changes onto the sharePod and
+// reconciles the vGPU when a tenant terminates.
+func (m *DevMgr) reflectPodStatus(spName string, pod *api.Pod) {
+	var gpuID string
+	switch pod.Status.Phase {
+	case api.PodRunning:
+		m.updateSharePod(spName, func(cur *SharePod) {
+			if cur.Status.Phase == SharePodScheduled {
+				cur.Status.Phase = SharePodRunning
+				cur.Status.RunningTime = m.env.Now()
+			}
+			gpuID = cur.Spec.GPUID
+		})
+	case api.PodSucceeded, api.PodFailed:
+		m.updateSharePod(spName, func(cur *SharePod) {
+			if !cur.Terminated() {
+				if pod.Status.Phase == api.PodSucceeded {
+					cur.Status.Phase = SharePodSucceeded
+				} else {
+					cur.Status.Phase = SharePodFailed
+					cur.Status.Message = pod.Status.Message
+				}
+				cur.Status.FinishTime = m.env.Now()
+			}
+			gpuID = cur.Spec.GPUID
+		})
+		if gpuID != "" {
+			m.reconcileVGPU(gpuID)
+		}
+	}
+}
+
+// onSharePodGone handles sharePod deletion: remove its bound pod and
+// reconcile the vGPU.
+func (m *DevMgr) onSharePodGone(sp *SharePod) {
+	if sp.Status.BoundPod != "" {
+		if err := apiserver.Pods(m.srv).Delete(sp.Status.BoundPod); err != nil && !apiserver.IsNotFound(err) {
+			panic(fmt.Sprintf("kubeshare-devmgr: delete bound pod: %v", err))
+		}
+	}
+	if sp.Spec.GPUID != "" {
+		m.reconcileVGPU(sp.Spec.GPUID)
+	}
+}
+
+// reconcileVGPU applies the idle policy: when a vGPU has no live tenants it
+// is either deleted (on-demand, releasing the GPU to Kubernetes) or marked
+// idle (reservation).
+func (m *DevMgr) reconcileVGPU(gpuID string) {
+	for _, sp := range SharePods(m.srv).List() {
+		if sp.Spec.GPUID == gpuID && !sp.Terminated() {
+			return // still has tenants
+		}
+	}
+	if _, inFlight := m.creating[gpuID]; inFlight {
+		return // acquisition still running; bind will re-reconcile
+	}
+	v, err := VGPUs(m.srv).Get(gpuID)
+	if err != nil {
+		return
+	}
+	switch m.cfg.Policy {
+	case Reservation:
+		m.markVGPU(gpuID, VGPUIdle)
+		return
+	case Hybrid:
+		idle := 0
+		for _, other := range VGPUs(m.srv).List() {
+			if other.Status.Phase == VGPUIdle {
+				idle++
+			}
+		}
+		if idle < m.cfg.IdleReserve {
+			m.markVGPU(gpuID, VGPUIdle)
+			return
+		}
+		// Reserve full: fall through and release this one.
+	}
+	if err := apiserver.Pods(m.srv).Delete(v.Status.HolderPod); err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: delete holder: %v", err))
+	}
+	if err := VGPUs(m.srv).Delete(gpuID); err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: delete vGPU: %v", err))
+	}
+	delete(m.uuidReports, v.Status.HolderPod)
+}
+
+// ReleaseIdle deletes every idle vGPU (manual pool shrink under the
+// reservation policy).
+func (m *DevMgr) ReleaseIdle() int {
+	released := 0
+	for _, v := range VGPUs(m.srv).List() {
+		if v.Status.Phase != VGPUIdle {
+			continue
+		}
+		if err := apiserver.Pods(m.srv).Delete(v.Status.HolderPod); err != nil && !apiserver.IsNotFound(err) {
+			continue
+		}
+		if err := VGPUs(m.srv).Delete(v.Spec.GPUID); err == nil {
+			delete(m.uuidReports, v.Status.HolderPod)
+			released++
+		}
+	}
+	return released
+}
+
+func (m *DevMgr) markVGPU(gpuID string, phase VGPUPhase) {
+	_, err := VGPUs(m.srv).Mutate(gpuID, func(cur *VGPU) error {
+		cur.Status.Phase = phase
+		return nil
+	})
+	if err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: mark vGPU %s: %v", gpuID, err))
+	}
+}
+
+func (m *DevMgr) updateSharePod(name string, mutate func(*SharePod)) {
+	_, err := SharePods(m.srv).Mutate(name, func(cur *SharePod) error {
+		mutate(cur)
+		return nil
+	})
+	if err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: update sharePod %s: %v", name, err))
+	}
+}
+
+func (m *DevMgr) failSharePod(name, msg string) {
+	m.updateSharePod(name, func(cur *SharePod) {
+		if !cur.Terminated() {
+			cur.Status.Phase = SharePodFailed
+			cur.Status.Message = msg
+			cur.Status.FinishTime = m.env.Now()
+		}
+	})
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/runtime"
+	"kubeshare/internal/sim"
+)
+
+// TestHolderPodPinsGPU: while a sharePod runs, the pool's holder pod keeps
+// the physical GPU allocated from Kubernetes' point of view, so native pods
+// cannot steal it.
+func TestHolderPodPinsGPU(t *testing.T) {
+	s := newStack(t, 1, Config{})
+	s.c.Images.Register("native", func(ctx *runtime.Ctx) error { return nil })
+	s.env.Go("t", func(p *sim.Proc) {
+		s.create(t, sharePod("tenant", 0.5, 1, 0.2, 30))
+		p.Sleep(5 * time.Second)
+		// All 4 GPUs: 1 held by the vGPU holder; a native pod wanting 4
+		// must stay pending.
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "native4"},
+			Spec: api.PodSpec{Containers: []api.Container{{
+				Name: "c", Image: "native",
+				Requests: api.ResourceList{api.ResourceGPU: 4},
+			}}},
+		}
+		if _, err := s.c.Pods().Create(pod); err != nil {
+			t.Errorf("create: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+		got, _ := s.c.Pods().Get("native4")
+		if got.Spec.NodeName != "" {
+			t.Error("native pod scheduled while holder pins a GPU")
+		}
+	})
+	s.env.Run()
+	// After the tenant finishes (on-demand release), the native pod runs.
+	got, _ := s.c.Pods().Get("native4")
+	if got.Status.Phase != api.PodSucceeded {
+		t.Fatalf("native pod after release: %s (%s)", got.Status.Phase, got.Status.Message)
+	}
+}
+
+// TestVGPUPhasesObservable: the VGPU object walks Creating → Active →
+// (deleted) in the on-demand policy.
+func TestVGPUPhasesObservable(t *testing.T) {
+	s := newStack(t, 1, Config{})
+	var sawCreating, sawActive bool
+	s.env.Go("observer", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			p.Sleep(50 * time.Millisecond)
+			for _, v := range VGPUs(s.c.API).List() {
+				switch v.Status.Phase {
+				case VGPUCreating:
+					sawCreating = true
+				case VGPUActive:
+					sawActive = true
+					if v.Status.UUID == "" {
+						t.Error("active vGPU without UUID")
+					}
+				}
+			}
+		}
+	})
+	s.env.Go("submit", func(p *sim.Proc) {
+		s.create(t, sharePod("sp", 0.5, 1, 0.2, 2))
+	})
+	s.env.Run()
+	if !sawCreating || !sawActive {
+		t.Fatalf("phases observed: creating=%v active=%v", sawCreating, sawActive)
+	}
+}
+
+// TestUserPinnedGPUID: a client may set GPUID/NodeName explicitly (GPUs are
+// first-class, user-addressable); DevMgr honours the pin without the
+// scheduler's involvement.
+func TestUserPinnedGPUID(t *testing.T) {
+	s := newStack(t, 1, Config{})
+	s.env.Go("t", func(p *sim.Proc) {
+		// First sharePod scheduled normally, establishing vgpu-0001.
+		s.create(t, sharePod("auto", 0.4, 0.5, 0.2, 10))
+		p.Sleep(5 * time.Second)
+		auto := s.get(t, "auto")
+		// Second sharePod pinned to the same vGPU by the user.
+		pinned := sharePod("pinned", 0.4, 0.5, 0.2, 5)
+		pinned.Spec.GPUID = auto.Spec.GPUID
+		pinned.Spec.NodeName = auto.Spec.NodeName
+		pinned.Status.Phase = SharePodScheduled
+		s.create(t, pinned)
+	})
+	s.env.Run()
+	auto, pinned := s.get(t, "auto"), s.get(t, "pinned")
+	if pinned.Status.Phase != SharePodSucceeded {
+		t.Fatalf("pinned: %s (%s)", pinned.Status.Phase, pinned.Status.Message)
+	}
+	if pinned.Status.UUID != auto.Status.UUID {
+		t.Fatal("pin not honoured: different physical GPUs")
+	}
+}

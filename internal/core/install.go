@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kubeshare/internal/cuda"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/runtime"
+)
+
+// Config bundles the KubeShare component configurations.
+type Config struct {
+	Scheduler SchedulerConfig
+	DevMgr    DevMgrConfig
+	Devlib    devlib.Config
+}
+
+// KubeShare is the installed framework: both controllers plus the per-node
+// device library backends.
+type KubeShare struct {
+	Cluster   *kube.Cluster
+	Scheduler *Scheduler
+	DevMgr    *DevMgr
+	// SetManager reconciles SharePodSet replica controllers (§4.6).
+	SetManager *SharePodSetManager
+	// Backends holds the per-node device-library daemon, keyed by node name.
+	Backends map[string]*devlib.Backend
+}
+
+// Install deploys KubeShare onto a cluster, following the operator pattern:
+// it registers the SharePod and VGPU custom resources with the API server,
+// registers the holder image, installs the library interposition hook on
+// every node's runtime, and starts the two custom controllers. Nothing in
+// the existing cluster is modified — native pods keep working untouched
+// (§4.6's compatibility claim).
+func Install(c *kube.Cluster, cfg Config) (*KubeShare, error) {
+	ks, err := installCommon(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ks.Scheduler = NewScheduler(c.Env, c.API, cfg.Scheduler)
+	ks.DevMgr.Start()
+	ks.Scheduler.Start()
+	return ks, nil
+}
+
+// InstallExtender deploys the scheduler-extender baseline in place of
+// KubeShare-Sched, sharing the DevMgr and device-library machinery so the
+// comparison isolates the scheduling policy. KubeShare.Scheduler is nil in
+// the returned handle.
+func InstallExtender(c *kube.Cluster, cfg Config) (*KubeShare, *ExtenderScheduler, error) {
+	ks, err := installCommon(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext := NewExtenderScheduler(c.Env, c.API, cfg.Scheduler)
+	ks.DevMgr.Start()
+	ext.Start()
+	return ks, ext, nil
+}
+
+// installCommon performs the wiring shared by every scheduler flavour:
+// validators, the holder image, per-node backends and library hooks, and an
+// (unstarted) DevMgr.
+func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
+	ks := &KubeShare{
+		Cluster:  c,
+		Backends: make(map[string]*devlib.Backend),
+	}
+	c.API.RegisterValidator(KindSharePod, ValidateSharePod)
+	ks.DevMgr = NewDevMgr(c.Env, c.API, cfg.DevMgr)
+	ks.SetManager = NewSharePodSetManager(c.Env, c.API)
+	ks.SetManager.Start()
+
+	// The holder image: pin the allocated GPU and report its UUID from the
+	// container environment back to DevMgr.
+	c.Images.Register(HolderImage, func(ctx *runtime.Ctx) error {
+		visible := ctx.Env["NVIDIA_VISIBLE_DEVICES"]
+		uuid := strings.Split(visible, ",")[0]
+		if uuid == "" {
+			return fmt.Errorf("holder started without a GPU")
+		}
+		ks.DevMgr.ReportUUID(ctx.Pod.Name, uuid)
+		ctx.Proc.Hibernate() // hold the GPU until the pod is deleted
+		return nil
+	})
+
+	// Per-node device library backend + the LD_PRELOAD-equivalent hook:
+	// containers of bound pods load the vGPU frontend instead of the raw
+	// driver.
+	for _, node := range c.Nodes {
+		backend := devlib.NewBackend(c.Env, cfg.Devlib)
+		ks.Backends[node.Name] = backend
+		node.Runtime.AddLibraryHook(func(pod *api.Pod, ctn api.Container, base cuda.API) cuda.API {
+			if pod.Labels[LabelSharePod] == "" || base == nil {
+				return nil // not ours: fall through to the raw driver
+			}
+			share, err := shareFromAnnotations(pod.Annotations)
+			if err != nil {
+				panic(fmt.Sprintf("kubeshare: bound pod %s has bad annotations: %v", pod.Name, err))
+			}
+			mgr := backend.Manager(base.Device().UUID)
+			f, err := devlib.NewFrontend(base, mgr, pod.Name+"/"+ctn.Name, share)
+			if err != nil {
+				panic(fmt.Sprintf("kubeshare: install frontend for %s: %v", pod.Name, err))
+			}
+			return f
+		})
+	}
+
+	return ks, nil
+}
+
+// Stop terminates the KubeShare controllers (backends are passive).
+func (ks *KubeShare) Stop() {
+	if ks.Scheduler != nil {
+		ks.Scheduler.Stop()
+	}
+	ks.SetManager.Stop()
+	ks.DevMgr.Stop()
+}
+
+// SharePods returns the typed SharePod client for the installed cluster.
+func (ks *KubeShare) SharePods() apiserver.Client[*SharePod] {
+	return SharePods(ks.Cluster.API)
+}
+
+// VGPUs returns the typed VGPU client for the installed cluster.
+func (ks *KubeShare) VGPUs() apiserver.Client[*VGPU] {
+	return VGPUs(ks.Cluster.API)
+}
+
+// shareFromAnnotations parses the fractional shares DevMgr stamped onto a
+// bound pod.
+func shareFromAnnotations(ann map[string]string) (devlib.Share, error) {
+	parse := func(key string) (float64, error) {
+		v, ok := ann[key]
+		if !ok {
+			return 0, fmt.Errorf("missing annotation %s", key)
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	req, err := parse(AnnGPURequest)
+	if err != nil {
+		return devlib.Share{}, err
+	}
+	lim, err := parse(AnnGPULimit)
+	if err != nil {
+		return devlib.Share{}, err
+	}
+	mem, err := parse(AnnGPUMem)
+	if err != nil {
+		return devlib.Share{}, err
+	}
+	return devlib.Share{Request: req, Limit: lim, Memory: mem}, nil
+}

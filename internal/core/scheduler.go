@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/sim"
+)
+
+// SchedulerConfig parameterizes KubeShare-Sched.
+type SchedulerConfig struct {
+	// CycleLatency models one scheduling decision (pool query + Algorithm 1
+	// + API updates); the dominant part of KubeShare's extra pod-creation
+	// latency when no vGPU must be created (Fig 10's ≈15%).
+	CycleLatency time.Duration
+	// MemOvercommitFactor scales each device's schedulable gpu_mem capacity
+	// (default 1.0 = no over-commitment). Values >1 must be paired with
+	// devlib.Config.MemOvercommit so the device library swaps working sets.
+	MemOvercommitFactor float64
+	// Decide overrides the placement algorithm — §4.6's claim that users
+	// can swap in their own scheduling logic because Sched and DevMgr are
+	// decoupled controllers. The function must commit accepted placements
+	// onto the pool (DeviceState.Place) like the default Algorithm 1 does.
+	// Nil selects core.Schedule.
+	Decide func(Request, *Pool) Decision
+}
+
+// DefaultCycleLatency is used when CycleLatency is zero. Algorithm 1 itself
+// is O(N) microseconds (Fig 11); the cycle is dominated by the API
+// round-trips, comparable to the default kube-scheduler's cycle.
+const DefaultCycleLatency = 15 * time.Millisecond
+
+// Scheduler is KubeShare-Sched: the custom controller assigning sharePods
+// to vGPUs with Algorithm 1. It watches SharePods and the native objects
+// whose changes can unblock a waiting request (pods and vGPUs), and decides
+// one sharePod per cycle.
+type Scheduler struct {
+	env    *sim.Env
+	srv    *apiserver.Server
+	cfg    SchedulerConfig
+	wake   *sim.Queue[struct{}]
+	nextID int
+	proc   *sim.Proc
+
+	// decisions counts Algorithm 1 invocations (observability/tests).
+	decisions int64
+}
+
+// NewScheduler creates KubeShare-Sched; Start launches it.
+func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Scheduler {
+	if cfg.CycleLatency == 0 {
+		cfg.CycleLatency = DefaultCycleLatency
+	}
+	return &Scheduler{env: env, srv: srv, cfg: cfg, wake: sim.NewQueue[struct{}](env)}
+}
+
+// Decisions returns the number of scheduling decisions made so far.
+func (s *Scheduler) Decisions() int64 { return s.decisions }
+
+// Start launches the watch and scheduling loops.
+func (s *Scheduler) Start() {
+	for _, kind := range []string{KindSharePod, "Pod", KindVGPU} {
+		q := s.srv.Watch(kind, kind == KindSharePod)
+		s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				s.kick()
+			}
+		})
+	}
+	s.proc = s.env.Go("kubeshare-sched", s.loop)
+}
+
+// Stop terminates the scheduler.
+func (s *Scheduler) Stop() {
+	if s.proc != nil {
+		s.proc.Kill(nil)
+	}
+}
+
+func (s *Scheduler) kick() {
+	if s.wake.Len() == 0 {
+		s.wake.Put(struct{}{})
+	}
+}
+
+func (s *Scheduler) loop(p *sim.Proc) {
+	for {
+		if _, ok := s.wake.Get(p); !ok {
+			return
+		}
+		for s.scheduleNext(p) {
+		}
+	}
+}
+
+// scheduleNext runs one scheduling cycle: it tries the pending sharePods in
+// age order against the current pool and applies the first decision that
+// makes progress (assignment or rejection). It reports whether progress was
+// made; all-NoCapacity means wait for a pool or pod change.
+func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
+	var pending []*SharePod
+	for _, sp := range SharePods(s.srv).List() {
+		if !sp.Placed() && !sp.Terminated() {
+			pending = append(pending, sp)
+		}
+	}
+	if len(pending) == 0 {
+		return false
+	}
+	sortByAge(pending)
+	p.Sleep(s.cfg.CycleLatency)
+	pool := BuildPoolWithFactor(s.srv, s.newGPUID, s.cfg.MemOvercommitFactor)
+	for _, cand := range pending {
+		// Re-read: the sharePod may have changed during the cycle.
+		sp, err := SharePods(s.srv).Get(cand.Name)
+		if err != nil || sp.Placed() || sp.Terminated() {
+			continue
+		}
+		decide := s.cfg.Decide
+		if decide == nil {
+			decide = Schedule
+		}
+		dec := decide(RequestOf(sp), pool)
+		s.decisions++
+		switch dec.Outcome {
+		case Assigned, NewDevice:
+			s.apply(sp.Name, func(cur *SharePod) {
+				cur.Spec.GPUID = dec.GPUID
+				cur.Spec.NodeName = dec.NodeName
+				cur.Status.Phase = SharePodScheduled
+				cur.Status.ScheduledTime = s.env.Now()
+			})
+			return true
+		case Rejected:
+			s.apply(sp.Name, func(cur *SharePod) {
+				cur.Status.Phase = SharePodRejected
+				cur.Status.Message = dec.Reason
+				cur.Status.FinishTime = s.env.Now()
+			})
+			return true
+		}
+		// NoCapacity: try the next pending sharePod this cycle.
+	}
+	return false
+}
+
+func (s *Scheduler) apply(name string, mutate func(*SharePod)) {
+	_, err := SharePods(s.srv).Mutate(name, func(cur *SharePod) error {
+		mutate(cur)
+		return nil
+	})
+	if err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-sched: update %s: %v", name, err))
+	}
+}
+
+// sortByAge orders sharePods oldest-first (name as tie-break) for FIFO
+// fairness.
+func sortByAge(sps []*SharePod) {
+	sort.Slice(sps, func(i, j int) bool {
+		a, b := sps[i], sps[j]
+		if a.CreationTime != b.CreationTime {
+			return a.CreationTime < b.CreationTime
+		}
+		return a.Name < b.Name
+	})
+}
+
+// newGPUID generates a fresh vGPU identifier (the paper's hashed id; a
+// serial suffices and keeps logs readable).
+func (s *Scheduler) newGPUID() string {
+	s.nextID++
+	return fmt.Sprintf("vgpu-%04d", s.nextID)
+}

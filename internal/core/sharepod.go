@@ -1,0 +1,203 @@
+// Package core implements KubeShare, the paper's contribution: GPU sharing
+// in Kubernetes with fine-grained allocation and first-class GPU identity.
+//
+// It consists of two custom controllers following the operator pattern
+// (§4.6): KubeShare-Sched assigns sharePods to vGPUs with the locality- and
+// resource-aware Algorithm 1, and KubeShare-DevMgr manages the vGPU pool
+// lifecycle, performs the explicit pod↔device binding, and installs the
+// vGPU device library into containers.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/kube/api"
+)
+
+// Kind names of the custom resources KubeShare adds to the API server.
+const (
+	KindSharePod = "SharePod"
+	KindVGPU     = "VGPU"
+)
+
+// SharePodPhase is the lifecycle phase of a sharePod.
+type SharePodPhase string
+
+// SharePod lifecycle phases. Rejected marks requests whose locality
+// constraints are unsatisfiable (Algorithm 1 returns -1).
+const (
+	SharePodPending   SharePodPhase = "Pending"
+	SharePodScheduled SharePodPhase = "Scheduled"
+	SharePodRunning   SharePodPhase = "Running"
+	SharePodSucceeded SharePodPhase = "Succeeded"
+	SharePodFailed    SharePodPhase = "Failed"
+	SharePodRejected  SharePodPhase = "Rejected"
+)
+
+// SharePodSpec is the paper's resource specification (§4.2): the original
+// pod spec plus fractional GPU demands, the vGPU identity, and locality
+// constraints.
+type SharePodSpec struct {
+	// Pod is the original PodSpec the bound pod is created from.
+	Pod api.PodSpec
+	// GPURequest is the guaranteed minimum compute share in (0,1].
+	GPURequest float64
+	// GPULimit is the maximum compute share; 0 defaults to GPURequest.
+	GPULimit float64
+	// GPUMem is the device-memory fraction in (0,1].
+	GPUMem float64
+	// GPUID selects a specific vGPU. Usually assigned by KubeShare-Sched,
+	// but a client may set it directly — GPUs are first-class, explicitly
+	// addressable resources.
+	GPUID string
+	// NodeName is the node hosting the vGPU (set together with GPUID).
+	NodeName string
+	// Affinity, AntiAffinity and Exclusion are the locality constraint
+	// labels (sched_affinity / sched_anti-affinity / sched_exclusion).
+	Affinity     string
+	AntiAffinity string
+	Exclusion    string
+}
+
+// Share converts the spec's fractions into a device library share.
+func (s SharePodSpec) Share() devlib.Share {
+	return devlib.Share{Request: s.GPURequest, Limit: s.GPULimit, Memory: s.GPUMem}
+}
+
+// Clone returns a deep copy.
+func (s SharePodSpec) Clone() SharePodSpec {
+	out := s
+	out.Pod = s.Pod.Clone()
+	return out
+}
+
+// SharePodStatus is the observed state of a sharePod.
+type SharePodStatus struct {
+	Phase   SharePodPhase
+	Message string
+	// BoundPod is the name of the pod DevMgr created for this sharePod.
+	BoundPod string
+	// UUID is the physical GPU backing the assigned vGPU.
+	UUID string
+	// ScheduledTime is when KubeShare-Sched assigned the GPUID;
+	// RunningTime/FinishTime track the bound pod.
+	ScheduledTime time.Duration
+	RunningTime   time.Duration
+	FinishTime    time.Duration
+}
+
+// SharePod is the custom resource representing a pod with a fractional,
+// explicitly bound GPU share.
+type SharePod struct {
+	api.ObjectMeta
+	Spec   SharePodSpec
+	Status SharePodStatus
+}
+
+// GetMeta implements api.Object.
+func (s *SharePod) GetMeta() *api.ObjectMeta { return &s.ObjectMeta }
+
+// Kind implements api.Object.
+func (s *SharePod) Kind() string { return KindSharePod }
+
+// DeepCopyObject implements api.Object.
+func (s *SharePod) DeepCopyObject() api.Object {
+	out := *s
+	out.ObjectMeta = s.CloneMeta()
+	out.Spec = s.Spec.Clone()
+	return &out
+}
+
+// Terminated reports whether the sharePod reached a terminal phase.
+func (s *SharePod) Terminated() bool {
+	switch s.Status.Phase {
+	case SharePodSucceeded, SharePodFailed, SharePodRejected:
+		return true
+	}
+	return false
+}
+
+// Placed reports whether a vGPU has been assigned.
+func (s *SharePod) Placed() bool { return s.Spec.GPUID != "" }
+
+// ValidateSharePod is the admission validator for the SharePod kind.
+func ValidateSharePod(o api.Object) error {
+	sp, ok := o.(*SharePod)
+	if !ok {
+		return fmt.Errorf("core: object is %T, not *SharePod", o)
+	}
+	if err := api.ValidatePodSpec(sp.Spec.Pod); err != nil {
+		return err
+	}
+	// The fractional shares are pod-level quantities but the device library
+	// registers per container; with one container per pod (the paper's §2.1
+	// assumption) the two coincide. Reject multi-container specs rather
+	// than silently over-committing the device.
+	if len(sp.Spec.Pod.Containers) != 1 {
+		return fmt.Errorf("core: sharePod must have exactly one container (got %d)", len(sp.Spec.Pod.Containers))
+	}
+	if gpus := sp.Spec.Pod.Requests()[api.ResourceGPU]; gpus != 0 {
+		return fmt.Errorf("core: sharePod container must not request %s (the share fields replace it)", api.ResourceGPU)
+	}
+	if err := sp.Spec.Share().Validate(); err != nil {
+		return err
+	}
+	if sp.Spec.GPURequest <= 0 {
+		return fmt.Errorf("core: gpu_request must be positive")
+	}
+	if sp.Spec.GPUID != "" && sp.Spec.NodeName == "" {
+		return fmt.Errorf("core: GPUID set without NodeName")
+	}
+	return nil
+}
+
+// VGPUPhase is the vGPU lifecycle phase (§4.4).
+type VGPUPhase string
+
+// vGPU lifecycle phases: Creating (acquiring a physical GPU from
+// Kubernetes), Active (attached to ≥1 sharePod), Idle (in pool, no
+// tenants). Deletion removes the object.
+const (
+	VGPUCreating VGPUPhase = "Creating"
+	VGPUActive   VGPUPhase = "Active"
+	VGPUIdle     VGPUPhase = "Idle"
+)
+
+// VGPUSpec identifies a vGPU.
+type VGPUSpec struct {
+	GPUID    string
+	NodeName string
+}
+
+// VGPUStatus is the observed state of a vGPU.
+type VGPUStatus struct {
+	Phase VGPUPhase
+	// UUID is the physical device, discovered from the holder pod's
+	// NVIDIA_VISIBLE_DEVICES once acquisition completes.
+	UUID string
+	// HolderPod is the native pod pinning the physical GPU.
+	HolderPod string
+}
+
+// VGPU is the custom resource representing one pool device. Its object name
+// equals Spec.GPUID.
+type VGPU struct {
+	api.ObjectMeta
+	Spec   VGPUSpec
+	Status VGPUStatus
+}
+
+// GetMeta implements api.Object.
+func (v *VGPU) GetMeta() *api.ObjectMeta { return &v.ObjectMeta }
+
+// Kind implements api.Object.
+func (v *VGPU) Kind() string { return KindVGPU }
+
+// DeepCopyObject implements api.Object.
+func (v *VGPU) DeepCopyObject() api.Object {
+	out := *v
+	out.ObjectMeta = v.CloneMeta()
+	return &out
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/controller"
+	"kubeshare/internal/sim"
+)
+
+// KindSharePodSet is the replica-controller custom resource over sharePods.
+const KindSharePodSet = "SharePodSet"
+
+// SharePodSet maintains Replicas live sharePods stamped from Template —
+// the §4.6 demonstration that higher-level controllers compose with
+// KubeShare exactly as they do with native pods: the set controller talks
+// only to the API server, KubeShare-Sched and DevMgr do the rest.
+type SharePodSet struct {
+	api.ObjectMeta
+	Replicas int
+	// Template is the sharePod spec each replica is created from (GPUID
+	// and NodeName must be empty; the scheduler assigns them per replica).
+	Template SharePodSpec
+	// ReadyReplicas counts replicas whose bound pod is running.
+	ReadyReplicas int
+}
+
+// GetMeta implements api.Object.
+func (s *SharePodSet) GetMeta() *api.ObjectMeta { return &s.ObjectMeta }
+
+// Kind implements api.Object.
+func (s *SharePodSet) Kind() string { return KindSharePodSet }
+
+// DeepCopyObject implements api.Object.
+func (s *SharePodSet) DeepCopyObject() api.Object {
+	out := *s
+	out.ObjectMeta = s.CloneMeta()
+	out.Template = s.Template.Clone()
+	return &out
+}
+
+// SharePodSets returns the typed client.
+func SharePodSets(srv *apiserver.Server) apiserver.Client[*SharePodSet] {
+	return apiserver.NewClient[*SharePodSet](srv, KindSharePodSet)
+}
+
+// setOwnerPrefix qualifies OwnerName references held by set-created
+// sharePods.
+const setOwnerPrefix = KindSharePodSet + "/"
+
+// SharePodSetManager reconciles SharePodSet objects.
+type SharePodSetManager struct {
+	env    *sim.Env
+	srv    *apiserver.Server
+	runner *controller.Runner
+	serial int
+}
+
+// NewSharePodSetManager creates the manager; Start launches its watches.
+func NewSharePodSetManager(env *sim.Env, srv *apiserver.Server) *SharePodSetManager {
+	m := &SharePodSetManager{env: env, srv: srv}
+	m.runner = controller.NewRunner(env, "sharepodset", 0, m.reconcile)
+	srv.RegisterValidator(KindSharePodSet, func(o api.Object) error {
+		set := o.(*SharePodSet)
+		if set.Replicas < 0 {
+			return fmt.Errorf("core: negative replicas")
+		}
+		if set.Template.GPUID != "" {
+			return fmt.Errorf("core: set template must not pin a GPUID")
+		}
+		probe := &SharePod{ObjectMeta: api.ObjectMeta{Name: "probe"}, Spec: set.Template}
+		return ValidateSharePod(probe)
+	})
+	return m
+}
+
+// Start begins watching sets and their sharePods.
+func (m *SharePodSetManager) Start() {
+	setQ := m.srv.Watch(KindSharePodSet, true)
+	m.env.Go("sharepodset-watch", func(p *sim.Proc) {
+		for {
+			ev, ok := setQ.Get(p)
+			if !ok {
+				return
+			}
+			m.runner.Enqueue(ev.Object.GetMeta().Name)
+		}
+	})
+	spQ := m.srv.Watch(KindSharePod, true)
+	m.env.Go("sharepodset-watch-sharepods", func(p *sim.Proc) {
+		for {
+			ev, ok := spQ.Get(p)
+			if !ok {
+				return
+			}
+			if owner := ev.Object.GetMeta().OwnerName; len(owner) > len(setOwnerPrefix) &&
+				owner[:len(setOwnerPrefix)] == setOwnerPrefix {
+				m.runner.Enqueue(owner[len(setOwnerPrefix):])
+			}
+		}
+	})
+	m.runner.Start()
+}
+
+// Stop terminates the reconcile loop.
+func (m *SharePodSetManager) Stop() { m.runner.Stop() }
+
+func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
+	sets := SharePodSets(m.srv)
+	set, err := sets.Get(name)
+	if err != nil {
+		if apiserver.IsNotFound(err) {
+			m.cleanupOrphans(name)
+			return nil
+		}
+		return err
+	}
+	sps := SharePods(m.srv)
+	var owned []*SharePod
+	live := 0
+	ready := 0
+	for _, sp := range sps.List() {
+		if sp.OwnerName != setOwnerPrefix+name {
+			continue
+		}
+		owned = append(owned, sp)
+		if !sp.Terminated() {
+			live++
+		}
+		if sp.Status.Phase == SharePodRunning {
+			ready++
+		}
+	}
+	for live < set.Replicas {
+		m.serial++
+		sp := &SharePod{
+			ObjectMeta: api.ObjectMeta{
+				Name:      fmt.Sprintf("%s-%d", set.Name, m.serial),
+				OwnerName: setOwnerPrefix + set.Name,
+			},
+			Spec: set.Template.Clone(),
+		}
+		if _, err := sps.Create(sp); err != nil {
+			return fmt.Errorf("sharepodset %s: create: %w", name, err)
+		}
+		live++
+	}
+	for i := len(owned) - 1; i >= 0 && live > set.Replicas; i-- {
+		if owned[i].Terminated() {
+			continue
+		}
+		if err := sps.Delete(owned[i].Name); err != nil && !apiserver.IsNotFound(err) {
+			return err
+		}
+		live--
+	}
+	if set.ReadyReplicas != ready {
+		if _, err := sets.Mutate(name, func(cur *SharePodSet) error {
+			cur.ReadyReplicas = ready
+			return nil
+		}); err != nil && !apiserver.IsNotFound(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *SharePodSetManager) cleanupOrphans(owner string) {
+	sps := SharePods(m.srv)
+	for _, sp := range sps.List() {
+		if sp.OwnerName == setOwnerPrefix+owner {
+			_ = sps.Delete(sp.Name)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package devlib implements the paper's vGPU device library (§4.5): the
+// per-node backend daemon that schedules a per-device token among
+// containers, and the per-container frontend that intercepts CUDA calls and
+// blocks kernel launches until a valid token is held.
+//
+// The backend guarantees each container's gpu_request (minimum usage share),
+// caps it at gpu_limit (maximum share), and elastically distributes residual
+// capacity — usage being measured as token-hold time within a sliding
+// window. The frontend additionally enforces the container's gpu_mem share
+// by failing allocations beyond it with an out-of-memory error.
+package devlib
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+)
+
+// Config parameterizes the device library. Zero values take defaults.
+type Config struct {
+	// Quota is the token validity period: how long a container may hold the
+	// GPU before re-acquiring (paper default 100 ms; ablated in Figure 7).
+	Quota time.Duration
+	// Window is the sliding window over which usage rates are measured.
+	Window time.Duration
+	// Handoff is the cost of a token exchange (queue pop, IPC, pipeline
+	// warm-up). It is what makes small quotas expensive.
+	Handoff time.Duration
+	// Grace is the frontend's inactivity grace: after a kernel completes,
+	// the token is voluntarily released if no further kernel is launched
+	// within Grace, so bursty (inference) workloads do not hog the device
+	// between requests.
+	Grace time.Duration
+	// Residual selects how step 3 of the token policy distributes spare
+	// capacity among clients that already met their gpu_request (ablation
+	// knob; the paper uses lowest-usage-first).
+	Residual ResidualPolicy
+	// MemOvercommit enables GPUswap-style memory over-commitment: container
+	// memory becomes virtual, and working sets are swapped host↔device at
+	// token handoff when they do not all fit (§6 of the paper).
+	MemOvercommit bool
+	// SwapBandwidth is the host↔device transfer rate used for swapping
+	// (defaults to PCIe gen3 x16).
+	SwapBandwidth int64
+}
+
+// Defaults (see Config).
+const (
+	DefaultQuota  = 100 * time.Millisecond
+	DefaultWindow = 10 * time.Second
+	// DefaultHandoff is sub-millisecond: the real backend hands the token
+	// over a local socket. Fine-grained kernel interleaving between bursty
+	// tenants (Fig 12's 1.5× B+B slowdown) depends on this being cheap.
+	DefaultHandoff = 500 * time.Microsecond
+	DefaultGrace   = 2 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.Quota <= 0 {
+		c.Quota = DefaultQuota
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Handoff < 0 {
+		c.Handoff = 0
+	} else if c.Handoff == 0 {
+		c.Handoff = DefaultHandoff
+	}
+	if c.Grace <= 0 {
+		c.Grace = DefaultGrace
+	}
+	if c.SwapBandwidth <= 0 {
+		c.SwapBandwidth = 12 << 30
+	}
+	return c
+}
+
+// ResidualPolicy selects step 3 of the token scheduling policy.
+type ResidualPolicy int
+
+// Residual distribution policies.
+const (
+	// LowestUsageFirst is the paper's choice: the spare capacity goes to
+	// the client with the lowest sliding-window usage, equalizing shares.
+	LowestUsageFirst ResidualPolicy = iota
+	// FIFOResidual grants the longest-waiting request instead — simpler,
+	// but lets a fast re-requester starve slower tenants of the residual.
+	FIFOResidual
+)
+
+// Token is a grant to use the device until ExpiresAt.
+type Token struct {
+	ExpiresAt time.Duration
+	seq       uint64
+}
+
+// Valid reports whether the token is still usable at time now.
+func (t Token) Valid(now time.Duration) bool { return t.seq != 0 && now < t.ExpiresAt }
+
+// Backend is the per-node daemon: one token manager per device UUID.
+type Backend struct {
+	env      *sim.Env
+	cfg      Config
+	managers map[string]*TokenManager
+}
+
+// NewBackend creates a node backend.
+func NewBackend(env *sim.Env, cfg Config) *Backend {
+	return &Backend{env: env, cfg: cfg.withDefaults(), managers: make(map[string]*TokenManager)}
+}
+
+// Manager returns the token manager for a device UUID, creating it on first
+// use (devices each have an independent token, §4.5).
+func (b *Backend) Manager(uuid string) *TokenManager {
+	m, ok := b.managers[uuid]
+	if !ok {
+		m = NewTokenManager(b.env, uuid, b.cfg)
+		b.managers[uuid] = m
+	}
+	return m
+}
+
+// Config returns the backend's (defaulted) configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// client is the backend's view of one container on the device.
+type client struct {
+	id       string
+	request  float64 // guaranteed minimum usage share (gpu_request)
+	limit    float64 // maximum usage share (gpu_limit)
+	window   *metrics.UsageWindow
+	queued   *sim.Event // pending acquire, nil when none
+	enqueued time.Duration
+}
+
+// TokenManager schedules one device's token among its registered clients.
+type TokenManager struct {
+	env     *sim.Env
+	uuid    string
+	cfg     Config
+	clients map[string]*client
+	queue   []*client // FIFO of clients with pending acquires
+	holder  *client
+	grant   time.Duration // when the current holder received the token
+	tokSeq  uint64
+	expiry  *sim.Timer
+	retry   *sim.Timer
+	// handoffs counts token grants, for overhead accounting in tests.
+	handoffs int64
+	// swap is the optional memory over-commitment broker (see swap.go).
+	swap *swapState
+}
+
+// NewTokenManager creates a manager for one device.
+func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
+	return &TokenManager{
+		env:     env,
+		uuid:    uuid,
+		cfg:     cfg.withDefaults(),
+		clients: make(map[string]*client),
+	}
+}
+
+// Register adds a container with its resource shares. request and limit are
+// fractions in (0,1]; limit is clamped to at least request.
+func (m *TokenManager) Register(id string, request, limit float64) error {
+	if _, ok := m.clients[id]; ok {
+		return fmt.Errorf("devlib: client %q already registered on %s", id, m.uuid)
+	}
+	if request < 0 || request > 1 {
+		return fmt.Errorf("devlib: client %q request %v out of range", id, request)
+	}
+	if limit <= 0 || limit > 1 {
+		return fmt.Errorf("devlib: client %q limit %v out of range", id, limit)
+	}
+	if limit < request {
+		limit = request
+	}
+	m.clients[id] = &client{
+		id:      id,
+		request: request,
+		limit:   limit,
+		window:  metrics.NewUsageWindow(m.cfg.Window),
+	}
+	return nil
+}
+
+// Unregister removes a container: pending acquires are abandoned and a held
+// token is reclaimed immediately. Safe to call for unknown ids.
+func (m *TokenManager) Unregister(id string) {
+	c, ok := m.clients[id]
+	if !ok {
+		return
+	}
+	delete(m.clients, id)
+	m.DropResidency(id)
+	for i, qc := range m.queue {
+		if qc == c {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	if m.holder == c {
+		m.reclaim()
+	}
+}
+
+// Waiting returns the number of clients with a pending acquire — the
+// frontend uses it to release the token work-conservingly the moment a
+// kernel completes while someone is queued.
+func (m *TokenManager) Waiting() int { return len(m.queue) }
+
+// Registered reports whether id is a known client.
+func (m *TokenManager) Registered(id string) bool {
+	_, ok := m.clients[id]
+	return ok
+}
+
+// Clients returns the number of registered clients.
+func (m *TokenManager) Clients() int { return len(m.clients) }
+
+// Handoffs returns the number of token grants so far.
+func (m *TokenManager) Handoffs() int64 { return m.handoffs }
+
+// Stats is a point-in-time snapshot of a token manager, for dashboards and
+// debugging.
+type Stats struct {
+	// Holder is the client currently holding the token ("" when free).
+	Holder string
+	// QueueDepth is the number of pending acquires.
+	QueueDepth int
+	// Clients is the number of registered containers.
+	Clients int
+	// Handoffs is the total token grants so far.
+	Handoffs int64
+	// SwappedBytes is the total memory-over-commitment swap traffic.
+	SwappedBytes int64
+}
+
+// Stats returns a snapshot of the manager's state.
+func (m *TokenManager) Stats() Stats {
+	s := Stats{
+		QueueDepth: len(m.queue),
+		Clients:    len(m.clients),
+		Handoffs:   m.handoffs,
+	}
+	if m.holder != nil {
+		s.Holder = m.holder.id
+	}
+	if m.swap != nil {
+		s.SwappedBytes = m.swap.swapped
+	}
+	return s
+}
+
+// UsageRate returns id's sliding-window usage share at the current instant,
+// counting an in-progress hold up to now.
+func (m *TokenManager) UsageRate(id string) float64 {
+	c, ok := m.clients[id]
+	if !ok {
+		return 0
+	}
+	now := m.env.Now()
+	rate := c.window.Rate(now)
+	if m.holder == c {
+		held := now - m.grant
+		if held > 0 {
+			rate += float64(held) / float64(m.cfg.Window)
+		}
+	}
+	return rate
+}
+
+// Acquire blocks p until id is granted the token and returns it. A client
+// holding a still-valid token gets it back immediately.
+func (m *TokenManager) Acquire(p *sim.Proc, id string) (Token, error) {
+	c, ok := m.clients[id]
+	if !ok {
+		return Token{}, fmt.Errorf("devlib: acquire by unregistered client %q", id)
+	}
+	if m.holder == c {
+		return Token{ExpiresAt: m.grant + m.cfg.Quota, seq: m.tokSeq}, nil
+	}
+	if c.queued != nil {
+		return Token{}, fmt.Errorf("devlib: client %q has a concurrent acquire in flight", id)
+	}
+	ev := sim.NewEvent(m.env)
+	c.queued = ev
+	c.enqueued = m.env.Now()
+	m.queue = append(m.queue, c)
+	m.trySchedule() // may grant synchronously, clearing c.queued
+	v := p.Wait(ev)
+	return v.(Token), nil
+}
+
+// Release voluntarily returns the token. Stale releases (a token that
+// already expired or was reassigned) are ignored.
+func (m *TokenManager) Release(id string, tok Token) {
+	if m.holder == nil || m.holder.id != id || tok.seq != m.tokSeq {
+		return
+	}
+	m.reclaim()
+}
+
+// reclaim records the holder's span, clears the grant and reschedules.
+func (m *TokenManager) reclaim() {
+	now := m.env.Now()
+	if m.holder != nil {
+		m.holder.window.AddSpan(m.grant, now)
+		m.holder = nil
+	}
+	if m.expiry != nil {
+		m.expiry.Stop()
+		m.expiry = nil
+	}
+	m.trySchedule()
+}
+
+// trySchedule grants the token to the best eligible queued client, following
+// the paper's three steps: (1) filter clients at or above gpu_limit,
+// (2) prefer the client farthest below its gpu_request, (3) otherwise the
+// client with the lowest usage.
+func (m *TokenManager) trySchedule() {
+	if m.holder != nil || len(m.queue) == 0 {
+		return
+	}
+	now := m.env.Now()
+	var best *client
+	bestIdx := -1
+	var bestKey float64
+	bestBelow := false
+	for i, c := range m.queue {
+		usage := c.window.Rate(now)
+		// Step 1: filter clients already at their maximum usage demand.
+		if usage >= c.limit {
+			continue
+		}
+		below := usage < c.request
+		var key float64
+		switch {
+		case below:
+			key = c.request - usage // Step 2: farthest below request wins
+		case m.cfg.Residual == FIFOResidual:
+			key = float64(c.enqueued) // Step 3 (ablation): oldest request wins
+		default:
+			key = usage // Step 3 (paper): lowest usage wins
+		}
+		better := best == nil ||
+			(below && !bestBelow) ||
+			(below == bestBelow && below && key > bestKey) ||
+			(below == bestBelow && !below && key < bestKey)
+		if better {
+			best, bestIdx, bestBelow, bestKey = c, i, below, key
+		}
+	}
+	if best == nil {
+		// Everyone queued is throttled at their limit; retry when the
+		// window has slid forward by one quota.
+		if m.retry == nil {
+			m.retry = m.env.After(m.cfg.Quota, func() {
+				m.retry = nil
+				m.trySchedule()
+			})
+		}
+		return
+	}
+	m.queue = append(m.queue[:bestIdx], m.queue[bestIdx+1:]...)
+	m.tokSeq++
+	m.handoffs++
+	m.holder = best
+	m.grant = now
+	tok := Token{ExpiresAt: now + m.cfg.Quota, seq: m.tokSeq}
+	m.expiry = m.env.After(m.cfg.Quota, func() {
+		m.expiry = nil
+		m.reclaim()
+	})
+	ev := best.queued
+	best.queued = nil
+	ev.Trigger(tok)
+}

@@ -1,0 +1,310 @@
+package devlib
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/cuda"
+	"kubeshare/internal/sim"
+)
+
+// Share is a container's vGPU resource specification, the values from the
+// SharePodSpec (§4.2).
+type Share struct {
+	// Request is the guaranteed minimum compute share (gpu_request).
+	Request float64
+	// Limit is the maximum compute share (gpu_limit); 0 means equal to
+	// Request.
+	Limit float64
+	// Memory is the device-memory fraction (gpu_mem) the container may
+	// allocate.
+	Memory float64
+}
+
+// Validate checks the share against the paper's fractional-value rules.
+func (s Share) Validate() error {
+	if s.Request < 0 || s.Request > 1 {
+		return fmt.Errorf("devlib: gpu_request %v outside [0,1]", s.Request)
+	}
+	limit := s.Limit
+	if limit == 0 {
+		limit = s.Request
+	}
+	if limit <= 0 || limit > 1 {
+		return fmt.Errorf("devlib: gpu_limit %v outside (0,1]", s.Limit)
+	}
+	if limit < s.Request {
+		return fmt.Errorf("devlib: gpu_limit %v below gpu_request %v", s.Limit, s.Request)
+	}
+	if s.Memory <= 0 || s.Memory > 1 {
+		return fmt.Errorf("devlib: gpu_mem %v outside (0,1]", s.Memory)
+	}
+	return nil
+}
+
+// EffectiveLimit returns Limit, defaulting to Request when unset.
+func (s Share) EffectiveLimit() float64 {
+	if s.Limit == 0 {
+		return s.Request
+	}
+	return s.Limit
+}
+
+// Frontend is the per-container interposer: a cuda.API that gates
+// compute calls on token possession and caps memory allocation at the
+// container's gpu_mem share. It is installed by KubeShare-DevMgr in place
+// of the raw driver (the LD_PRELOAD step of §4.5).
+type Frontend struct {
+	base     cuda.API
+	mgr      *TokenManager
+	clientID string
+	share    Share
+	memCap   int64
+	cfg      Config
+
+	token      Token
+	releaseTmr *sim.Timer
+	closed     bool
+
+	// Virtual-memory mode (Config.MemOvercommit): allocations are tracked
+	// here instead of on the physical device, and residency is managed by
+	// the token manager's swap broker.
+	virtual  bool
+	virtMem  int64
+	virtPtrs map[cuda.Ptr]int64
+	nextPtr  cuda.Ptr
+}
+
+var _ cuda.API = (*Frontend)(nil)
+
+// NewFrontend wraps base for a container. It registers the container with
+// the device's token manager; the caller must ensure the sum of Request over
+// a device's containers stays ≤ 1 (KubeShare-Sched's job).
+func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share) (*Frontend, error) {
+	if err := share.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(clientID, share.Request, share.EffectiveLimit()); err != nil {
+		return nil, err
+	}
+	total := base.Device().MemoryBytes
+	f := &Frontend{
+		base:     base,
+		mgr:      mgr,
+		clientID: clientID,
+		share:    share,
+		memCap:   int64(share.Memory * float64(total)),
+		cfg:      mgr.cfg,
+	}
+	if mgr.cfg.MemOvercommit {
+		mgr.EnableSwap(total, mgr.cfg.SwapBandwidth)
+		f.virtual = true
+		f.virtPtrs = make(map[cuda.Ptr]int64)
+		f.nextPtr = 0x1000
+	}
+	return f, nil
+}
+
+// Share returns the container's resource specification.
+func (f *Frontend) Share() Share { return f.share }
+
+// Device reports the visible device with capacity clipped to the gpu_mem
+// share, which is what applications should size against.
+func (f *Frontend) Device() cuda.DeviceInfo {
+	info := f.base.Device()
+	info.MemoryBytes = f.memCap
+	return info
+}
+
+// MemAlloc enforces the gpu_mem cap: allocations beyond the share fail with
+// out-of-memory (the paper's no-overcommit policy), before ever reaching
+// the physical allocator.
+func (f *Frontend) MemAlloc(p *sim.Proc, n int64) (cuda.Ptr, error) {
+	if f.closed {
+		return 0, cuda.ErrClosed
+	}
+	if f.MemUsed()+n > f.memCap {
+		return 0, fmt.Errorf("devlib: container %s exceeds gpu_mem share (%d of %d bytes): %w",
+			f.clientID, f.MemUsed()+n, f.memCap, cuda.ErrOutOfMemory)
+	}
+	if !f.virtual {
+		return f.base.MemAlloc(p, n)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("devlib: MemAlloc(%d): non-positive size", n)
+	}
+	// Virtual allocation: no physical reservation; residency is arranged
+	// at the next token acquisition.
+	if err := f.mgr.SetVirtualUsage(f.clientID, f.virtMem+n); err != nil {
+		return 0, fmt.Errorf("%v: %w", err, cuda.ErrOutOfMemory)
+	}
+	f.virtMem += n
+	ptr := f.nextPtr
+	f.nextPtr += cuda.Ptr(n)
+	f.virtPtrs[ptr] = n
+	return ptr, nil
+}
+
+// MemFree passes through (or releases virtual bytes in over-commit mode).
+func (f *Frontend) MemFree(p *sim.Proc, ptr cuda.Ptr) error {
+	if f.closed {
+		return cuda.ErrClosed
+	}
+	if !f.virtual {
+		return f.base.MemFree(p, ptr)
+	}
+	n, ok := f.virtPtrs[ptr]
+	if !ok {
+		return fmt.Errorf("devlib: MemFree(%#x): unknown pointer", uint64(ptr))
+	}
+	delete(f.virtPtrs, ptr)
+	f.virtMem -= n
+	return f.mgr.SetVirtualUsage(f.clientID, f.virtMem)
+}
+
+// MemcpyHtoD passes through (copies are not throttled; only kernel
+// execution consumes the compute share).
+func (f *Frontend) MemcpyHtoD(p *sim.Proc, n int64) error {
+	if f.closed {
+		return cuda.ErrClosed
+	}
+	return f.base.MemcpyHtoD(p, n)
+}
+
+// MemcpyDtoH passes through.
+func (f *Frontend) MemcpyDtoH(p *sim.Proc, n int64) error {
+	if f.closed {
+		return cuda.ErrClosed
+	}
+	return f.base.MemcpyDtoH(p, n)
+}
+
+// LaunchKernel blocks until the container holds a valid token, then
+// executes the kernel. After completion the token is voluntarily released
+// if no further kernel is launched within the inactivity grace.
+func (f *Frontend) LaunchKernel(p *sim.Proc, work time.Duration) error {
+	if f.closed {
+		return cuda.ErrClosed
+	}
+	if f.releaseTmr != nil {
+		f.releaseTmr.Stop()
+		f.releaseTmr = nil
+	}
+	if !f.token.Valid(p.Env().Now()) {
+		tok, err := f.mgr.Acquire(p, f.clientID)
+		if err != nil {
+			return err
+		}
+		f.token = tok
+		// Token handoff cost: IPC plus pipeline warm-up before the first
+		// kernel of this hold can start.
+		p.Sleep(f.cfg.Handoff)
+		if f.virtual {
+			// Over-commit mode: bring the working set back onto the device
+			// (it may have been swapped out while another tenant held the
+			// token), paying the transfer time.
+			if err := f.mgr.EnsureResident(p, f.clientID); err != nil {
+				return err
+			}
+		}
+	}
+	if err := f.base.LaunchKernel(p, work); err != nil {
+		return err
+	}
+	if f.closed {
+		return nil // closed while the kernel ran
+	}
+	tok := f.token
+	if f.mgr.Waiting() > 0 {
+		// Work-conserving handover: someone is queued, so give the device
+		// up right away instead of idling through the grace period.
+		f.mgr.Release(f.clientID, tok)
+		f.token = Token{}
+		return nil
+	}
+	f.releaseTmr = p.Env().After(f.cfg.Grace, func() {
+		f.releaseTmr = nil
+		f.mgr.Release(f.clientID, tok)
+		f.token = Token{}
+	})
+	return nil
+}
+
+// LaunchKernelAsync blocks until a valid token is held (the interposition
+// point is the launch call itself), then submits without waiting. The
+// token's release is deferred to Synchronize or quota expiry, letting apps
+// batch a stream of kernels under one hold.
+func (f *Frontend) LaunchKernelAsync(p *sim.Proc, work time.Duration) (*sim.Event, error) {
+	if f.closed {
+		return nil, cuda.ErrClosed
+	}
+	if f.releaseTmr != nil {
+		f.releaseTmr.Stop()
+		f.releaseTmr = nil
+	}
+	if !f.token.Valid(p.Env().Now()) {
+		tok, err := f.mgr.Acquire(p, f.clientID)
+		if err != nil {
+			return nil, err
+		}
+		f.token = tok
+		p.Sleep(f.cfg.Handoff)
+		if f.virtual {
+			if err := f.mgr.EnsureResident(p, f.clientID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f.base.LaunchKernelAsync(p, work)
+}
+
+// Synchronize drains the stream, then hands the token over (immediately if
+// someone waits, after the grace otherwise).
+func (f *Frontend) Synchronize(p *sim.Proc) error {
+	if f.closed {
+		return cuda.ErrClosed
+	}
+	if err := f.base.Synchronize(p); err != nil {
+		return err
+	}
+	if f.closed || !f.token.Valid(p.Env().Now()) {
+		return nil
+	}
+	tok := f.token
+	if f.mgr.Waiting() > 0 {
+		f.mgr.Release(f.clientID, tok)
+		f.token = Token{}
+		return nil
+	}
+	f.releaseTmr = p.Env().After(f.cfg.Grace, func() {
+		f.releaseTmr = nil
+		f.mgr.Release(f.clientID, tok)
+		f.token = Token{}
+	})
+	return nil
+}
+
+// MemUsed reports the container's allocated bytes (virtual bytes in
+// over-commit mode).
+func (f *Frontend) MemUsed() int64 {
+	if f.virtual {
+		return f.virtMem
+	}
+	return f.base.MemUsed()
+}
+
+// Close releases any held token, unregisters the container and closes the
+// underlying driver handle. It never blocks, so it is safe from container
+// teardown paths.
+func (f *Frontend) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.releaseTmr != nil {
+		f.releaseTmr.Stop()
+		f.releaseTmr = nil
+	}
+	f.mgr.Unregister(f.clientID)
+	return f.base.Close(p)
+}

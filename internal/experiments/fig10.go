@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// Fig10Config drives the pod-creation overhead experiment.
+type Fig10Config struct {
+	// Concurrency levels: how many pods are created simultaneously.
+	Concurrency []int
+	Nodes       int
+	GPUsPerNode int
+}
+
+func (c Fig10Config) withDefaults() Fig10Config {
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 4
+	}
+	return c
+}
+
+// Fig10 measures end-to-end pod creation latency (submission → running)
+// under increasing concurrency for three paths: native Kubernetes pods,
+// KubeShare sharePods onto pre-created vGPUs (no vGPU creation), and
+// KubeShare sharePods that must first acquire the GPU (with vGPU
+// creation). The paper's shape: ≈+15% without creation, ≈2× with, and the
+// KubeShare overhead stays constant as concurrency grows.
+func Fig10(cfg Fig10Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("Figure 10: pod creation latency",
+		"concurrent", "native_s", "kubeshare_s", "kubeshare_with_vgpu_s",
+		"no_vgpu_overhead", "with_vgpu_overhead")
+	for _, n := range cfg.Concurrency {
+		native, err := measureNativeCreation(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := measureShareCreation(cfg, n, true)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := measureShareCreation(cfg, n, false)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(n, native.Seconds(), warm.Seconds(), cold.Seconds(),
+			warm.Seconds()/native.Seconds(), cold.Seconds()/native.Seconds())
+	}
+	return tb, nil
+}
+
+// measureNativeCreation times native GPU pod creation at concurrency n.
+func measureNativeCreation(cfg Fig10Config, n int) (time.Duration, error) {
+	env := sim.NewEnv()
+	c, err := newCluster(env, cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		return 0, err
+	}
+	env.Go("submit", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pod := &api.Pod{
+				ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("p%02d", i)},
+				Spec: api.PodSpec{Containers: []api.Container{{
+					Name: "c", Image: workload.ServeImage,
+					Env:      map[string]string{workload.EnvRate: "0", workload.EnvDuration: "3600"},
+					Requests: api.ResourceList{api.ResourceGPU: 1},
+				}}},
+			}
+			if _, err := c.Pods().Create(pod); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.RunUntil(10 * time.Minute)
+	var sum time.Duration
+	count := 0
+	for _, pod := range c.Pods().List() {
+		if pod.Status.Phase == api.PodRunning {
+			sum += pod.Status.StartTime - pod.CreationTime
+			count++
+		}
+	}
+	if count != n {
+		return 0, fmt.Errorf("native: %d of %d pods running", count, n)
+	}
+	return sum / time.Duration(count), nil
+}
+
+// measureShareCreation times sharePod creation at concurrency n. With
+// warmPool, the vGPUs are pre-created (reservation policy) so creation
+// excludes GPU acquisition.
+func measureShareCreation(cfg Fig10Config, n int, warmPool bool) (time.Duration, error) {
+	env := sim.NewEnv()
+	c, err := newCluster(env, cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		return 0, err
+	}
+	policy := core.OnDemand
+	if warmPool {
+		policy = core.Reservation
+	}
+	if _, err := core.Install(c, core.Config{DevMgr: core.DevMgrConfig{Policy: policy}}); err != nil {
+		return 0, err
+	}
+	mk := func(i int, gen string) *core.SharePod {
+		return &core.SharePod{
+			ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("%s%02d", gen, i)},
+			Spec: core.SharePodSpec{
+				GPURequest: 0.45, GPULimit: 0.5, GPUMem: 0.2,
+				Pod: api.PodSpec{Containers: []api.Container{{
+					Name: "c", Image: workload.ServeImage,
+					Env: map[string]string{workload.EnvRate: "0", workload.EnvDuration: "3600"},
+				}}},
+			},
+		}
+	}
+	if warmPool {
+		// Warm the pool: run and delete a first generation of sharePods so
+		// their vGPUs stay idle in the pool (reservation policy), then
+		// measure the second generation.
+		env.Go("warm", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				if _, err := core.SharePods(c.API).Create(mk(i, "warm")); err != nil {
+					panic(err)
+				}
+			}
+			p.Sleep(2 * time.Minute)
+			for i := 0; i < n; i++ {
+				if err := core.SharePods(c.API).Delete(fmt.Sprintf("warm%02d", i)); err != nil {
+					panic(err)
+				}
+			}
+		})
+		env.RunUntil(5 * time.Minute)
+	}
+	start := env.Now()
+	env.Go("submit", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if _, err := core.SharePods(c.API).Create(mk(i, "m")); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.RunUntil(start + 10*time.Minute)
+	var sum time.Duration
+	count := 0
+	for _, sp := range core.SharePods(c.API).List() {
+		if sp.Status.Phase == core.SharePodRunning && sp.CreationTime >= start {
+			sum += sp.Status.RunningTime - sp.CreationTime
+			count++
+		}
+	}
+	if count != n {
+		return 0, fmt.Errorf("kubeshare(warm=%v): %d of %d sharePods running", warmPool, count, n)
+	}
+	return sum / time.Duration(count), nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// The two interference job profiles of §5.5. Both request less than half a
+// GPU so any two can share, but Job A over-provisions (requests 0.5, needs
+// ≈0.3 duty) while Job B under-provisions (requests 0.4, needs ≈0.75 duty).
+// B is therefore fragile to contention; A is resilient.
+type interferenceProfile struct {
+	kind    string
+	request float64
+	limit   float64
+	// kernelMS/hostMS set the natural duty cycle kernel/(kernel+host).
+	kernelMS float64
+	hostMS   float64
+}
+
+var (
+	jobA = interferenceProfile{kind: "A", request: 0.5, limit: 1.0, kernelMS: 10, hostMS: 23.3}
+	jobB = interferenceProfile{kind: "B", request: 0.4, limit: 1.0, kernelMS: 10, hostMS: 3.3}
+)
+
+// interferenceSharePod renders a profile as a sharePod with the given step
+// count and optional anti-affinity label.
+func interferenceSharePod(name string, prof interferenceProfile, steps int, antiAff string) *core.SharePod {
+	return &core.SharePod{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: core.SharePodSpec{
+			GPURequest:   prof.request,
+			GPULimit:     prof.limit,
+			GPUMem:       0.2,
+			AntiAffinity: antiAff,
+			Pod: api.PodSpec{Containers: []api.Container{{
+				Name:  "train",
+				Image: workload.TrainImage,
+				Env: map[string]string{
+					workload.EnvSteps:        fmt.Sprintf("%d", steps),
+					workload.EnvStepKernelMS: fmt.Sprintf("%.2f", prof.kernelMS),
+					workload.EnvStepHostMS:   fmt.Sprintf("%.2f", prof.hostMS),
+				},
+			}}},
+		},
+	}
+}
+
+// Fig12Config drives the job-interference experiment.
+type Fig12Config struct {
+	// Steps is the training length per job.
+	Steps int
+}
+
+func (c Fig12Config) withDefaults() Fig12Config {
+	if c.Steps == 0 {
+		c.Steps = 3000
+	}
+	return c
+}
+
+// runCombo measures each job's wall time when the listed jobs share one
+// GPU through KubeShare.
+func runCombo(steps int, profs ...interferenceProfile) (map[string]time.Duration, error) {
+	env := sim.NewEnv()
+	c, err := newCluster(env, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Install(c, core.Config{}); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(profs))
+	env.Go("submit", func(p *sim.Proc) {
+		for i, prof := range profs {
+			names[i] = fmt.Sprintf("job-%s-%d", prof.kind, i)
+			if _, err := core.SharePods(c.API).Create(
+				interferenceSharePod(names[i], prof, steps, "")); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.Run()
+	out := map[string]time.Duration{}
+	for _, name := range names {
+		sp, err := core.SharePods(c.API).Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Status.Phase != core.SharePodSucceeded {
+			return nil, fmt.Errorf("%s: %s (%s)", name, sp.Status.Phase, sp.Status.Message)
+		}
+		out[name] = sp.Status.FinishTime - sp.Status.RunningTime
+	}
+	return out, nil
+}
+
+// Fig12 measures the slowdown of each job combination on a shared GPU
+// relative to running alone. The paper's shape: B+B ≈1.5×, all
+// combinations involving A ≲1.1×.
+func Fig12(cfg Fig12Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	soloA, err := runCombo(cfg.Steps, jobA)
+	if err != nil {
+		return nil, err
+	}
+	soloB, err := runCombo(cfg.Steps, jobB)
+	if err != nil {
+		return nil, err
+	}
+	baseline := map[string]time.Duration{
+		"A": soloA["job-A-0"],
+		"B": soloB["job-B-0"],
+	}
+	tb := metrics.NewTable("Figure 12: slowdown on a shared GPU per job combination",
+		"combo", "job", "slowdown")
+	for _, combo := range [][]interferenceProfile{
+		{jobA, jobA}, {jobB, jobB}, {jobA, jobB},
+	} {
+		label := combo[0].kind + "+" + combo[1].kind
+		walls, err := runCombo(cfg.Steps, combo...)
+		if err != nil {
+			return nil, err
+		}
+		for i, prof := range combo {
+			name := fmt.Sprintf("job-%s-%d", prof.kind, i)
+			slow := walls[name].Seconds() / baseline[prof.kind].Seconds()
+			tb.AddRow(label, prof.kind, slow)
+		}
+	}
+	return tb, nil
+}

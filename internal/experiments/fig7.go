@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// Fig7Config drives the token-quota overhead experiment.
+type Fig7Config struct {
+	// Quotas are the token quota settings to sweep (paper: 30–160 ms).
+	Quotas []time.Duration
+	// Steps is the training length per run.
+	Steps int
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if len(c.Quotas) == 0 {
+		c.Quotas = []time.Duration{
+			30 * time.Millisecond, 50 * time.Millisecond, 80 * time.Millisecond,
+			100 * time.Millisecond, 130 * time.Millisecond, 160 * time.Millisecond,
+		}
+	}
+	if c.Steps == 0 {
+		c.Steps = 3000
+	}
+	return c
+}
+
+// Fig7 measures training throughput under varied token quotas, normalized
+// to the same job run without the device library (native pod). The paper's
+// result: ≤5% slowdown even at a 30 ms quota.
+func Fig7(cfg Fig7Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+
+	runTraining := func(quota time.Duration, useLib bool) (time.Duration, error) {
+		env := sim.NewEnv()
+		c, err := newCluster(env, 1, 1)
+		if err != nil {
+			return 0, err
+		}
+		envVars := map[string]string{workload.EnvSteps: fmt.Sprintf("%d", cfg.Steps)}
+		if useLib {
+			if _, err := core.Install(c, core.Config{Devlib: devlib.Config{Quota: quota}}); err != nil {
+				return 0, err
+			}
+			sp := &core.SharePod{
+				ObjectMeta: api.ObjectMeta{Name: "train"},
+				Spec: core.SharePodSpec{
+					GPURequest: 1.0, GPULimit: 1.0, GPUMem: 0.5,
+					Pod: api.PodSpec{Containers: []api.Container{{
+						Name: "c", Image: workload.TrainImage, Env: envVars,
+					}}},
+				},
+			}
+			env.Go("s", func(p *sim.Proc) {
+				if _, err := core.SharePods(c.API).Create(sp); err != nil {
+					panic(err)
+				}
+			})
+			env.Run()
+			got, err := core.SharePods(c.API).Get("train")
+			if err != nil {
+				return 0, err
+			}
+			if got.Status.Phase != core.SharePodSucceeded {
+				return 0, fmt.Errorf("training failed: %s", got.Status.Message)
+			}
+			return got.Status.FinishTime - got.Status.RunningTime, nil
+		}
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "train"},
+			Spec: api.PodSpec{Containers: []api.Container{{
+				Name: "c", Image: workload.TrainImage, Env: envVars,
+				Requests: api.ResourceList{api.ResourceGPU: 1},
+			}}},
+		}
+		env.Go("s", func(p *sim.Proc) {
+			if _, err := c.Pods().Create(pod); err != nil {
+				panic(err)
+			}
+		})
+		env.Run()
+		got, err := c.Pods().Get("train")
+		if err != nil {
+			return 0, err
+		}
+		if got.Status.Phase != api.PodSucceeded {
+			return 0, fmt.Errorf("baseline failed: %s", got.Status.Message)
+		}
+		return got.Status.FinishTime - got.Status.StartTime, nil
+	}
+
+	base, err := runTraining(0, false)
+	if err != nil {
+		return nil, err
+	}
+	baseTput := float64(cfg.Steps*workload.DefaultBatch) / base.Seconds()
+	tb := metrics.NewTable("Figure 7: training throughput vs token quota (normalized to no device library)",
+		"quota_ms", "images_per_s", "normalized")
+	for _, quota := range cfg.Quotas {
+		wall, err := runTraining(quota, true)
+		if err != nil {
+			return nil, err
+		}
+		tput := float64(cfg.Steps*workload.DefaultBatch) / wall.Seconds()
+		tb.AddRow(int(quota.Milliseconds()), tput, tput/baseTput)
+	}
+	return tb, nil
+}

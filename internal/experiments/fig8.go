@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/workload"
+)
+
+// Fig8Config drives the GPU-sharing throughput sweeps of Figure 8. The
+// defaults mirror the paper's testbed: 8 nodes × 4 GPUs and inference
+// workloads with Poisson arrivals and normally distributed demands.
+type Fig8Config struct {
+	Nodes       int
+	GPUsPerNode int
+	Jobs        int
+	// BaseInterArrival is the mean inter-arrival at frequency factor 1.
+	BaseInterArrival time.Duration
+	// JobDuration is each inference job's serving window.
+	JobDuration time.Duration
+	// DemandMean / DemandVar parameterize the demand distribution.
+	DemandMean float64
+	DemandVar  float64
+	// Repeats averages each point over this many seeded runs (paper: 5).
+	Repeats int
+	Seed    int64
+}
+
+func (c Fig8Config) withDefaults() Fig8Config {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 200
+	}
+	if c.BaseInterArrival == 0 {
+		c.BaseInterArrival = 5 * time.Second
+	}
+	if c.JobDuration == 0 {
+		c.JobDuration = 40 * time.Second
+	}
+	if c.DemandMean == 0 {
+		c.DemandMean = 0.3
+	}
+	if c.DemandVar == 0 {
+		c.DemandVar = 2
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// throughputAt runs both systems for one workload parameterization and
+// returns their mean throughputs (jobs/min) across repeats.
+func throughputAt(cfg Fig8Config, gen workload.GeneratorConfig) (k8s, ks float64, err error) {
+	var k8sSum, ksSum float64
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		g := gen
+		g.Seed = gen.Seed + int64(rep)*9973
+		jobs := workload.Generate(g)
+		for _, sys := range []System{Kubernetes, KubeShare} {
+			res, err := RunSharing(SharingConfig{
+				System:      sys,
+				Nodes:       cfg.Nodes,
+				GPUsPerNode: cfg.GPUsPerNode,
+				Jobs:        jobs,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Failed > 0 {
+				return 0, 0, fmt.Errorf("%s run had %d failed jobs", sys, res.Failed)
+			}
+			if sys == Kubernetes {
+				k8sSum += res.ThroughputPerMin
+			} else {
+				ksSum += res.ThroughputPerMin
+			}
+		}
+	}
+	n := float64(cfg.Repeats)
+	return k8sSum / n, ksSum / n, nil
+}
+
+// Fig8a sweeps the job frequency factor: arrivals speed up until both
+// systems saturate. The paper's shape: Kubernetes flattens near 50
+// jobs/min, KubeShare climbs to ≈110 jobs/min (≈2× at heavy load).
+func Fig8a(cfg Fig8Config, factors []float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(factors) == 0 {
+		factors = []float64{1, 2, 3, 5, 7, 9, 12, 16}
+	}
+	tb := metrics.NewTable("Figure 8a: throughput vs job frequency",
+		"freq_factor", "offered_jobs_per_min", "kubernetes", "kubeshare", "speedup")
+	for _, f := range factors {
+		gen := workload.GeneratorConfig{
+			Jobs:             cfg.Jobs,
+			MeanInterArrival: time.Duration(float64(cfg.BaseInterArrival) / f),
+			DemandMean:       cfg.DemandMean,
+			DemandVar:        cfg.DemandVar,
+			JobDuration:      cfg.JobDuration,
+			Seed:             cfg.Seed,
+		}
+		k8s, ks, err := throughputAt(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		offered := 60.0 / gen.MeanInterArrival.Seconds()
+		tb.AddRow(f, offered, k8s, ks, ks/k8s)
+	}
+	return tb, nil
+}
+
+// Fig8b sweeps the mean GPU demand at heavy load. The paper's shape:
+// Kubernetes is flat (demand-agnostic), KubeShare's gain shrinks from
+// ≈2.5× at ≤20% demand toward parity at ≥60%.
+func Fig8b(cfg Fig8Config, means []float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(means) == 0 {
+		means = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	}
+	tb := metrics.NewTable("Figure 8b: throughput vs mean GPU demand",
+		"demand_mean", "kubernetes", "kubeshare", "speedup")
+	for _, mean := range means {
+		gen := workload.GeneratorConfig{
+			Jobs: cfg.Jobs,
+			// Heavy load so sharing capacity is the bottleneck.
+			MeanInterArrival: cfg.BaseInterArrival / 12,
+			DemandMean:       mean,
+			DemandVar:        cfg.DemandVar,
+			JobDuration:      cfg.JobDuration,
+			Seed:             cfg.Seed,
+		}
+		k8s, ks, err := throughputAt(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(mean, k8s, ks, ks/k8s)
+	}
+	return tb, nil
+}
+
+// Fig8c sweeps the demand variance at heavy load. The paper's shape: flat
+// for both systems.
+func Fig8c(cfg Fig8Config, variances []float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(variances) == 0 {
+		variances = []float64{0.5, 1, 2, 3, 4}
+	}
+	tb := metrics.NewTable("Figure 8c: throughput vs GPU demand variance",
+		"demand_var", "kubernetes", "kubeshare", "speedup")
+	for _, v := range variances {
+		gen := workload.GeneratorConfig{
+			Jobs:             cfg.Jobs,
+			MeanInterArrival: cfg.BaseInterArrival / 12,
+			DemandMean:       cfg.DemandMean,
+			DemandVar:        v,
+			JobDuration:      cfg.JobDuration,
+			Seed:             cfg.Seed,
+		}
+		k8s, ks, err := throughputAt(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(v, k8s, ks, ks/k8s)
+	}
+	return tb, nil
+}

@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated cluster. Each experiment is a pure
+// function from a config (with paper-scale defaults) to a metrics.Table
+// holding the rows/series the paper reports; the cmd/kubeshare-sim binary
+// and the repository benchmarks are thin wrappers around these functions.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// System selects the resource management stack under test.
+type System string
+
+// Systems under comparison.
+const (
+	// Kubernetes is the native baseline: one whole GPU per job.
+	Kubernetes System = "kubernetes"
+	// KubeShare is the paper's system.
+	KubeShare System = "kubeshare"
+	// Extender is the scheduler-extender baseline (Aliyun-style).
+	Extender System = "extender"
+)
+
+// newCluster builds a cluster with workload images registered.
+func newCluster(env *sim.Env, nodes, gpusPerNode int) (*kube.Cluster, error) {
+	cfg := kube.Config{}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, kube.NodeConfig{
+			Name: fmt.Sprintf("node-%d", i),
+			GPUs: gpusPerNode,
+		})
+	}
+	c, err := kube.NewCluster(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	workload.RegisterImages(c)
+	return c, nil
+}
+
+// SharingConfig drives one cluster-scale inference workload run (the
+// machinery behind Figures 8, 9 and 13).
+type SharingConfig struct {
+	System      System
+	Nodes       int
+	GPUsPerNode int
+	Jobs        []workload.Job
+	// Sample enables utilization/active-GPU sampling at this interval
+	// (zero disables sampling — Figures 8/13 need only throughput).
+	Sample time.Duration
+	// Devlib overrides the device library configuration (zero = defaults).
+	Devlib core.Config
+}
+
+// SharingResult is the outcome of one run.
+type SharingResult struct {
+	Completed int
+	Failed    int
+	// Makespan is the time from the first submission to the last
+	// completion.
+	Makespan time.Duration
+	// ThroughputPerMin is Completed divided by the makespan in minutes.
+	ThroughputPerMin float64
+	// Util is the cluster-average GPU utilization over time (sampled).
+	Util *metrics.Series
+	// ActiveGPUs is the number of allocated GPUs over time (sampled).
+	ActiveGPUs *metrics.Series
+}
+
+// RunSharing executes a full workload run under the chosen system and
+// returns its throughput and utilization profile.
+func RunSharing(cfg SharingConfig) (SharingResult, error) {
+	env := sim.NewEnv()
+	c, err := newCluster(env, cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		return SharingResult{}, err
+	}
+	switch cfg.System {
+	case KubeShare:
+		if _, err := core.Install(c, cfg.Devlib); err != nil {
+			return SharingResult{}, err
+		}
+	case Extender:
+		if _, _, err := core.InstallExtender(c, cfg.Devlib); err != nil {
+			return SharingResult{}, err
+		}
+	}
+
+	// Submit jobs at their arrival times.
+	env.Go("submitter", func(p *sim.Proc) {
+		for _, j := range cfg.Jobs {
+			if wait := j.Arrival - env.Now(); wait > 0 {
+				p.Sleep(wait)
+			}
+			var err error
+			if cfg.System == Kubernetes {
+				_, err = c.Pods().Create(workload.NativePodFor(j))
+			} else {
+				_, err = core.SharePods(c.API).Create(workload.SharePodFor(j))
+			}
+			if err != nil {
+				panic(fmt.Sprintf("experiments: submit %s: %v", j.Name, err))
+			}
+		}
+	})
+
+	res := SharingResult{}
+	if cfg.Sample > 0 {
+		res.Util = &metrics.Series{Name: "util"}
+		res.ActiveGPUs = &metrics.Series{Name: "active"}
+		gpus := c.AllGPUs()
+		prev := make([]time.Duration, len(gpus))
+		total := len(cfg.Jobs)
+		env.Go("cluster-sampler", func(p *sim.Proc) {
+			for {
+				p.Sleep(cfg.Sample)
+				busySum := 0.0
+				for i, d := range gpus {
+					busy := d.BusyTime()
+					busySum += float64(busy-prev[i]) / float64(cfg.Sample)
+					prev[i] = busy
+				}
+				res.Util.Add(env.Now(), busySum/float64(len(gpus)))
+				res.ActiveGPUs.Add(env.Now(), float64(allocatedGPUs(c, cfg.System)))
+				// Self-terminate once the whole workload has finished, so
+				// the periodic wakeups do not keep the simulation alive.
+				if terminatedCount(c, cfg.System) >= total {
+					return
+				}
+			}
+		})
+	}
+	env.Run()
+
+	// Collect outcomes.
+	var last time.Duration
+	if cfg.System == Kubernetes {
+		for _, pod := range c.Pods().List() {
+			switch pod.Status.Phase {
+			case api.PodSucceeded:
+				res.Completed++
+				if pod.Status.FinishTime > last {
+					last = pod.Status.FinishTime
+				}
+			case api.PodFailed:
+				res.Failed++
+			}
+		}
+	} else {
+		for _, sp := range core.SharePods(c.API).List() {
+			switch sp.Status.Phase {
+			case core.SharePodSucceeded:
+				res.Completed++
+				if sp.Status.FinishTime > last {
+					last = sp.Status.FinishTime
+				}
+			default:
+				if sp.Terminated() {
+					res.Failed++
+				}
+			}
+		}
+	}
+	res.Makespan = last
+	if last > 0 {
+		res.ThroughputPerMin = float64(res.Completed) / last.Minutes()
+	}
+	return res, nil
+}
+
+// terminatedCount counts workload jobs in a terminal phase.
+func terminatedCount(c *kube.Cluster, sys System) int {
+	n := 0
+	if sys == Kubernetes {
+		for _, pod := range c.Pods().List() {
+			if pod.Terminated() {
+				n++
+			}
+		}
+		return n
+	}
+	for _, sp := range core.SharePods(c.API).List() {
+		if sp.Terminated() {
+			n++
+		}
+	}
+	return n
+}
+
+// allocatedGPUs counts GPUs currently held: whole devices granted to
+// running native pods, plus pool vGPUs for the sharing systems.
+func allocatedGPUs(c *kube.Cluster, sys System) int {
+	n := 0
+	if sys == Kubernetes {
+		for _, pod := range c.Pods().List() {
+			if !pod.Terminated() && pod.Spec.NodeName != "" {
+				n += int(pod.Spec.Requests()[api.ResourceGPU])
+			}
+		}
+		return n
+	}
+	return len(core.VGPUs(c.API).List())
+}

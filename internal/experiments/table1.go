@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// Table1Config drives the fragmentation comparison that quantifies Table 1
+// and Figure 3: the first-class, locality-aware scheduler (KubeShare)
+// versus the aggregate-count scheduler-extender baseline with round-robin
+// in-node device binding.
+type Table1Config struct {
+	GPUs int
+	// Demands are the container gpu_requests submitted in order (Fig 3's
+	// containers A–F by default).
+	Demands []float64
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if c.GPUs == 0 {
+		c.GPUs = 4
+	}
+	if len(c.Demands) == 0 {
+		c.Demands = []float64{0.5, 0.5, 0.5, 0.4, 0.3, 0.3}
+	}
+	return c
+}
+
+// placementStats summarizes one scheduler's placement.
+type placementStats struct {
+	perDevice     map[string]float64
+	overcommitted int
+	activeDevices int
+	pendingJobs   int
+}
+
+// table1System selects the scheduler flavour under test.
+type table1System int
+
+const (
+	table1KubeShare table1System = iota
+	table1Extender
+	table1Deepomatic
+)
+
+func runPlacement(cfg Table1Config, sys table1System) (placementStats, error) {
+	env := sim.NewEnv()
+	c, err := newCluster(env, 1, cfg.GPUs)
+	if err != nil {
+		return placementStats{}, err
+	}
+	switch sys {
+	case table1KubeShare:
+		if _, err := core.Install(c, core.Config{}); err != nil {
+			return placementStats{}, err
+		}
+	default:
+		_, ext, err := core.InstallExtender(c, core.Config{})
+		if err != nil {
+			return placementStats{}, err
+		}
+		ext.SetSingleDevice(sys == table1Deepomatic)
+	}
+	env.Go("submit", func(p *sim.Proc) {
+		for i, d := range cfg.Demands {
+			sp := &core.SharePod{
+				ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("ctr-%c", 'a'+i)},
+				Spec: core.SharePodSpec{
+					GPURequest: d, GPULimit: d, GPUMem: 0.1,
+					Pod: api.PodSpec{Containers: []api.Container{{
+						Name:  "c",
+						Image: workload.ServeImage,
+						Env: map[string]string{
+							workload.EnvRate:     "0",
+							workload.EnvDuration: "3600",
+						},
+					}}},
+				},
+			}
+			if _, err := core.SharePods(c.API).Create(sp); err != nil {
+				panic(err)
+			}
+			// Sequential arrivals, as in Fig 3's scenario.
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+	env.RunUntil(2 * time.Minute)
+	stats := placementStats{perDevice: map[string]float64{}}
+	for _, sp := range core.SharePods(c.API).List() {
+		if !sp.Placed() {
+			stats.pendingJobs++
+			continue
+		}
+		stats.perDevice[sp.Spec.GPUID] += sp.Spec.GPURequest
+	}
+	for _, load := range stats.perDevice {
+		stats.activeDevices++
+		if load > 1+1e-9 {
+			stats.overcommitted++
+		}
+	}
+	return stats, nil
+}
+
+// Table1 quantifies the first-class-scheduling rows of Table 1 by running
+// two Figure 3-style placement scenarios under both schedulers. KubeShare
+// never over-commits a device and activates the minimum number of GPUs
+// (queueing the overflow instead); the extender baseline spreads jobs
+// round-robin, activating every GPU and over-committing under contention.
+func Table1(cfg Table1Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("Table 1 / Figure 3: fragmentation under single-device, round-robin and locality-aware scheduling",
+		"scenario", "metric", "deepomatic", "extender_rr", "kubeshare")
+	scenarios := []struct {
+		name    string
+		demands []float64
+	}{
+		{"mixed demands (Fig 3)", cfg.Demands},
+		{"contending 0.6s", []float64{0.6, 0.6, 0.6, 0.6, 0.6, 0.6}},
+	}
+	for _, sc := range scenarios {
+		scCfg := cfg
+		scCfg.Demands = sc.demands
+		deep, err := runPlacement(scCfg, table1Deepomatic)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := runPlacement(scCfg, table1Extender)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := runPlacement(scCfg, table1KubeShare)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(sc.name, "active GPUs", deep.activeDevices, ext.activeDevices, ks.activeDevices)
+		tb.AddRow(sc.name, "over-committed GPUs", deep.overcommitted, ext.overcommitted, ks.overcommitted)
+		tb.AddRow(sc.name, "queued jobs", deep.pendingJobs, ext.pendingJobs, ks.pendingJobs)
+	}
+	return tb, nil
+}

@@ -1,0 +1,274 @@
+// Package gpusim models GPU devices for the simulated cluster.
+//
+// A Device executes kernels under processor sharing: when n kernels from any
+// number of contexts are resident, each progresses at 1/n of the device's
+// rate — the time-slicing behaviour of a real GPU multiplexing contexts.
+// The device tracks busy time (the basis of NVML-style utilization
+// reporting), per-context execution time (the basis of usage attribution),
+// and device memory with hard physical capacity.
+//
+// This package is the substitution for the paper's Tesla V100s: the vGPU
+// device library intercepts the same call surface (see internal/cuda) and
+// throttles kernels exactly as the real library throttles CUDA calls.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"kubeshare/internal/sim"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds physical device
+// memory (or, through the device library, a container's memory share).
+var ErrOutOfMemory = errors.New("gpusim: out of device memory")
+
+// DefaultMemoryBytes matches the paper's 16 GB V100s.
+const DefaultMemoryBytes = 16 << 30
+
+// DefaultCopyBandwidth is the host-device copy bandwidth (PCIe gen3 x16).
+const DefaultCopyBandwidth = 12 << 30 // bytes per second
+
+// Device is one simulated GPU.
+type Device struct {
+	env      *sim.Env
+	index    int
+	uuid     string
+	memCap   int64
+	memUsed  int64
+	copyBW   int64
+	contexts map[*Context]bool
+
+	active     []*kernel
+	lastUpdate time.Duration
+	busyAccum  time.Duration
+	completion *sim.Timer
+}
+
+// kernel is a resident unit of GPU work.
+type kernel struct {
+	ctx       *Context
+	remaining float64 // seconds of exclusive-device work left
+	done      *sim.Event
+}
+
+// Config parameterizes a device.
+type Config struct {
+	Index         int
+	NodeName      string // part of the UUID derivation for uniqueness
+	MemoryBytes   int64  // defaults to DefaultMemoryBytes
+	CopyBandwidth int64  // defaults to DefaultCopyBandwidth
+}
+
+// NewDevice creates a device with a deterministic UUID derived from
+// (NodeName, Index), mirroring how NVIDIA assigns stable per-board UUIDs.
+func NewDevice(env *sim.Env, cfg Config) *Device {
+	if cfg.MemoryBytes <= 0 {
+		cfg.MemoryBytes = DefaultMemoryBytes
+	}
+	if cfg.CopyBandwidth <= 0 {
+		cfg.CopyBandwidth = DefaultCopyBandwidth
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", cfg.NodeName, cfg.Index)
+	return &Device{
+		env:      env,
+		index:    cfg.Index,
+		uuid:     fmt.Sprintf("GPU-%016x", h.Sum64()),
+		memCap:   cfg.MemoryBytes,
+		copyBW:   cfg.CopyBandwidth,
+		contexts: make(map[*Context]bool),
+	}
+}
+
+// UUID returns the device's stable unique identifier.
+func (d *Device) UUID() string { return d.uuid }
+
+// Index returns the device's index on its node.
+func (d *Device) Index() int { return d.index }
+
+// MemoryBytes returns the physical memory capacity.
+func (d *Device) MemoryBytes() int64 { return d.memCap }
+
+// MemoryUsed returns the currently allocated memory across all contexts.
+func (d *Device) MemoryUsed() int64 { return d.memUsed }
+
+// ActiveKernels returns the number of resident kernels right now.
+func (d *Device) ActiveKernels() int { return len(d.active) }
+
+// ActiveContexts returns the number of open contexts.
+func (d *Device) ActiveContexts() int { return len(d.contexts) }
+
+// update advances processor-sharing bookkeeping to the current instant.
+func (d *Device) update() {
+	now := d.env.Now()
+	elapsed := now - d.lastUpdate
+	d.lastUpdate = now
+	if elapsed <= 0 || len(d.active) == 0 {
+		return
+	}
+	n := len(d.active)
+	share := elapsed.Seconds() / float64(n)
+	for _, k := range d.active {
+		k.remaining -= share
+		k.ctx.devTime += time.Duration(share * float64(time.Second))
+	}
+	d.busyAccum += elapsed
+}
+
+// reschedule (re)arms the completion timer for the earliest-finishing kernel.
+func (d *Device) reschedule() {
+	if d.completion != nil {
+		d.completion.Stop()
+		d.completion = nil
+	}
+	if len(d.active) == 0 {
+		return
+	}
+	minRem := d.active[0].remaining
+	for _, k := range d.active[1:] {
+		if k.remaining < minRem {
+			minRem = k.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	wait := time.Duration(minRem * float64(len(d.active)) * float64(time.Second))
+	d.completion = d.env.After(wait, d.onCompletion)
+}
+
+// onCompletion retires finished kernels and rearms the timer.
+func (d *Device) onCompletion() {
+	d.completion = nil
+	d.update()
+	const eps = 1e-9 // one nanosecond of work
+	var still []*kernel
+	for _, k := range d.active {
+		if k.remaining <= eps {
+			k.done.Trigger(nil)
+		} else {
+			still = append(still, k)
+		}
+	}
+	d.active = still
+	d.reschedule()
+}
+
+// launch makes a kernel resident and returns its completion event.
+func (d *Device) launch(ctx *Context, work time.Duration) *sim.Event {
+	d.update()
+	k := &kernel{ctx: ctx, remaining: work.Seconds(), done: sim.NewEvent(d.env)}
+	if work <= 0 {
+		k.done.Trigger(nil)
+		return k.done
+	}
+	d.active = append(d.active, k)
+	d.reschedule()
+	return k.done
+}
+
+// BusyTime returns the accumulated device-busy time up to the current
+// instant.
+func (d *Device) BusyTime() time.Duration {
+	d.update()
+	return d.busyAccum
+}
+
+// CopyDuration returns the host↔device transfer time for n bytes.
+func (d *Device) CopyDuration(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(d.copyBW) * float64(time.Second))
+}
+
+// OpenContext creates an execution context owned by the named principal
+// (a container id in the cluster).
+func (d *Device) OpenContext(owner string) *Context {
+	ctx := &Context{dev: d, owner: owner}
+	d.contexts[ctx] = true
+	return ctx
+}
+
+// Context is one principal's execution and memory state on a device.
+type Context struct {
+	dev     *Device
+	owner   string
+	memUsed int64
+	devTime time.Duration
+	closed  bool
+}
+
+// Owner returns the principal that opened the context.
+func (c *Context) Owner() string { return c.owner }
+
+// Device returns the underlying device.
+func (c *Context) Device() *Device { return c.dev }
+
+// MemUsed returns this context's allocated device memory.
+func (c *Context) MemUsed() int64 { return c.memUsed }
+
+// DeviceTime returns the execution time attributed to this context under
+// processor sharing, up to the current instant.
+func (c *Context) DeviceTime() time.Duration {
+	c.dev.update()
+	return c.devTime
+}
+
+// Alloc reserves n bytes of device memory.
+func (c *Context) Alloc(n int64) error {
+	if c.closed {
+		return errors.New("gpusim: context closed")
+	}
+	if n < 0 {
+		return errors.New("gpusim: negative allocation")
+	}
+	if c.dev.memUsed+n > c.dev.memCap {
+		return ErrOutOfMemory
+	}
+	c.dev.memUsed += n
+	c.memUsed += n
+	return nil
+}
+
+// Free releases n bytes previously allocated by this context.
+func (c *Context) Free(n int64) error {
+	if n < 0 || n > c.memUsed {
+		return fmt.Errorf("gpusim: free of %d bytes exceeds context usage %d", n, c.memUsed)
+	}
+	c.memUsed -= n
+	c.dev.memUsed -= n
+	return nil
+}
+
+// LaunchAsync submits a kernel of the given exclusive-device duration and
+// returns its completion event.
+func (c *Context) LaunchAsync(work time.Duration) *sim.Event {
+	if c.closed {
+		ev := sim.NewEvent(c.dev.env)
+		ev.Trigger(errors.New("gpusim: context closed"))
+		return ev
+	}
+	return c.dev.launch(c, work)
+}
+
+// Launch submits a kernel and parks p until it completes.
+func (c *Context) Launch(p *sim.Proc, work time.Duration) {
+	p.Wait(c.LaunchAsync(work))
+}
+
+// Close releases the context's memory and detaches it from the device.
+// Kernels already resident run to completion (CUDA frees contexts only after
+// quiescence; our callers synchronize first).
+func (c *Context) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.dev.memUsed -= c.memUsed
+	c.memUsed = 0
+	delete(c.dev.contexts, c)
+}

@@ -1,0 +1,44 @@
+package gpusim
+
+import (
+	"time"
+
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+)
+
+// Sampler periodically records device utilization the way the NVML tool
+// reports it: the fraction of the sampling interval during which the device
+// was executing at least one kernel. The paper's Figure 9 is produced from
+// exactly this signal averaged across the cluster's devices.
+type Sampler struct {
+	dev      *Device
+	interval time.Duration
+	series   *metrics.Series
+	proc     *sim.Proc
+}
+
+// NewSampler starts sampling dev every interval into series. Sampling stops
+// when Stop is called; an unstopped sampler does not keep the simulation
+// alive past the last other event only if callers use RunUntil — Stop it
+// before Env.Run to completion.
+func NewSampler(env *sim.Env, dev *Device, interval time.Duration, series *metrics.Series) *Sampler {
+	s := &Sampler{dev: dev, interval: interval, series: series}
+	s.proc = env.Go("nvml-sampler", func(p *sim.Proc) {
+		prev := dev.BusyTime()
+		for !p.Killed() {
+			p.Sleep(interval)
+			busy := dev.BusyTime()
+			util := float64(busy-prev) / float64(interval)
+			series.Add(env.Now(), util)
+			prev = busy
+		}
+	})
+	return s
+}
+
+// Stop terminates the sampling loop.
+func (s *Sampler) Stop() { s.proc.Kill(nil) }
+
+// Series returns the series samples are recorded into.
+func (s *Sampler) Series() *metrics.Series { return s.series }

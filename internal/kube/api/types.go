@@ -1,0 +1,326 @@
+// Package api defines the Kubernetes object model used by the simulated
+// control plane: pods, nodes, resource lists, bindings and events. Objects
+// are plain data with value semantics (DeepCopy before sharing); behaviour
+// lives in the components that watch them, exactly as in Kubernetes.
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource names understood by the stock scheduler and kubelet. Custom
+// device resources (for example ResourceGPU) are opaque integer counts to
+// both — the device plugin framework's deliberate limitation (§2.2 of the
+// paper).
+const (
+	// ResourceCPU is measured in millicores.
+	ResourceCPU = "cpu"
+	// ResourceMemory is measured in bytes.
+	ResourceMemory = "memory"
+	// ResourceGPU is the NVIDIA device plugin's extended resource, measured
+	// in whole devices.
+	ResourceGPU = "nvidia.com/gpu"
+)
+
+// ResourceList maps resource names to integer quantities (millicores,
+// bytes, or device counts).
+type ResourceList map[string]int64
+
+// Clone returns a deep copy.
+func (r ResourceList) Clone() ResourceList {
+	if r == nil {
+		return nil
+	}
+	out := make(ResourceList, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Add accumulates other into r.
+func (r ResourceList) Add(other ResourceList) {
+	for k, v := range other {
+		r[k] += v
+	}
+}
+
+// Sub subtracts other from r.
+func (r ResourceList) Sub(other ResourceList) {
+	for k, v := range other {
+		r[k] -= v
+	}
+}
+
+// Fits reports whether need fits within r for every named resource.
+func (r ResourceList) Fits(need ResourceList) bool {
+	for k, v := range need {
+		if v > r[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjectMeta is metadata common to all API objects.
+type ObjectMeta struct {
+	Name            string
+	UID             string
+	ResourceVersion int64
+	Labels          map[string]string
+	Annotations     map[string]string
+	// CreationTime is virtual time at creation (set by the API server).
+	CreationTime time.Duration
+	// OwnerName links controller-created objects to their owner.
+	OwnerName string
+}
+
+// CloneMeta returns a deep copy of the metadata.
+func (m ObjectMeta) CloneMeta() ObjectMeta {
+	out := m
+	out.Labels = cloneMap(m.Labels)
+	out.Annotations = cloneMap(m.Annotations)
+	return out
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Object is the interface all API objects implement. Key uniqueness is
+// (Kind, Name).
+type Object interface {
+	// GetMeta returns a pointer to the object's metadata for the API server
+	// to fill in versions and UIDs.
+	GetMeta() *ObjectMeta
+	// Kind returns the object kind, e.g. "Pod".
+	Kind() string
+	// DeepCopyObject returns a deep copy.
+	DeepCopyObject() Object
+}
+
+// Key returns the store key of an object.
+func Key(o Object) string { return o.Kind() + "/" + o.GetMeta().Name }
+
+// KeyOf builds a store key from a kind and name.
+func KeyOf(kind, name string) string { return kind + "/" + name }
+
+// --- Pod ---
+
+// PodPhase is the lifecycle phase of a pod.
+type PodPhase string
+
+// Pod lifecycle phases.
+const (
+	PodPending   PodPhase = "Pending"
+	PodRunning   PodPhase = "Running"
+	PodSucceeded PodPhase = "Succeeded"
+	PodFailed    PodPhase = "Failed"
+)
+
+// Container is one container in a pod. Its behaviour comes from the image
+// registry (the container runtime looks Image up to find the entrypoint).
+type Container struct {
+	Name     string
+	Image    string
+	Env      map[string]string
+	Requests ResourceList
+	Limits   ResourceList
+}
+
+// Clone returns a deep copy.
+func (c Container) Clone() Container {
+	out := c
+	out.Env = cloneMap(c.Env)
+	out.Requests = c.Requests.Clone()
+	out.Limits = c.Limits.Clone()
+	return out
+}
+
+// PodSpec is the desired state of a pod.
+type PodSpec struct {
+	// NodeName is empty until the scheduler binds the pod.
+	NodeName     string
+	Containers   []Container
+	NodeSelector map[string]string
+}
+
+// Clone returns a deep copy.
+func (s PodSpec) Clone() PodSpec {
+	out := s
+	out.NodeSelector = cloneMap(s.NodeSelector)
+	out.Containers = make([]Container, len(s.Containers))
+	for i, c := range s.Containers {
+		out.Containers[i] = c.Clone()
+	}
+	return out
+}
+
+// Requests returns the pod-level resource requests (sum over containers).
+func (s PodSpec) Requests() ResourceList {
+	total := ResourceList{}
+	for _, c := range s.Containers {
+		total.Add(c.Requests)
+	}
+	return total
+}
+
+// PodStatus is the observed state of a pod.
+type PodStatus struct {
+	Phase   PodPhase
+	Message string
+	// ScheduledTime/StartTime/FinishTime are virtual timestamps recorded by
+	// the scheduler and kubelet; zero until set. StartTime is when all
+	// containers entered running.
+	ScheduledTime time.Duration
+	StartTime     time.Duration
+	FinishTime    time.Duration
+}
+
+// Pod is the smallest deployable unit.
+type Pod struct {
+	ObjectMeta
+	Spec   PodSpec
+	Status PodStatus
+}
+
+// GetMeta implements Object.
+func (p *Pod) GetMeta() *ObjectMeta { return &p.ObjectMeta }
+
+// Kind implements Object.
+func (p *Pod) Kind() string { return "Pod" }
+
+// DeepCopyObject implements Object.
+func (p *Pod) DeepCopyObject() Object {
+	out := *p
+	out.ObjectMeta = p.CloneMeta()
+	out.Spec = p.Spec.Clone()
+	return &out
+}
+
+// Terminated reports whether the pod reached a terminal phase.
+func (p *Pod) Terminated() bool {
+	return p.Status.Phase == PodSucceeded || p.Status.Phase == PodFailed
+}
+
+// --- Node ---
+
+// NodeStatus is the observed state of a node.
+type NodeStatus struct {
+	// Capacity is the node's total resources; Allocatable is what the
+	// scheduler may commit (devices appear here once their plugin
+	// registers).
+	Capacity    ResourceList
+	Allocatable ResourceList
+	Ready       bool
+}
+
+// Node represents a worker machine.
+type Node struct {
+	ObjectMeta
+	Status NodeStatus
+}
+
+// GetMeta implements Object.
+func (n *Node) GetMeta() *ObjectMeta { return &n.ObjectMeta }
+
+// Kind implements Object.
+func (n *Node) Kind() string { return "Node" }
+
+// DeepCopyObject implements Object.
+func (n *Node) DeepCopyObject() Object {
+	out := *n
+	out.ObjectMeta = n.CloneMeta()
+	out.Status.Capacity = n.Status.Capacity.Clone()
+	out.Status.Allocatable = n.Status.Allocatable.Clone()
+	return &out
+}
+
+// MatchesSelector reports whether the node's labels satisfy sel.
+func (n *Node) MatchesSelector(sel map[string]string) bool {
+	for k, v := range sel {
+		if n.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- ReplicationController ---
+
+// ReplicationController ensures Replicas copies of Template exist. It is the
+// higher-level controller used to demonstrate that KubeShare's sharePods
+// compose with ordinary Kubernetes controllers (§4.6).
+type ReplicationController struct {
+	ObjectMeta
+	Replicas int
+	Selector map[string]string
+	Template PodSpec
+	// TemplateLabels are stamped onto created pods (and matched by Selector).
+	TemplateLabels map[string]string
+	// ReadyReplicas is maintained by the controller.
+	ReadyReplicas int
+}
+
+// GetMeta implements Object.
+func (rc *ReplicationController) GetMeta() *ObjectMeta { return &rc.ObjectMeta }
+
+// Kind implements Object.
+func (rc *ReplicationController) Kind() string { return "ReplicationController" }
+
+// DeepCopyObject implements Object.
+func (rc *ReplicationController) DeepCopyObject() Object {
+	out := *rc
+	out.ObjectMeta = rc.CloneMeta()
+	out.Selector = cloneMap(rc.Selector)
+	out.TemplateLabels = cloneMap(rc.TemplateLabels)
+	out.Template = rc.Template.Clone()
+	return &out
+}
+
+// MatchesLabels reports whether labels satisfy the controller's selector.
+func (rc *ReplicationController) MatchesLabels(labels map[string]string) bool {
+	if len(rc.Selector) == 0 {
+		return false
+	}
+	for k, v := range rc.Selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate performs basic admission checks shared by pod-carrying objects.
+func ValidatePodSpec(s PodSpec) error {
+	if len(s.Containers) == 0 {
+		return fmt.Errorf("api: pod spec has no containers")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Containers {
+		if c.Name == "" {
+			return fmt.Errorf("api: container with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("api: duplicate container name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Image == "" {
+			return fmt.Errorf("api: container %q has no image", c.Name)
+		}
+		for k, v := range c.Requests {
+			if v < 0 {
+				return fmt.Errorf("api: container %q requests negative %s", c.Name, k)
+			}
+		}
+	}
+	return nil
+}

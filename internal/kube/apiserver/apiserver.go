@@ -1,0 +1,186 @@
+// Package apiserver provides the kube-apiserver analogue: typed CRUD and
+// watch access to the object store, with per-kind admission validation and
+// optimistic-concurrency semantics. All cluster components — and KubeShare's
+// custom controllers — interact exclusively through it.
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// Server is the cluster's API frontend.
+type Server struct {
+	env        *sim.Env
+	store      *store.Store
+	validators map[string][]func(api.Object) error
+}
+
+// New returns a server over a fresh store.
+func New(env *sim.Env) *Server {
+	return &Server{
+		env:        env,
+		store:      store.New(env),
+		validators: make(map[string][]func(api.Object) error),
+	}
+}
+
+// Env returns the simulation environment.
+func (s *Server) Env() *sim.Env { return s.env }
+
+// RegisterValidator adds an admission validator for a kind, run on Create
+// and Update. Registering custom-resource validators is how KubeShare
+// installs its SharePod CRD checks.
+func (s *Server) RegisterValidator(kind string, fn func(api.Object) error) {
+	s.validators[kind] = append(s.validators[kind], fn)
+}
+
+func (s *Server) validate(obj api.Object) error {
+	if obj.GetMeta().Name == "" {
+		return fmt.Errorf("apiserver: %s with empty name", obj.Kind())
+	}
+	for _, fn := range s.validators[obj.Kind()] {
+		if err := fn(obj); err != nil {
+			return fmt.Errorf("apiserver: admission of %s: %w", api.Key(obj), err)
+		}
+	}
+	return nil
+}
+
+// Create validates and stores obj.
+func (s *Server) Create(obj api.Object) (api.Object, error) {
+	if err := s.validate(obj); err != nil {
+		return nil, err
+	}
+	return s.store.Create(obj)
+}
+
+// Update validates and replaces obj (ErrConflict on stale version).
+func (s *Server) Update(obj api.Object) (api.Object, error) {
+	if err := s.validate(obj); err != nil {
+		return nil, err
+	}
+	return s.store.Update(obj)
+}
+
+// Get fetches one object.
+func (s *Server) Get(kind, name string) (api.Object, error) { return s.store.Get(kind, name) }
+
+// Delete removes one object.
+func (s *Server) Delete(kind, name string) error { return s.store.Delete(kind, name) }
+
+// List returns all objects of a kind.
+func (s *Server) List(kind string) []api.Object { return s.store.List(kind + "/") }
+
+// Watch subscribes to a kind (list+watch when replay is true).
+func (s *Server) Watch(kind string, replay bool) *sim.Queue[store.Event] {
+	return s.store.Watch(kind+"/", replay)
+}
+
+// StopWatch cancels a watch.
+func (s *Server) StopWatch(q *sim.Queue[store.Event]) { s.store.StopWatch(q) }
+
+// IsNotFound reports whether err is a missing-object error.
+func IsNotFound(err error) bool { return errors.Is(err, store.ErrNotFound) }
+
+// IsConflict reports whether err is an optimistic-concurrency conflict.
+func IsConflict(err error) bool { return errors.Is(err, store.ErrConflict) }
+
+// IsExists reports whether err is an already-exists error.
+func IsExists(err error) bool { return errors.Is(err, store.ErrExists) }
+
+// Client is a typed view of the server for one object kind.
+type Client[T api.Object] struct {
+	s    *Server
+	kind string
+}
+
+// NewClient returns a typed client. kind must match T's Kind().
+func NewClient[T api.Object](s *Server, kind string) Client[T] {
+	return Client[T]{s: s, kind: kind}
+}
+
+// Create stores obj and returns the stored copy.
+func (c Client[T]) Create(obj T) (T, error) {
+	var zero T
+	out, err := c.s.Create(obj)
+	if err != nil {
+		return zero, err
+	}
+	return out.(T), nil
+}
+
+// Get fetches by name.
+func (c Client[T]) Get(name string) (T, error) {
+	var zero T
+	out, err := c.s.Get(c.kind, name)
+	if err != nil {
+		return zero, err
+	}
+	return out.(T), nil
+}
+
+// Update replaces the stored object.
+func (c Client[T]) Update(obj T) (T, error) {
+	var zero T
+	out, err := c.s.Update(obj)
+	if err != nil {
+		return zero, err
+	}
+	return out.(T), nil
+}
+
+// Delete removes by name.
+func (c Client[T]) Delete(name string) error { return c.s.Delete(c.kind, name) }
+
+// List returns all objects of the kind, sorted by name.
+func (c Client[T]) List() []T {
+	objs := c.s.List(c.kind)
+	out := make([]T, len(objs))
+	for i, o := range objs {
+		out[i] = o.(T)
+	}
+	return out
+}
+
+// Watch subscribes to the kind.
+func (c Client[T]) Watch(replay bool) *sim.Queue[store.Event] {
+	return c.s.Watch(c.kind, replay)
+}
+
+// Mutate runs a read-modify-write loop: it fetches name, applies mutate and
+// updates, retrying on version conflicts. mutate must be idempotent.
+func (c Client[T]) Mutate(name string, mutate func(T) error) (T, error) {
+	var zero T
+	for {
+		cur, err := c.Get(name)
+		if err != nil {
+			return zero, err
+		}
+		if err := mutate(cur); err != nil {
+			return zero, err
+		}
+		out, err := c.Update(cur)
+		if err == nil {
+			return out, nil
+		}
+		if !IsConflict(err) {
+			return zero, err
+		}
+	}
+}
+
+// Pods returns the typed Pod client.
+func Pods(s *Server) Client[*api.Pod] { return NewClient[*api.Pod](s, "Pod") }
+
+// Nodes returns the typed Node client.
+func Nodes(s *Server) Client[*api.Node] { return NewClient[*api.Node](s, "Node") }
+
+// ReplicationControllers returns the typed RC client.
+func ReplicationControllers(s *Server) Client[*api.ReplicationController] {
+	return NewClient[*api.ReplicationController](s, "ReplicationController")
+}

@@ -1,0 +1,148 @@
+package apiserver
+
+import (
+	"errors"
+	"testing"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/sim"
+)
+
+func newServer() (*sim.Env, *Server) {
+	env := sim.NewEnv()
+	return env, New(env)
+}
+
+func mkPod(name string) *api.Pod {
+	return &api.Pod{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec:       api.PodSpec{Containers: []api.Container{{Name: "c", Image: "i"}}},
+	}
+}
+
+func TestTypedClientRoundTrip(t *testing.T) {
+	_, s := newServer()
+	pods := Pods(s)
+	created, err := pods.Create(mkPod("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pods.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != created.UID {
+		t.Fatal("typed get mismatch")
+	}
+	if err := pods.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pods.Get("a"); !IsNotFound(err) {
+		t.Fatalf("err = %v, want not found", err)
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	_, s := newServer()
+	if _, err := Pods(s).Create(mkPod("")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestValidatorRunsOnCreateAndUpdate(t *testing.T) {
+	_, s := newServer()
+	boom := errors.New("rejected")
+	s.RegisterValidator("Pod", func(o api.Object) error {
+		if o.(*api.Pod).Status.Message == "bad" {
+			return boom
+		}
+		return nil
+	})
+	pods := Pods(s)
+	bad := mkPod("a")
+	bad.Status.Message = "bad"
+	if _, err := pods.Create(bad); !errors.Is(err, boom) {
+		t.Fatalf("create err = %v", err)
+	}
+	good, err := pods.Create(mkPod("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Status.Message = "bad"
+	if _, err := pods.Update(good); !errors.Is(err, boom) {
+		t.Fatalf("update err = %v", err)
+	}
+}
+
+func TestValidatorScopedToKind(t *testing.T) {
+	_, s := newServer()
+	s.RegisterValidator("Node", func(api.Object) error { return errors.New("no nodes") })
+	if _, err := Pods(s).Create(mkPod("a")); err != nil {
+		t.Fatalf("pod affected by node validator: %v", err)
+	}
+}
+
+func TestMutateRetriesToSuccess(t *testing.T) {
+	_, s := newServer()
+	pods := Pods(s)
+	pods.Create(mkPod("a"))
+	out, err := pods.Mutate("a", func(p *api.Pod) error {
+		p.Status.Phase = api.PodRunning
+		return nil
+	})
+	if err != nil || out.Status.Phase != api.PodRunning {
+		t.Fatalf("out=%+v err=%v", out.Status, err)
+	}
+}
+
+func TestMutatePropagatesCallbackError(t *testing.T) {
+	_, s := newServer()
+	pods := Pods(s)
+	pods.Create(mkPod("a"))
+	boom := errors.New("boom")
+	if _, err := pods.Mutate("a", func(*api.Pod) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListTyped(t *testing.T) {
+	_, s := newServer()
+	pods := Pods(s)
+	pods.Create(mkPod("b"))
+	pods.Create(mkPod("a"))
+	Nodes(s).Create(&api.Node{ObjectMeta: api.ObjectMeta{Name: "n"}})
+	list := pods.List()
+	if len(list) != 2 || list[0].Name != "a" {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+func TestWatchThroughClient(t *testing.T) {
+	env, s := newServer()
+	pods := Pods(s)
+	q := pods.Watch(false)
+	var names []string
+	env.Go("w", func(p *sim.Proc) {
+		ev, _ := q.Get(p)
+		names = append(names, ev.Object.GetMeta().Name)
+	})
+	env.Go("m", func(p *sim.Proc) { pods.Create(mkPod("x")) })
+	env.Run()
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestErrorPredicates(t *testing.T) {
+	_, s := newServer()
+	pods := Pods(s)
+	_, err := pods.Get("missing")
+	if !IsNotFound(err) || IsConflict(err) || IsExists(err) {
+		t.Fatalf("predicate mismatch for %v", err)
+	}
+	pods.Create(mkPod("a"))
+	_, err = pods.Create(mkPod("a"))
+	if !IsExists(err) {
+		t.Fatalf("want exists, got %v", err)
+	}
+}

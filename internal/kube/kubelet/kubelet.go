@@ -1,0 +1,258 @@
+// Package kubelet implements the node agent: it registers its node with the
+// API server, watches for pods bound to the node, performs the device
+// plugin allocation phase, starts containers through the runtime, and
+// reports pod status. Deleting a pod object stops its containers and frees
+// its devices.
+package kubelet
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/deviceplugin"
+	"kubeshare/internal/kube/runtime"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// Config parameterizes a kubelet.
+type Config struct {
+	NodeName string
+	// Capacity is the node's CPU/memory capacity; extended resources are
+	// contributed by registered device plugins.
+	Capacity api.ResourceList
+	// Labels are stamped onto the Node object.
+	Labels map[string]string
+	// ImagePullLatency models image pull time per pod (cached layers make
+	// this mostly constant in steady state).
+	ImagePullLatency time.Duration
+	// SyncLatency models the kubelet's reaction time to a newly bound pod.
+	SyncLatency time.Duration
+}
+
+// Default latencies, tuned so that whole-pod creation lands in the paper's
+// "less than a few seconds" regime (Figure 10 dashed line).
+const (
+	DefaultImagePullLatency = 250 * time.Millisecond
+	DefaultSyncLatency      = 50 * time.Millisecond
+)
+
+// Kubelet is one node's agent.
+type Kubelet struct {
+	env     *sim.Env
+	srv     *apiserver.Server
+	cfg     Config
+	devmgr  *deviceplugin.Manager
+	runtime *runtime.Runtime
+	workers map[string]*podWorker // pod name → worker
+	watchQ  *sim.Queue[store.Event]
+	proc    *sim.Proc
+}
+
+// podWorker tracks one pod's containers on the node.
+type podWorker struct {
+	pod      *api.Pod
+	handles  []*runtime.Handle
+	proc     *sim.Proc
+	stopping bool
+}
+
+// New creates a kubelet. Call Start to register the node and begin syncing.
+func New(env *sim.Env, srv *apiserver.Server, devmgr *deviceplugin.Manager, rt *runtime.Runtime, cfg Config) *Kubelet {
+	if cfg.ImagePullLatency == 0 {
+		cfg.ImagePullLatency = DefaultImagePullLatency
+	}
+	if cfg.SyncLatency == 0 {
+		cfg.SyncLatency = DefaultSyncLatency
+	}
+	if cfg.Capacity == nil {
+		cfg.Capacity = api.ResourceList{api.ResourceCPU: 36000, api.ResourceMemory: 244 << 30}
+	}
+	return &Kubelet{
+		env:     env,
+		srv:     srv,
+		cfg:     cfg,
+		devmgr:  devmgr,
+		runtime: rt,
+		workers: make(map[string]*podWorker),
+	}
+}
+
+// NodeName returns the node this kubelet manages.
+func (k *Kubelet) NodeName() string { return k.cfg.NodeName }
+
+// DeviceManager returns the kubelet's device plugin manager.
+func (k *Kubelet) DeviceManager() *deviceplugin.Manager { return k.devmgr }
+
+// Runtime returns the node's container runtime.
+func (k *Kubelet) Runtime() *runtime.Runtime { return k.runtime }
+
+// Start registers the Node object (capacity merged with plugin devices) and
+// launches the sync loop.
+func (k *Kubelet) Start() error {
+	capacity := k.cfg.Capacity.Clone()
+	capacity.Add(k.devmgr.Capacity())
+	node := &api.Node{
+		ObjectMeta: api.ObjectMeta{Name: k.cfg.NodeName, Labels: k.cfg.Labels},
+		Status: api.NodeStatus{
+			Capacity:    capacity,
+			Allocatable: capacity.Clone(),
+			Ready:       true,
+		},
+	}
+	if _, err := apiserver.Nodes(k.srv).Create(node); err != nil {
+		return fmt.Errorf("kubelet %s: register node: %w", k.cfg.NodeName, err)
+	}
+	k.watchQ = k.srv.Watch("Pod", true)
+	k.proc = k.env.Go("kubelet-"+k.cfg.NodeName, k.syncLoop)
+	return nil
+}
+
+// Stop terminates the sync loop and kills every container on the node.
+func (k *Kubelet) Stop() {
+	if k.proc != nil {
+		k.proc.Kill(nil)
+	}
+	for name, w := range k.workers {
+		k.teardown(name, w)
+	}
+}
+
+func (k *Kubelet) syncLoop(p *sim.Proc) {
+	for {
+		ev, ok := k.watchQ.Get(p)
+		if !ok {
+			return
+		}
+		pod, ok := ev.Object.(*api.Pod)
+		if !ok {
+			continue
+		}
+		switch ev.Type {
+		case store.Added, store.Modified:
+			if pod.Spec.NodeName != k.cfg.NodeName || pod.Terminated() {
+				continue
+			}
+			if _, managed := k.workers[pod.Name]; managed {
+				continue
+			}
+			// The event carries a snapshot; re-read the live object so a
+			// stale "Running" event cannot re-admit a pod that has already
+			// reached a terminal phase (duplicate container starts).
+			if cur, err := apiserver.Pods(k.srv).Get(pod.Name); err != nil || cur.Terminated() || cur.UID != pod.UID {
+				continue
+			}
+			k.admit(pod)
+		case store.Deleted:
+			if w, managed := k.workers[pod.Name]; managed {
+				k.teardown(pod.Name, w)
+			}
+		}
+	}
+}
+
+// admit runs the device allocation phase and starts the pod's containers in
+// a dedicated worker proc.
+func (k *Kubelet) admit(pod *api.Pod) {
+	w := &podWorker{pod: pod}
+	k.workers[pod.Name] = w
+	w.proc = k.env.Go("pod-"+pod.Name, func(p *sim.Proc) {
+		p.Sleep(k.cfg.SyncLatency)
+		// Device plugin allocation phase: extended resources only; the
+		// kubelet picks instances, the plugin returns container settings.
+		extraEnv := map[string]string{}
+		for _, c := range pod.Spec.Containers {
+			for res, n := range c.Requests {
+				if res == api.ResourceCPU || res == api.ResourceMemory || n == 0 {
+					continue
+				}
+				resp, err := k.devmgr.Allocate(pod.UID, res, n)
+				if err != nil {
+					k.failPod(pod.Name, fmt.Sprintf("device allocation: %v", err))
+					k.devmgr.Free(pod.UID)
+					return
+				}
+				for key, v := range resp.Env {
+					extraEnv[key] = v
+				}
+			}
+		}
+		p.Sleep(k.cfg.ImagePullLatency)
+		for _, c := range pod.Spec.Containers {
+			h, err := k.runtime.Start(pod, c, extraEnv)
+			if err != nil {
+				k.failPod(pod.Name, fmt.Sprintf("start container %s: %v", c.Name, err))
+				for _, started := range w.handles {
+					k.runtime.Stop(started)
+				}
+				k.devmgr.Free(pod.UID)
+				return
+			}
+			w.handles = append(w.handles, h)
+		}
+		for _, h := range w.handles {
+			p.Wait(h.Started())
+		}
+		k.setPhase(pod.Name, api.PodRunning, "", func(pp *api.Pod) {
+			pp.Status.StartTime = k.env.Now()
+		})
+		// Wait for all containers; first error decides the pod outcome.
+		// The worker entry stays in k.workers until the pod object is
+		// deleted, so stale watch snapshots can never re-admit the pod.
+		var firstErr error
+		for _, h := range w.handles {
+			if err, _ := p.Wait(h.Done()).(error); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		k.devmgr.Free(pod.UID)
+		if w.stopping {
+			return // pod object already deleted; no status to report
+		}
+		if firstErr != nil {
+			k.failPod(pod.Name, firstErr.Error())
+		} else {
+			k.setPhase(pod.Name, api.PodSucceeded, "", func(pp *api.Pod) {
+				pp.Status.FinishTime = k.env.Now()
+			})
+		}
+	})
+}
+
+// teardown stops a pod's containers and releases its devices. It is invoked
+// on pod deletion or kubelet shutdown; the worker proc observes stopping
+// and skips status reporting.
+func (k *Kubelet) teardown(name string, w *podWorker) {
+	w.stopping = true
+	for _, h := range w.handles {
+		k.runtime.Stop(h)
+	}
+	if len(w.handles) == 0 && w.proc != nil && !w.proc.Finished() {
+		// Worker still in the admission phase: kill it directly.
+		w.proc.Kill(nil)
+	}
+	k.devmgr.Free(w.pod.UID)
+	delete(k.workers, name)
+}
+
+func (k *Kubelet) setPhase(name string, phase api.PodPhase, msg string, extra func(*api.Pod)) {
+	_, err := apiserver.Pods(k.srv).Mutate(name, func(p *api.Pod) error {
+		p.Status.Phase = phase
+		p.Status.Message = msg
+		if extra != nil {
+			extra(p)
+		}
+		return nil
+	})
+	if err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubelet %s: update %s: %v", k.cfg.NodeName, name, err))
+	}
+}
+
+func (k *Kubelet) failPod(name, msg string) {
+	k.setPhase(name, api.PodFailed, msg, func(pp *api.Pod) {
+		pp.Status.FinishTime = k.env.Now()
+	})
+}

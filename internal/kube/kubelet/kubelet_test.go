@@ -1,0 +1,237 @@
+package kubelet
+
+import (
+	"testing"
+	"time"
+
+	"kubeshare/internal/gpusim"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/deviceplugin"
+	"kubeshare/internal/kube/runtime"
+	"kubeshare/internal/sim"
+)
+
+// rig builds one kubelet against an apiserver, with an optional GPU plugin,
+// and no scheduler (tests bind pods manually via Spec.NodeName).
+func rig(t *testing.T, gpus int) (*sim.Env, *apiserver.Server, *Kubelet, *runtime.ImageRegistry) {
+	t.Helper()
+	env := sim.NewEnv()
+	srv := apiserver.New(env)
+	images := runtime.NewImageRegistry()
+	var devs []*gpusim.Device
+	for i := 0; i < gpus; i++ {
+		devs = append(devs, gpusim.NewDevice(env, gpusim.Config{Index: i, NodeName: "n0"}))
+	}
+	rt := runtime.New(env, images, devs, runtime.Config{StartLatency: 50 * time.Millisecond})
+	devmgr := deviceplugin.NewManager()
+	if gpus > 0 {
+		if err := devmgr.Register(deviceplugin.NewNvidiaPlugin(devs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kl := New(env, srv, devmgr, rt, Config{
+		NodeName:         "n0",
+		ImagePullLatency: 50 * time.Millisecond,
+		SyncLatency:      10 * time.Millisecond,
+	})
+	if err := kl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return env, srv, kl, images
+}
+
+func boundPod(name string, req api.ResourceList) *api.Pod {
+	return &api.Pod{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: api.PodSpec{
+			NodeName:   "n0",
+			Containers: []api.Container{{Name: "c", Image: "app", Requests: req}},
+		},
+	}
+}
+
+func TestNodeRegistrationIncludesPluginCapacity(t *testing.T) {
+	_, srv, _, _ := rig(t, 4)
+	node, err := apiserver.Nodes(srv).Get("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Status.Allocatable[api.ResourceGPU] != 4 {
+		t.Fatalf("allocatable GPUs = %d", node.Status.Allocatable[api.ResourceGPU])
+	}
+	if !node.Status.Ready {
+		t.Fatal("node not ready")
+	}
+}
+
+func TestPodRunsAndSucceeds(t *testing.T) {
+	env, srv, _, images := rig(t, 0)
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		ctx.Proc.Sleep(time.Second)
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("p1", nil))
+	})
+	env.Run()
+	pod, _ := apiserver.Pods(srv).Get("p1")
+	if pod.Status.Phase != api.PodSucceeded {
+		t.Fatalf("phase = %s (%s)", pod.Status.Phase, pod.Status.Message)
+	}
+	if pod.Status.StartTime == 0 || pod.Status.FinishTime-pod.Status.StartTime != time.Second {
+		t.Fatalf("timestamps: %+v", pod.Status)
+	}
+}
+
+func TestPodForOtherNodeIgnored(t *testing.T) {
+	env, srv, _, images := rig(t, 0)
+	images.Register("app", func(ctx *runtime.Ctx) error { return nil })
+	env.Go("t", func(p *sim.Proc) {
+		pod := boundPod("elsewhere", nil)
+		pod.Spec.NodeName = "n1"
+		apiserver.Pods(srv).Create(pod)
+	})
+	env.RunUntil(5 * time.Second)
+	pod, _ := apiserver.Pods(srv).Get("elsewhere")
+	if pod.Status.Phase != "" {
+		t.Fatalf("foreign pod processed: %s", pod.Status.Phase)
+	}
+}
+
+func TestDeviceAllocationInjectsEnv(t *testing.T) {
+	env, srv, kl, images := rig(t, 2)
+	var visible string
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		visible = ctx.Env[deviceplugin.EnvVisibleDevices]
+		ctx.Proc.Sleep(time.Second)
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("g", api.ResourceList{api.ResourceGPU: 2}))
+		p.Sleep(500 * time.Millisecond)
+		// While running, both devices are held.
+		if got := kl.DeviceManager().InUse("", api.ResourceGPU); len(got) != 0 {
+			t.Errorf("empty consumer has devices: %v", got)
+		}
+	})
+	env.Run()
+	if visible == "" {
+		t.Fatal("NVIDIA_VISIBLE_DEVICES not injected")
+	}
+	// All devices returned after completion.
+	if got := kl.DeviceManager().Capacity()[api.ResourceGPU]; got != 2 {
+		t.Fatalf("capacity corrupted: %d", got)
+	}
+}
+
+func TestDeviceAllocationFailureFailsPod(t *testing.T) {
+	env, srv, _, images := rig(t, 1)
+	images.Register("app", func(ctx *runtime.Ctx) error { return nil })
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("greedy", api.ResourceList{api.ResourceGPU: 3}))
+	})
+	env.Run()
+	pod, _ := apiserver.Pods(srv).Get("greedy")
+	if pod.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s, want Failed (only 1 GPU on node)", pod.Status.Phase)
+	}
+}
+
+func TestInstantFailureDoesNotReadmit(t *testing.T) {
+	// Regression: a container failing in the same instant it starts used to
+	// re-admit forever off stale watch snapshots.
+	env, srv, _, images := rig(t, 0)
+	runs := 0
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		runs++
+		return errInstant
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("crash", nil))
+	})
+	env.RunUntil(time.Minute)
+	if runs != 1 {
+		t.Fatalf("container ran %d times, want 1", runs)
+	}
+	pod, _ := apiserver.Pods(srv).Get("crash")
+	if pod.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s", pod.Status.Phase)
+	}
+}
+
+var errInstant = errInstantT{}
+
+type errInstantT struct{}
+
+func (errInstantT) Error() string { return "instant failure" }
+
+func TestDeletionDuringAdmissionFreesDevices(t *testing.T) {
+	env, srv, kl, images := rig(t, 2)
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		ctx.Proc.Hibernate()
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("doomed", api.ResourceList{api.ResourceGPU: 2}))
+		p.Sleep(30 * time.Millisecond) // inside the sync+pull window
+		apiserver.Pods(srv).Delete("doomed")
+		p.Sleep(time.Second)
+		// Devices must be free again for a fresh pod.
+		apiserver.Pods(srv).Create(boundPod("next", api.ResourceList{api.ResourceGPU: 2}))
+		p.Sleep(time.Second)
+		next, _ := apiserver.Pods(srv).Get("next")
+		if next.Status.Phase != api.PodRunning {
+			t.Errorf("next pod phase %s; devices leaked by deleted pod", next.Status.Phase)
+		}
+		apiserver.Pods(srv).Delete("next")
+	})
+	env.Run()
+	if got := kl.DeviceManager().Capacity()[api.ResourceGPU]; got != 2 {
+		t.Fatalf("capacity corrupted: %d", got)
+	}
+}
+
+func TestMultiContainerPodWaitsForAll(t *testing.T) {
+	env, srv, _, images := rig(t, 0)
+	images.Register("fast", func(ctx *runtime.Ctx) error { ctx.Proc.Sleep(time.Second); return nil })
+	images.Register("slow", func(ctx *runtime.Ctx) error { ctx.Proc.Sleep(3 * time.Second); return nil })
+	env.Go("t", func(p *sim.Proc) {
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "multi"},
+			Spec: api.PodSpec{
+				NodeName: "n0",
+				Containers: []api.Container{
+					{Name: "a", Image: "fast"},
+					{Name: "b", Image: "slow"},
+				},
+			},
+		}
+		apiserver.Pods(srv).Create(pod)
+	})
+	env.Run()
+	pod, _ := apiserver.Pods(srv).Get("multi")
+	if pod.Status.Phase != api.PodSucceeded {
+		t.Fatalf("phase = %s", pod.Status.Phase)
+	}
+	if got := pod.Status.FinishTime - pod.Status.StartTime; got != 3*time.Second {
+		t.Fatalf("pod finished after %v, want the slow container's 3s", got)
+	}
+}
+
+func TestKubeletStopKillsEverything(t *testing.T) {
+	env, srv, kl, images := rig(t, 0)
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		ctx.Proc.Hibernate()
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("p1", nil))
+		p.Sleep(time.Second)
+		kl.Stop()
+	})
+	env.Run()
+	if env.Now() > 10*time.Second {
+		t.Fatalf("containers survived kubelet stop until %v", env.Now())
+	}
+}

@@ -1,0 +1,213 @@
+// Package scheduler implements the default kube-scheduler: it watches for
+// unbound pods, filters nodes on resource fit (including extended resources
+// as opaque aggregate counts) and node selectors, scores by least
+// allocation, and binds.
+//
+// Deliberately preserved limitation (§3.1–3.2 of the paper): the scheduler
+// sees only each node's *total* extended-resource capacity — never the
+// identity or per-device load of individual GPUs — and has no say in which
+// physical device the kubelet attaches. KubeShare exists because of this.
+package scheduler
+
+import (
+	"sort"
+	"time"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// BindLatency models the per-pod scheduling cycle (queue pop, filter,
+	// score, bind API call).
+	BindLatency time.Duration
+}
+
+// DefaultBindLatency approximates the default scheduler's per-pod cycle.
+const DefaultBindLatency = 10 * time.Millisecond
+
+// Scheduler is the cluster's pod scheduler.
+type Scheduler struct {
+	env  *sim.Env
+	srv  *apiserver.Server
+	cfg  Config
+	proc *sim.Proc
+
+	nodes map[string]*api.Node
+	pods  map[string]*api.Pod
+	// pendingDirty marks that the pending set may have schedulable pods.
+	wake *sim.Queue[struct{}]
+}
+
+// New creates a scheduler. Call Start to begin scheduling.
+func New(env *sim.Env, srv *apiserver.Server, cfg Config) *Scheduler {
+	if cfg.BindLatency == 0 {
+		cfg.BindLatency = DefaultBindLatency
+	}
+	return &Scheduler{
+		env:   env,
+		srv:   srv,
+		cfg:   cfg,
+		nodes: make(map[string]*api.Node),
+		pods:  make(map[string]*api.Pod),
+		wake:  sim.NewQueue[struct{}](env),
+	}
+}
+
+// Start launches the watch and scheduling loops.
+func (s *Scheduler) Start() {
+	podQ := s.srv.Watch("Pod", true)
+	nodeQ := s.srv.Watch("Node", true)
+	s.env.Go("kube-scheduler-watch-pods", func(p *sim.Proc) {
+		for {
+			ev, ok := podQ.Get(p)
+			if !ok {
+				return
+			}
+			pod := ev.Object.(*api.Pod)
+			if ev.Type == store.Deleted {
+				delete(s.pods, pod.Name)
+			} else {
+				s.pods[pod.Name] = pod
+			}
+			s.kick()
+		}
+	})
+	s.env.Go("kube-scheduler-watch-nodes", func(p *sim.Proc) {
+		for {
+			ev, ok := nodeQ.Get(p)
+			if !ok {
+				return
+			}
+			node := ev.Object.(*api.Node)
+			if ev.Type == store.Deleted {
+				delete(s.nodes, node.Name)
+			} else {
+				s.nodes[node.Name] = node
+			}
+			s.kick()
+		}
+	})
+	s.proc = s.env.Go("kube-scheduler", s.loop)
+}
+
+// kick nudges the scheduling loop (coalesced: at most one pending wakeup).
+func (s *Scheduler) kick() {
+	if s.wake.Len() == 0 {
+		s.wake.Put(struct{}{})
+	}
+}
+
+func (s *Scheduler) loop(p *sim.Proc) {
+	for {
+		if _, ok := s.wake.Get(p); !ok {
+			return
+		}
+		for {
+			pod := s.nextPending()
+			if pod == nil {
+				break
+			}
+			p.Sleep(s.cfg.BindLatency)
+			s.scheduleOne(pod)
+		}
+	}
+}
+
+// nextPending returns the oldest unbound, unscheduled pod that fits some
+// node right now, or nil.
+func (s *Scheduler) nextPending() *api.Pod {
+	var candidates []*api.Pod
+	for _, pod := range s.pods {
+		if pod.Spec.NodeName == "" && !pod.Terminated() {
+			candidates = append(candidates, pod)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.CreationTime != b.CreationTime {
+			return a.CreationTime < b.CreationTime
+		}
+		return a.Name < b.Name
+	})
+	for _, pod := range candidates {
+		if s.pickNode(pod) != "" {
+			return pod
+		}
+	}
+	return nil
+}
+
+// committed sums the requests of non-terminated pods assigned to node.
+func (s *Scheduler) committed(node string) api.ResourceList {
+	total := api.ResourceList{}
+	for _, pod := range s.pods {
+		if pod.Spec.NodeName == node && !pod.Terminated() {
+			total.Add(pod.Spec.Requests())
+		}
+	}
+	return total
+}
+
+// pickNode runs filter + score and returns the chosen node name ("" when no
+// node fits).
+func (s *Scheduler) pickNode(pod *api.Pod) string {
+	need := pod.Spec.Requests()
+	type scored struct {
+		name  string
+		score float64
+	}
+	var fits []scored
+	for name, node := range s.nodes {
+		if !node.Status.Ready || !node.MatchesSelector(pod.Spec.NodeSelector) {
+			continue
+		}
+		free := node.Status.Allocatable.Clone()
+		free.Sub(s.committed(name))
+		if !free.Fits(need) {
+			continue
+		}
+		// Least-allocated scoring: prefer the node with the most residual
+		// CPU fraction after placement (ties broken by name for
+		// determinism).
+		alloc := node.Status.Allocatable
+		score := 0.0
+		if alloc[api.ResourceCPU] > 0 {
+			score = float64(free[api.ResourceCPU]-need[api.ResourceCPU]) / float64(alloc[api.ResourceCPU])
+		}
+		fits = append(fits, scored{name, score})
+	}
+	if len(fits) == 0 {
+		return ""
+	}
+	sort.Slice(fits, func(i, j int) bool {
+		if fits[i].score != fits[j].score {
+			return fits[i].score > fits[j].score
+		}
+		return fits[i].name < fits[j].name
+	})
+	return fits[0].name
+}
+
+// scheduleOne binds pod to its chosen node.
+func (s *Scheduler) scheduleOne(pod *api.Pod) {
+	node := s.pickNode(pod)
+	if node == "" {
+		return
+	}
+	updated, err := apiserver.Pods(s.srv).Mutate(pod.Name, func(p *api.Pod) error {
+		if p.Spec.NodeName == "" {
+			p.Spec.NodeName = node
+			p.Status.ScheduledTime = s.env.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		delete(s.pods, pod.Name) // deleted while in queue
+		return
+	}
+	s.pods[pod.Name] = updated
+}

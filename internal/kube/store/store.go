@@ -1,0 +1,185 @@
+// Package store implements the etcd analogue backing the API server: a
+// versioned object store with optimistic concurrency and prefix watches.
+// Each mutation bumps a store-wide revision; every object carries the
+// revision of its last write as its ResourceVersion.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/sim"
+)
+
+// Mutation errors.
+var (
+	// ErrNotFound is returned for reads and writes of missing keys.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrExists is returned by Create when the key is already present.
+	ErrExists = errors.New("store: object already exists")
+	// ErrConflict is returned by Update when the caller's ResourceVersion is
+	// stale (optimistic-concurrency failure).
+	ErrConflict = errors.New("store: resource version conflict")
+)
+
+// EventType classifies watch events.
+type EventType string
+
+// Watch event types.
+const (
+	Added    EventType = "ADDED"
+	Modified EventType = "MODIFIED"
+	Deleted  EventType = "DELETED"
+)
+
+// Event is one watch notification. Object is a deep copy owned by the
+// receiver; for Deleted events it is the last stored state.
+type Event struct {
+	Type   EventType
+	Object api.Object
+}
+
+// watcher fans events out to one subscriber.
+type watcher struct {
+	prefix string
+	queue  *sim.Queue[Event]
+}
+
+// Store is the versioned object store.
+type Store struct {
+	env      *sim.Env
+	rev      int64
+	objects  map[string]api.Object
+	watchers []*watcher
+	nextUID  int64
+}
+
+// New returns an empty store.
+func New(env *sim.Env) *Store {
+	return &Store{env: env, objects: make(map[string]api.Object)}
+}
+
+// Revision returns the store-wide revision of the last mutation.
+func (s *Store) Revision() int64 { return s.rev }
+
+// Create inserts obj, assigning UID, CreationTime and ResourceVersion. The
+// stored copy is returned.
+func (s *Store) Create(obj api.Object) (api.Object, error) {
+	key := api.Key(obj)
+	if _, ok := s.objects[key]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	stored := obj.DeepCopyObject()
+	meta := stored.GetMeta()
+	s.rev++
+	s.nextUID++
+	meta.ResourceVersion = s.rev
+	meta.UID = fmt.Sprintf("uid-%d", s.nextUID)
+	meta.CreationTime = s.env.Now()
+	s.objects[key] = stored
+	s.notify(Event{Added, stored.DeepCopyObject()})
+	return stored.DeepCopyObject(), nil
+}
+
+// Update replaces the stored object. The caller's copy must carry the
+// ResourceVersion it read; a stale version yields ErrConflict. UID and
+// CreationTime are preserved from the stored object.
+func (s *Store) Update(obj api.Object) (api.Object, error) {
+	key := api.Key(obj)
+	cur, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	curMeta := cur.GetMeta()
+	if obj.GetMeta().ResourceVersion != curMeta.ResourceVersion {
+		return nil, fmt.Errorf("%w: %s (have %d, stored %d)", ErrConflict,
+			key, obj.GetMeta().ResourceVersion, curMeta.ResourceVersion)
+	}
+	stored := obj.DeepCopyObject()
+	meta := stored.GetMeta()
+	s.rev++
+	meta.ResourceVersion = s.rev
+	meta.UID = curMeta.UID
+	meta.CreationTime = curMeta.CreationTime
+	s.objects[key] = stored
+	s.notify(Event{Modified, stored.DeepCopyObject()})
+	return stored.DeepCopyObject(), nil
+}
+
+// Delete removes the object by key.
+func (s *Store) Delete(kind, name string) error {
+	key := api.KeyOf(kind, name)
+	cur, ok := s.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(s.objects, key)
+	s.rev++
+	s.notify(Event{Deleted, cur.DeepCopyObject()})
+	return nil
+}
+
+// Get returns a deep copy of the object by key.
+func (s *Store) Get(kind, name string) (api.Object, error) {
+	obj, ok := s.objects[api.KeyOf(kind, name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, api.KeyOf(kind, name))
+	}
+	return obj.DeepCopyObject(), nil
+}
+
+// List returns deep copies of all objects whose key has the given prefix
+// (typically "<Kind>/"), sorted by key for determinism.
+func (s *Store) List(prefix string) []api.Object {
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]api.Object, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.objects[k].DeepCopyObject())
+	}
+	return out
+}
+
+// Watch subscribes to mutations of keys with the given prefix. When replay
+// is true, the current matching objects are delivered first as Added events
+// (list+watch semantics). Cancel the watch with StopWatch.
+func (s *Store) Watch(prefix string, replay bool) *sim.Queue[Event] {
+	w := &watcher{prefix: prefix, queue: sim.NewQueue[Event](s.env)}
+	if replay {
+		for _, obj := range s.List(prefix) {
+			w.queue.Put(Event{Added, obj})
+		}
+	}
+	s.watchers = append(s.watchers, w)
+	return w.queue
+}
+
+// StopWatch cancels a subscription created by Watch and closes its queue.
+func (s *Store) StopWatch(q *sim.Queue[Event]) {
+	for i, w := range s.watchers {
+		if w.queue == q {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			q.Close()
+			return
+		}
+	}
+}
+
+func (s *Store) notify(ev Event) {
+	key := api.Key(ev.Object)
+	for _, w := range s.watchers {
+		if strings.HasPrefix(key, w.prefix) {
+			// Each subscriber gets its own copy so mutation never leaks
+			// between consumers.
+			w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject()})
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package metrics provides the measurement layer shared by the simulated
+// cluster and the experiment harness: time series, sliding-window
+// accumulators, counters, summary statistics and table/CSV rendering for the
+// figures reproduced from the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one sample of a time series, at virtual time T.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series. Samples must be appended in
+// nondecreasing time order (the recorder enforces this).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. It panics when t is before the last sample, which
+// would indicate a harness bug (the DES clock never runs backwards).
+func (s *Series) Add(t time.Duration, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("metrics: out-of-order sample on %q: %v < %v", s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{t, v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Mean returns the unweighted mean of the sample values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the maximum sample value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// TimeWeightedMean treats the series as a step function (each sample holds
+// until the next) and returns its average over [from, to].
+func (s *Series) TimeWeightedMean(from, to time.Duration) float64 {
+	if to <= from || len(s.Points) == 0 {
+		return 0
+	}
+	var acc float64
+	cur := 0.0
+	last := from
+	for _, p := range s.Points {
+		if p.T <= from {
+			cur = p.V
+			continue
+		}
+		if p.T >= to {
+			break
+		}
+		acc += cur * float64(p.T-last)
+		cur = p.V
+		last = p.T
+	}
+	acc += cur * float64(to-last)
+	return acc / float64(to-from)
+}
+
+// Downsample returns a copy of the series averaged into buckets of width w
+// (sample-count average per bucket), for compact printing of long timelines.
+func (s *Series) Downsample(w time.Duration) *Series {
+	out := &Series{Name: s.Name}
+	if w <= 0 || len(s.Points) == 0 {
+		out.Points = append(out.Points, s.Points...)
+		return out
+	}
+	var bucket time.Duration
+	sum, n := 0.0, 0
+	flush := func() {
+		if n > 0 {
+			out.Points = append(out.Points, Point{bucket, sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range s.Points {
+		b := p.T / w * w
+		if n > 0 && b != bucket {
+			flush()
+		}
+		bucket = b
+		sum += p.V
+		n++
+	}
+	flush()
+	return out
+}
+
+// Recorder is a set of named series.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns the named series, creating it on first use.
+func (r *Recorder) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// Observe appends a sample to the named series.
+func (r *Recorder) Observe(name string, t time.Duration, v float64) {
+	r.Series(name).Add(t, v)
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d; negative deltas panic.
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.n += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Summary computes order statistics over a value set.
+type Summary struct{ vals []float64 }
+
+// Observe adds a value.
+func (s *Summary) Observe(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	if len(s.vals) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.vals {
+		acc += (v - m) * (v - m)
+	}
+	return math.Sqrt(acc / float64(len(s.vals)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation; 0 when empty.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Min returns the minimum observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

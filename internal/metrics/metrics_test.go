@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAddAndStats(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(time.Second, 3)
+	s.Add(2*time.Second, 5)
+	if s.Len() != 3 || s.Last() != 5 || s.Mean() != 3 || s.Max() != 5 {
+		t.Fatalf("len=%d last=%v mean=%v max=%v", s.Len(), s.Last(), s.Mean(), s.Max())
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Series
+	s.Add(time.Second, 1)
+	s.Add(0, 2)
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty series stats must be zero")
+	}
+}
+
+func TestTimeWeightedMeanStepFunction(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(time.Second, 1) // value 1 for [1s,3s): 2 of 3 seconds
+	got := s.TimeWeightedMean(0, 3*time.Second)
+	if math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTimeWeightedMeanValueBeforeWindow(t *testing.T) {
+	var s Series
+	s.Add(0, 4) // holds through the whole queried window
+	got := s.TimeWeightedMean(10*time.Second, 20*time.Second)
+	if got != 4 {
+		t.Fatalf("got %v, want 4", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	d := s.Downsample(5 * time.Second)
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if d.Points[0].V != 2 || d.Points[1].V != 7 {
+		t.Fatalf("points = %v", d.Points)
+	}
+}
+
+func TestRecorderSeriesIdentityAndOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("b", 0, 1)
+	r.Observe("a", 0, 2)
+	r.Observe("b", time.Second, 3)
+	if r.Series("b").Len() != 2 {
+		t.Fatal("series identity broken")
+	}
+	names := r.Names()
+	if names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.Stddev())
+	}
+	if s.Percentile(50) != 3 {
+		t.Fatalf("p50 = %v", s.Percentile(50))
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 5 {
+		t.Fatal("p0/p100 wrong")
+	}
+}
+
+func TestSummaryPercentileInterpolates(t *testing.T) {
+	var s Summary
+	s.Observe(0)
+	s.Observe(10)
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+}
+
+func TestUsageWindowBasic(t *testing.T) {
+	u := NewUsageWindow(10 * time.Second)
+	u.AddSpan(0, 2*time.Second)
+	u.AddSpan(4*time.Second, 6*time.Second)
+	if got := u.Rate(10 * time.Second); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("rate = %v, want 0.4", got)
+	}
+}
+
+func TestUsageWindowEviction(t *testing.T) {
+	u := NewUsageWindow(10 * time.Second)
+	u.AddSpan(0, 10*time.Second)
+	// At t=25s the span is entirely outside [15s,25s].
+	if got := u.Rate(25 * time.Second); got != 0 {
+		t.Fatalf("rate = %v, want 0", got)
+	}
+	if len(u.spans) != 0 {
+		t.Fatal("evicted spans not freed")
+	}
+}
+
+func TestUsageWindowStraddlingSpan(t *testing.T) {
+	u := NewUsageWindow(10 * time.Second)
+	u.AddSpan(0, 8*time.Second)
+	// Window [5s,15s] overlaps [0,8s] by 3s.
+	if got := u.Rate(15 * time.Second); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("rate = %v, want 0.3", got)
+	}
+}
+
+func TestUsageWindowFutureClamp(t *testing.T) {
+	u := NewUsageWindow(10 * time.Second)
+	u.AddSpan(0, 20*time.Second) // span extends past "now"
+	if got := u.Rate(10 * time.Second); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("rate = %v, want 1.0", got)
+	}
+}
+
+func TestUsageWindowZeroLengthSpanIgnored(t *testing.T) {
+	u := NewUsageWindow(time.Second)
+	u.AddSpan(time.Second, time.Second)
+	if u.Rate(2*time.Second) != 0 {
+		t.Fatal("zero-length span counted")
+	}
+}
+
+// Property: rate is always within [0,1] for disjoint in-order spans.
+func TestPropertyUsageWindowRateBounded(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		u := NewUsageWindow(5 * time.Second)
+		var cursor time.Duration
+		for _, g := range gaps {
+			busy := time.Duration(g%50) * 100 * time.Millisecond
+			idle := time.Duration(g/50) * 100 * time.Millisecond
+			u.AddSpan(cursor, cursor+busy)
+			cursor += busy + idle
+			r := u.Rate(cursor)
+			if r < 0 || r > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-longer-name", 22.25)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[4], "a-longer-name  22.25") {
+		t.Fatalf("row misaligned: %q", lines[4])
+	}
+}
+
+func TestTableFloatTrim(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(2.0)
+	tb.AddRow(2.5)
+	tb.AddRow(0.125)
+	if tb.Rows[0][0] != "2" || tb.Rows[1][0] != "2.5" || tb.Rows[2][0] != "0.125" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, "x,y")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import "time"
+
+// UsageWindow tracks how much "busy time" an entity accumulated within a
+// trailing window of virtual time — the accounting structure behind the
+// paper's sliding-window GPU usage rate (§4.5). Intervals are recorded as
+// [start, end) busy spans; Rate(now) returns busy/window over
+// [now-window, now].
+type UsageWindow struct {
+	window time.Duration
+	spans  []span
+}
+
+type span struct{ start, end time.Duration }
+
+// NewUsageWindow returns a tracker over the given trailing window width.
+func NewUsageWindow(window time.Duration) *UsageWindow {
+	if window <= 0 {
+		panic("metrics: non-positive usage window")
+	}
+	return &UsageWindow{window: window}
+}
+
+// Window returns the configured window width.
+func (u *UsageWindow) Window() time.Duration { return u.window }
+
+// AddSpan records a busy interval [start, end). Spans must be appended in
+// nondecreasing start order; overlapping or zero-length spans are tolerated
+// (overlaps are counted twice — callers record disjoint token-hold spans).
+func (u *UsageWindow) AddSpan(start, end time.Duration) {
+	if end <= start {
+		return
+	}
+	u.spans = append(u.spans, span{start, end})
+}
+
+// evict drops spans that ended before the window start.
+func (u *UsageWindow) evict(now time.Duration) {
+	cut := now - u.window
+	i := 0
+	for i < len(u.spans) && u.spans[i].end <= cut {
+		i++
+	}
+	if i > 0 {
+		u.spans = append(u.spans[:0], u.spans[i:]...)
+	}
+}
+
+// Busy returns the busy time accumulated within [now-window, now]. Spans
+// straddling the window start are counted pro rata.
+func (u *UsageWindow) Busy(now time.Duration) time.Duration {
+	u.evict(now)
+	cut := now - u.window
+	var busy time.Duration
+	for _, sp := range u.spans {
+		s, e := sp.start, sp.end
+		if s < cut {
+			s = cut
+		}
+		if e > now {
+			e = now
+		}
+		if e > s {
+			busy += e - s
+		}
+	}
+	return busy
+}
+
+// Rate returns the busy fraction of the window at time now, in [0, 1] for
+// disjoint spans.
+func (u *UsageWindow) Rate(now time.Duration) float64 {
+	return float64(u.Busy(now)) / float64(u.window)
+}

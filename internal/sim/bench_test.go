@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimerChurn measures raw event-queue throughput: schedule + fire.
+func BenchmarkTimerChurn(b *testing.B) {
+	env := NewEnv()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		env.After(time.Microsecond, func() { n++ })
+		env.Step()
+	}
+	if n != b.N {
+		b.Fatalf("fired %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkProcContextSwitch measures the cost of one park/resume cycle
+// (two goroutine handoffs per virtual sleep).
+func BenchmarkProcContextSwitch(b *testing.B) {
+	env := NewEnv()
+	env.Go("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkQueueHandoff measures producer→consumer message latency in sim
+// events.
+func BenchmarkQueueHandoff(b *testing.B) {
+	env := NewEnv()
+	q := NewQueue[int](env)
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkManyProcs measures scheduling with a thousand concurrent procs
+// ticking independently — the cluster-at-scale shape.
+func BenchmarkManyProcs(b *testing.B) {
+	env := NewEnv()
+	const procs = 1000
+	ticks := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		env.Go("ticker", func(p *Proc) {
+			for t := 0; t < ticks; t++ {
+				p.Sleep(time.Duration(1+p.ID()%17) * time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run()
+}

@@ -1,0 +1,257 @@
+// Package sim provides a deterministic, process-based discrete-event
+// simulation kernel in the style of SimPy.
+//
+// Every component of the simulated cluster (kubelets, schedulers, container
+// entrypoints, token managers, workload generators) runs as a Proc: a
+// goroutine whose execution is strictly interleaved by the Env scheduler so
+// that exactly one proc runs at any instant. Blocking operations (Sleep,
+// Event.Wait, Queue.Get, Resource.Acquire) hand control back to the
+// scheduler, which advances virtual time to the next pending event. The
+// result is a concurrent programming model with fully deterministic,
+// seed-reproducible executions — hours of simulated cluster time complete in
+// milliseconds of real time.
+//
+// The kernel is intentionally free of wall-clock dependencies; virtual time
+// is a time.Duration offset from the simulation epoch.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// item is a scheduled callback in the event heap.
+type item struct {
+	t   time.Duration
+	seq uint64 // FIFO tie-break among events with equal t
+	fn  func()
+	// cancelled items stay in the heap but are skipped when popped.
+	cancelled bool
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// An Env and everything attached to it must be driven from a single
+// goroutine (the one calling Run/RunUntil/Step); the kernel provides the
+// interleaving, not the Go scheduler.
+type Env struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	yield   chan struct{} // procs signal the scheduler here when they park or finish
+	current *Proc         // proc currently executing, nil when the scheduler runs
+	live    int           // procs that have started and not yet finished
+	nextPID int
+	running bool
+	tracer  func(t time.Duration, format string, args ...any)
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time as an offset from the simulation epoch.
+func (env *Env) Now() time.Duration { return env.now }
+
+// SetTracer installs a trace sink invoked by Proc.Tracef and internal
+// lifecycle points. A nil tracer (the default) disables tracing.
+func (env *Env) SetTracer(fn func(t time.Duration, format string, args ...any)) {
+	env.tracer = fn
+}
+
+func (env *Env) tracef(format string, args ...any) {
+	if env.tracer != nil {
+		env.tracer(env.now, format, args...)
+	}
+}
+
+// schedule enqueues fn to run at absolute time t (clamped to now) and
+// returns the heap item so callers can implement cancellation.
+func (env *Env) schedule(t time.Duration, fn func()) *item {
+	if t < env.now {
+		t = env.now
+	}
+	env.seq++
+	it := &item{t: t, seq: env.seq, fn: fn}
+	heap.Push(&env.queue, it)
+	return it
+}
+
+// After schedules fn to run after delay d of virtual time. It returns a
+// Timer whose Stop method cancels the callback if it has not yet fired.
+func (env *Env) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{it: env.schedule(env.now+d, fn)}
+}
+
+// At schedules fn at absolute virtual time t (clamped to the present).
+func (env *Env) At(t time.Duration, fn func()) *Timer {
+	return &Timer{it: env.schedule(t, fn)}
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct{ it *item }
+
+// Stop cancels the timer. It reports whether the callback was still pending.
+func (tm *Timer) Stop() bool {
+	if tm == nil || tm.it == nil || tm.it.cancelled {
+		return false
+	}
+	tm.it.cancelled = true
+	return true
+}
+
+// Go spawns fn as a new simulation process that begins executing at the
+// current virtual time (after the caller yields). The name appears in traces
+// and String output.
+func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
+	env.nextPID++
+	p := &Proc{
+		env:    env,
+		id:     env.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+		doneEv: NewEvent(env),
+	}
+	env.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					panic(r) // real panic in user code: propagate
+				}
+			}
+			p.finished = true
+			env.live--
+			p.doneEv.Trigger(p.killErr)
+			env.tracef("proc %s finished", p.name)
+			env.yield <- struct{}{}
+		}()
+		if p.killed { // killed before first execution
+			panic(killSignal{})
+		}
+		fn(p)
+	}()
+	env.schedule(env.now, func() { env.dispatch(p) })
+	return p
+}
+
+// dispatch hands the CPU to p until it parks or finishes.
+func (env *Env) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	env.current = p
+	p.resume <- struct{}{}
+	<-env.yield
+	env.current = nil
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false means the queue is empty).
+func (env *Env) Step() bool {
+	for env.queue.Len() > 0 {
+		it := heap.Pop(&env.queue).(*item)
+		if it.cancelled {
+			continue
+		}
+		if it.t > env.now {
+			env.now = it.t
+		}
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. Procs blocked forever (for
+// example servers waiting on request queues) do not keep Run alive; like
+// SimPy, the simulation ends when no future event exists.
+func (env *Env) Run() {
+	env.running = true
+	for env.Step() {
+	}
+	env.running = false
+}
+
+// RunUntil executes events with time ≤ t and then sets the clock to t.
+func (env *Env) RunUntil(t time.Duration) {
+	env.running = true
+	for env.queue.Len() > 0 {
+		// Peek: find the earliest non-cancelled item without popping.
+		if env.peekTime() > t {
+			break
+		}
+		env.Step()
+	}
+	if env.now < t {
+		env.now = t
+	}
+	env.running = false
+}
+
+// peekTime returns the time of the earliest live event, or a value past any
+// horizon when the queue holds only cancelled items.
+func (env *Env) peekTime() time.Duration {
+	for env.queue.Len() > 0 {
+		if env.queue[0].cancelled {
+			heap.Pop(&env.queue)
+			continue
+		}
+		return env.queue[0].t
+	}
+	return 1<<63 - 1
+}
+
+// Pending returns the number of live (non-cancelled) events in the queue.
+func (env *Env) Pending() int {
+	n := 0
+	for _, it := range env.queue {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Live returns the number of procs that have started and not yet finished.
+func (env *Env) Live() int { return env.live }
+
+// Snapshot returns a sorted description of pending events, for debugging
+// stuck simulations.
+func (env *Env) Snapshot() []string {
+	var out []string
+	for _, it := range env.queue {
+		if !it.cancelled {
+			out = append(out, fmt.Sprintf("t=%v seq=%d", it.t, it.seq))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,120 @@
+package sim
+
+import "time"
+
+// waiter is one parked proc waiting on a synchronization object. The woken
+// flag guards against double-wake (e.g. a Trigger racing a timeout or Kill).
+type waiter struct {
+	p     *Proc
+	woken bool
+	val   any
+	ok    bool
+}
+
+// stale reports whether this entry must be skipped by producers: it was
+// already woken by another path, or its proc died while parked.
+func (w *waiter) stale() bool { return w.woken || w.p.killed || w.p.finished }
+
+// Event is a one-shot broadcast condition with an attached value. Waiting on
+// an already-triggered event returns immediately with the stored value, so
+// events double as promises/futures.
+type Event struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*waiter
+}
+
+// NewEvent returns an untriggered event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether the event has been triggered.
+func (e *Event) Fired() bool { return e.fired }
+
+// Value returns the value the event was triggered with (nil before firing).
+func (e *Event) Value() any { return e.val }
+
+// Trigger fires the event, waking every waiter with val. Triggering an
+// already-fired event is a no-op, so racing producers are safe.
+func (e *Event) Trigger(val any) {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	e.val = val
+	for _, w := range e.waiters {
+		if w.stale() {
+			continue
+		}
+		w.woken = true
+		w.val = val
+		w.ok = true
+		p := w.p
+		e.env.schedule(e.env.now, func() { e.env.dispatch(p) })
+	}
+	e.waiters = nil
+}
+
+// Wait parks p until the event fires and returns the trigger value.
+func (p *Proc) Wait(e *Event) any {
+	p.checkRunning()
+	if e.fired {
+		return e.val
+	}
+	w := &waiter{p: p}
+	e.waiters = append(e.waiters, w)
+	p.park()
+	return w.val
+}
+
+// WaitTimeout parks p until the event fires or d elapses. The second result
+// reports whether the event fired (true) or the wait timed out (false).
+func (p *Proc) WaitTimeout(e *Event, d time.Duration) (any, bool) {
+	p.checkRunning()
+	if e.fired {
+		return e.val, true
+	}
+	w := &waiter{p: p}
+	e.waiters = append(e.waiters, w)
+	tm := p.env.After(d, func() {
+		if w.stale() {
+			return
+		}
+		w.woken = true
+		w.ok = false
+		p.env.dispatch(p)
+	})
+	p.pending = append(p.pending, tm.it)
+	p.park()
+	tm.Stop()
+	return w.val, w.ok
+}
+
+// WaitAny parks p until any of the given events fires and returns the index
+// of the first event that fired together with its value. Events already
+// fired are served in argument order without parking.
+func (p *Proc) WaitAny(events ...*Event) (int, any) {
+	p.checkRunning()
+	if len(events) == 0 {
+		panic("sim: WaitAny with no events would park forever")
+	}
+	for i, e := range events {
+		if e.fired {
+			return i, e.val
+		}
+	}
+	// Register a shared waiter entry on every event; whichever Trigger runs
+	// first flips woken and the rest become stale no-ops. The index is
+	// recovered post-park by scanning fired flags in argument order.
+	w := &waiter{p: p}
+	for _, e := range events {
+		e.waiters = append(e.waiters, w)
+	}
+	p.park()
+	for i, e := range events {
+		if e.fired {
+			return i, w.val
+		}
+	}
+	return -1, w.val
+}

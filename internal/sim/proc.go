@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrKilled is the error delivered to waiters of a proc that was terminated
+// with Kill before its body returned.
+var ErrKilled = errors.New("sim: proc killed")
+
+// killSignal is panicked inside a killed proc to unwind its stack; the proc
+// runner recovers it. User code must not recover it (re-panic if it does).
+type killSignal struct{}
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// by the Env scheduler. All blocking methods must be called from the proc's
+// own body (they park the calling proc).
+type Proc struct {
+	env      *Env
+	id       int
+	name     string
+	resume   chan struct{}
+	finished bool
+	killed   bool
+	killErr  error
+	doneEv   *Event
+	// pending tracks heap items that would wake this proc from its current
+	// park (sleep wakes, timeout timers); Kill cancels them so a dead proc
+	// cannot drag the virtual clock forward.
+	pending []*item
+}
+
+// Env returns the environment the proc runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's unique id within its Env.
+func (p *Proc) ID() int { return p.id }
+
+func (p *Proc) String() string { return fmt.Sprintf("proc#%d(%s)", p.id, p.name) }
+
+// Done returns an event that fires when the proc finishes; its value is nil
+// for normal completion or the kill reason for killed procs.
+func (p *Proc) Done() *Event { return p.doneEv }
+
+// Finished reports whether the proc body has returned or been unwound.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Killed reports whether Kill has been requested. Long-running procs that
+// loop without blocking should poll this and return voluntarily.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Tracef emits a trace line through the environment's tracer, prefixed with
+// the proc name.
+func (p *Proc) Tracef(format string, args ...any) {
+	p.env.tracef("[%s] "+format, append([]any{p.name}, args...)...)
+}
+
+// park hands control back to the scheduler and blocks until resumed. On
+// resume it honours a pending kill by unwinding the stack.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.pending = p.pending[:0]
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// checkRunning panics when a blocking primitive is invoked from outside the
+// proc's own execution context; this always indicates a harness bug.
+func (p *Proc) checkRunning() {
+	if p.env.current != p {
+		panic(fmt.Sprintf("sim: blocking call on %v from outside its context (current=%v)", p, p.env.current))
+	}
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// Sleep parks the proc for d of virtual time (negative durations count as
+// zero).
+func (p *Proc) Sleep(d time.Duration) {
+	p.checkRunning()
+	if d < 0 {
+		d = 0
+	}
+	it := p.env.schedule(p.env.now+d, func() { p.env.dispatch(p) })
+	p.pending = append(p.pending, it)
+	p.park()
+}
+
+// Yield reschedules the proc at the current instant, letting every other
+// event already queued for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Hibernate parks the proc indefinitely; only Kill resumes (unwinds) it.
+// Unlike a long Sleep loop, a hibernating proc schedules no events, so it
+// does not keep Env.Run alive.
+func (p *Proc) Hibernate() { p.Wait(NewEvent(p.env)) }
+
+// Kill terminates the target proc: the next time it would run it unwinds
+// instead, firing Done with reason (ErrKilled when reason is nil). Killing a
+// finished proc is a no-op. A proc may not kill itself; it should return.
+func (p *Proc) Kill(reason error) {
+	if p.finished || p.killed {
+		return
+	}
+	if reason == nil {
+		reason = ErrKilled
+	}
+	p.killed = true
+	p.killErr = reason
+	if p.env.current == p {
+		panic("sim: proc cannot Kill itself; return from its body instead")
+	}
+	for _, it := range p.pending {
+		it.cancelled = true
+	}
+	p.pending = nil
+	// Wake it so the unwind happens promptly even if it was parked on a
+	// queue or event; stale waiter entries are skipped via their woken flag.
+	p.env.schedule(p.env.now, func() { p.env.dispatch(p) })
+}
+
+// WaitProc blocks until other finishes and returns its completion error
+// (nil, or the kill reason).
+func (p *Proc) WaitProc(other *Proc) error {
+	if other.finished {
+		return other.killErr
+	}
+	v := p.Wait(other.doneEv)
+	if v == nil {
+		return nil
+	}
+	return v.(error)
+}

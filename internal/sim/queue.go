@@ -1,0 +1,128 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO channel between procs. Put never blocks; Get
+// parks the caller until an item is available. Items are delivered in
+// arrival order and getters are served in arrival order.
+//
+// If a parked getter is Killed after an item has been assigned to it but
+// before it resumes, that item is dropped — the same semantics as a message
+// delivered to a dead process.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	getters []*waiter
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v and wakes the oldest parked getter, if any. Put on a closed
+// queue panics, mirroring send-on-closed-channel.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	for len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		if w.stale() {
+			continue // entry from a timeout or a killed proc
+		}
+		w.woken = true
+		w.val = v
+		w.ok = true
+		p := w.p
+		q.env.schedule(q.env.now, func() { q.env.dispatch(p) })
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Close wakes every parked getter with ok=false. Buffered items remain
+// retrievable via TryGet/Get until drained.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.getters {
+		if w.stale() {
+			continue
+		}
+		w.woken = true
+		w.ok = false
+		p := w.p
+		q.env.schedule(q.env.now, func() { q.env.dispatch(p) })
+	}
+	q.getters = nil
+}
+
+// TryGet pops the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get pops the oldest item, parking p until one arrives. The second result
+// is false only when the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (T, bool) {
+	p.checkRunning()
+	if v, ok := q.TryGet(); ok {
+		return v, true
+	}
+	var zero T
+	if q.closed {
+		return zero, false
+	}
+	w := &waiter{p: p}
+	q.getters = append(q.getters, w)
+	p.park()
+	if !w.ok {
+		return zero, false
+	}
+	return w.val.(T), true
+}
+
+// GetTimeout is Get with a deadline; the second result is false on timeout
+// or close.
+func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
+	p.checkRunning()
+	if v, ok := q.TryGet(); ok {
+		return v, true
+	}
+	var zero T
+	if q.closed {
+		return zero, false
+	}
+	w := &waiter{p: p}
+	q.getters = append(q.getters, w)
+	tm := p.env.After(d, func() {
+		if w.stale() {
+			return
+		}
+		w.woken = true
+		w.ok = false
+		p.env.dispatch(p)
+	})
+	p.pending = append(p.pending, tm.it)
+	p.park()
+	tm.Stop()
+	if !w.ok {
+		return zero, false
+	}
+	return w.val.(T), true
+}

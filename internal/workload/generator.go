@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/simrand"
+)
+
+// Job is one generated cluster job: an inference server with a GPU demand
+// (busy fraction) arriving at a point in time.
+type Job struct {
+	Name    string
+	Arrival time.Duration
+	// Demand is the job's GPU usage fraction in (0,1] — the knob the
+	// paper's workloads vary (Figure 8).
+	Demand float64
+	// Duration is how long the job serves requests.
+	Duration time.Duration
+	// Labels: optional locality constraints for the sharePod form.
+	Affinity     string
+	AntiAffinity string
+	Exclusion    string
+	// Seed for the job's internal arrival process.
+	Seed int64
+}
+
+// GeneratorConfig describes a random workload in the paper's terms.
+type GeneratorConfig struct {
+	// Jobs is the total number of jobs (fixed per workload, §5.1).
+	Jobs int
+	// MeanInterArrival is the mean of the Poisson arrival process.
+	MeanInterArrival time.Duration
+	// DemandMean and DemandVar parameterize the normal GPU-demand
+	// distribution. Var is in the paper's axis units (Fig 8c, 0.5–4);
+	// the demand stddev is sqrt(Var) × 5 percentage points.
+	DemandMean float64
+	DemandVar  float64
+	// JobDuration is each job's serving time.
+	JobDuration time.Duration
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// VarUnit converts the paper's variance axis into a demand stddev.
+const VarUnit = 0.05
+
+// Generate produces the job list for a config.
+func Generate(cfg GeneratorConfig) []Job {
+	rng := simrand.New(cfg.Seed)
+	arrivals := rng.Fork("arrivals")
+	demands := rng.Fork("demands")
+	seeds := rng.Fork("seeds")
+	sigma := 0.0
+	if cfg.DemandVar > 0 {
+		sigma = VarUnit * math.Sqrt(cfg.DemandVar)
+	}
+	var jobs []Job
+	var clock time.Duration
+	for i := 0; i < cfg.Jobs; i++ {
+		clock += arrivals.ExpDuration(cfg.MeanInterArrival)
+		demand := cfg.DemandMean
+		if sigma > 0 {
+			demand = demands.TruncNormal(cfg.DemandMean, sigma, 0.05, 0.95)
+		}
+		jobs = append(jobs, Job{
+			Name:     fmt.Sprintf("job-%03d", i),
+			Arrival:  clock,
+			Demand:   demand,
+			Duration: cfg.JobDuration,
+			Seed:     int64(seeds.Intn(1 << 30)),
+		})
+	}
+	return jobs
+}
+
+// serveEnv builds the container environment realizing a job's demand: the
+// request rate is demand divided by the per-request kernel time.
+func serveEnv(j Job) map[string]string {
+	kernelSec := float64(DefaultReqKernelMS) / 1000
+	rate := j.Demand / kernelSec
+	return map[string]string{
+		EnvRate:      fmt.Sprintf("%.4f", rate),
+		EnvReqKernel: fmt.Sprintf("%d", DefaultReqKernelMS),
+		EnvDuration:  fmt.Sprintf("%.3f", j.Duration.Seconds()),
+		EnvModelMB:   "512",
+		EnvSeed:      fmt.Sprintf("%d", j.Seed),
+	}
+}
+
+// SharePodFor renders the job as a KubeShare sharePod: gpu_request equals
+// the demand (with a little headroom in gpu_limit) and gpu_mem covers the
+// model plus working space.
+func SharePodFor(j Job) *core.SharePod {
+	limit := j.Demand * 1.2
+	if limit > 1 {
+		limit = 1
+	}
+	return &core.SharePod{
+		ObjectMeta: api.ObjectMeta{Name: j.Name},
+		Spec: core.SharePodSpec{
+			GPURequest:   j.Demand,
+			GPULimit:     limit,
+			GPUMem:       0.1,
+			Affinity:     j.Affinity,
+			AntiAffinity: j.AntiAffinity,
+			Exclusion:    j.Exclusion,
+			Pod: api.PodSpec{Containers: []api.Container{{
+				Name:  "serve",
+				Image: ServeImage,
+				Env:   serveEnv(j),
+			}}},
+		},
+	}
+}
+
+// NativePodFor renders the job as a vanilla Kubernetes pod occupying one
+// whole GPU — the no-sharing baseline.
+func NativePodFor(j Job) *api.Pod {
+	return &api.Pod{
+		ObjectMeta: api.ObjectMeta{Name: j.Name},
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Name:     "serve",
+			Image:    ServeImage,
+			Env:      serveEnv(j),
+			Requests: api.ResourceList{api.ResourceGPU: 1},
+		}}},
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	jobs := Generate(GeneratorConfig{
+		Jobs: 25, MeanInterArrival: 3 * time.Second,
+		DemandMean: 0.3, DemandVar: 2, JobDuration: 40 * time.Second, Seed: 5,
+	})
+	jobs[3].Affinity = "grp"
+	jobs[4].AntiAffinity = "spread"
+	jobs[5].Exclusion = "tenant,with,commas"
+	var b strings.Builder
+	if err := WriteTrace(&b, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range jobs {
+		want := jobs[i]
+		// Arrival is stored at millisecond resolution.
+		want.Arrival = want.Arrival.Truncate(time.Millisecond)
+		want.Duration = want.Duration.Truncate(time.Millisecond)
+		if got[i] != want {
+			t.Fatalf("job %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestTraceEmptyWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,trace\n",
+		"name,arrival_ms,demand,duration_ms,affinity,anti_affinity,exclusion,seed\nj,abc,0.5,100,,,,1\n",
+		"name,arrival_ms,demand,duration_ms,affinity,anti_affinity,exclusion,seed\nj,100,1.5,100,,,,1\n",
+		"name,arrival_ms,demand,duration_ms,affinity,anti_affinity,exclusion,seed\nj,100,0.5,xyz,,,,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

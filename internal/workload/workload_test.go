@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"kubeshare/internal/gpusim"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/sim"
+)
+
+func newWorkloadCluster(t *testing.T, nodes int) (*sim.Env, *kube.Cluster) {
+	t.Helper()
+	env := sim.NewEnv()
+	c, err := kube.NewCluster(env, kube.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterImages(c)
+	return env, c
+}
+
+func TestTrainingJobRunsToCompletion(t *testing.T) {
+	env, c := newWorkloadCluster(t, 1)
+	pod := &api.Pod{
+		ObjectMeta: api.ObjectMeta{Name: "train"},
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Name: "c", Image: TrainImage,
+			Env:      map[string]string{EnvSteps: "50"},
+			Requests: api.ResourceList{api.ResourceGPU: 1},
+		}}},
+	}
+	env.Go("t", func(p *sim.Proc) { c.Pods().Create(pod) })
+	env.Run()
+	got, _ := c.Pods().Get("train")
+	if got.Status.Phase != api.PodSucceeded {
+		t.Fatalf("phase %s (%s)", got.Status.Phase, got.Status.Message)
+	}
+	// 50 steps × 10ms = 500ms of device time.
+	dev := c.Nodes[0].GPUs
+	var busy time.Duration
+	for _, d := range dev {
+		busy += d.BusyTime()
+	}
+	if busy < 500*time.Millisecond || busy > 600*time.Millisecond {
+		t.Fatalf("device busy %v, want ≈500ms", busy)
+	}
+}
+
+func TestTrainingJobWithoutGPUFails(t *testing.T) {
+	env, c := newWorkloadCluster(t, 1)
+	pod := &api.Pod{
+		ObjectMeta: api.ObjectMeta{Name: "nogpu"},
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Name: "c", Image: TrainImage,
+		}}},
+	}
+	env.Go("t", func(p *sim.Proc) { c.Pods().Create(pod) })
+	env.Run()
+	got, _ := c.Pods().Get("nogpu")
+	if got.Status.Phase != api.PodFailed {
+		t.Fatalf("phase %s, want Failed", got.Status.Phase)
+	}
+}
+
+// TestInferenceUsageProportionalToRate is the Figure 5 relationship: GPU
+// usage tracks the client request rate linearly until saturation.
+func TestInferenceUsageProportionalToRate(t *testing.T) {
+	utilAt := func(rate float64) float64 {
+		env, c := newWorkloadCluster(t, 1)
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "serve"},
+			Spec: api.PodSpec{Containers: []api.Container{{
+				Name: "c", Image: ServeImage,
+				Env: map[string]string{
+					EnvRate:     formatF(rate),
+					EnvDuration: "60",
+					EnvSeed:     "7",
+				},
+				Requests: api.ResourceList{api.ResourceGPU: 1},
+			}}},
+		}
+		env.Go("t", func(p *sim.Proc) { c.Pods().Create(pod) })
+		env.Run()
+		var dev *gpusim.Device
+		for _, d := range c.Nodes[0].GPUs {
+			if d.BusyTime() > 0 {
+				dev = d
+			}
+		}
+		if dev == nil {
+			t.Fatal("no device used")
+		}
+		return dev.BusyTime().Seconds() / 60.0
+	}
+	// 25ms kernels: rate r → expected utilization r×0.025.
+	lo, mid, hi := utilAt(4), utilAt(12), utilAt(24)
+	for _, tc := range []struct{ got, want float64 }{
+		{lo, 0.1}, {mid, 0.3}, {hi, 0.6},
+	} {
+		if math.Abs(tc.got-tc.want) > 0.05 {
+			t.Fatalf("utilization %.3f, want ≈%.2f (Fig 5 proportionality)", tc.got, tc.want)
+		}
+	}
+	if !(lo < mid && mid < hi) {
+		t.Fatal("utilization not increasing with request rate")
+	}
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{
+		Jobs: 50, MeanInterArrival: 5 * time.Second,
+		DemandMean: 0.3, DemandVar: 2, JobDuration: 40 * time.Second, Seed: 42,
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestGeneratorStatistics(t *testing.T) {
+	cfg := GeneratorConfig{
+		Jobs: 2000, MeanInterArrival: 5 * time.Second,
+		DemandMean: 0.3, DemandVar: 2, JobDuration: 40 * time.Second, Seed: 1,
+	}
+	jobs := Generate(cfg)
+	var sumGap, prev time.Duration
+	sumDemand := 0.0
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatal("arrivals not monotonic")
+		}
+		sumGap += j.Arrival - prev
+		prev = j.Arrival
+		if j.Demand < 0.05 || j.Demand > 0.95 {
+			t.Fatalf("demand %v out of bounds", j.Demand)
+		}
+		sumDemand += j.Demand
+	}
+	meanGap := sumGap / time.Duration(len(jobs))
+	if meanGap < 4500*time.Millisecond || meanGap > 5500*time.Millisecond {
+		t.Fatalf("mean inter-arrival %v, want ≈5s", meanGap)
+	}
+	if got := sumDemand / float64(len(jobs)); math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("mean demand %.3f, want ≈0.3", got)
+	}
+}
+
+func TestGeneratorZeroVarianceIsConstantDemand(t *testing.T) {
+	jobs := Generate(GeneratorConfig{
+		Jobs: 10, MeanInterArrival: time.Second,
+		DemandMean: 0.4, DemandVar: 0, JobDuration: time.Second, Seed: 3,
+	})
+	for _, j := range jobs {
+		if j.Demand != 0.4 {
+			t.Fatalf("demand %v, want exactly 0.4", j.Demand)
+		}
+	}
+}
+
+func TestSpecBuilders(t *testing.T) {
+	j := Job{Name: "j", Demand: 0.5, Duration: 30 * time.Second, AntiAffinity: "x", Seed: 9}
+	sp := SharePodFor(j)
+	if sp.Spec.GPURequest != 0.5 || sp.Spec.GPULimit != 0.6 || sp.Spec.AntiAffinity != "x" {
+		t.Fatalf("sharePod spec = %+v", sp.Spec)
+	}
+	if sp.Spec.Pod.Containers[0].Env[EnvRate] == "" {
+		t.Fatal("rate env missing")
+	}
+	pod := NativePodFor(j)
+	if pod.Spec.Containers[0].Requests[api.ResourceGPU] != 1 {
+		t.Fatal("native pod must request a whole GPU")
+	}
+	high := SharePodFor(Job{Name: "h", Demand: 0.95, Duration: time.Second})
+	if high.Spec.GPULimit != 1 {
+		t.Fatalf("limit %v, want clamped to 1", high.Spec.GPULimit)
+	}
+}

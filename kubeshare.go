@@ -1,0 +1,275 @@
+// Package kubeshare is the public entry point of the KubeShare
+// reproduction: a simulated Kubernetes cluster with GPUs managed as
+// first-class, shared resources (Yeh, Chen, Chou — HPDC 2020).
+//
+// A Sim bundles a deterministic discrete-event environment, a miniature
+// Kubernetes cluster with simulated GPUs, and an installed KubeShare
+// (SharePod/VGPU custom resources, KubeShare-Sched, KubeShare-DevMgr, and
+// the per-node vGPU device library). Virtual time only advances inside Run
+// and RunFor, so hours of cluster time execute in milliseconds,
+// reproducibly.
+//
+//	s, _ := kubeshare.New(kubeshare.WithNodes(2))
+//	s.Go("submit", func(p *sim.Proc) {
+//	    s.CreateSharePod(&kubeshare.SharePod{ ... })
+//	})
+//	s.Run()
+package kubeshare
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/runtime"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// Re-exported object types: the public API speaks the same objects the
+// controllers do.
+type (
+	// SharePod is the custom resource requesting a fractional, explicitly
+	// bound GPU share.
+	SharePod = core.SharePod
+	// SharePodSpec is its specification (gpu_request / gpu_limit / gpu_mem,
+	// GPUID, locality labels).
+	SharePodSpec = core.SharePodSpec
+	// VGPU is the pool-device custom resource.
+	VGPU = core.VGPU
+	// SharePodSet is the replica controller over sharePods.
+	SharePodSet = core.SharePodSet
+	// Pod and PodSpec are the native Kubernetes objects.
+	Pod = api.Pod
+	// PodSpec is a pod's desired state.
+	PodSpec = api.PodSpec
+	// Container is one container in a pod spec.
+	Container = api.Container
+	// ObjectMeta is common object metadata.
+	ObjectMeta = api.ObjectMeta
+	// ResourceList maps resource names to quantities.
+	ResourceList = api.ResourceList
+	// Share is the device library's view of a fractional GPU allocation.
+	Share = devlib.Share
+	// Proc is a simulation process handle (the argument of Go callbacks).
+	Proc = sim.Proc
+)
+
+// Re-exported phases and policies.
+const (
+	SharePodPending   = core.SharePodPending
+	SharePodScheduled = core.SharePodScheduled
+	SharePodRunning   = core.SharePodRunning
+	SharePodSucceeded = core.SharePodSucceeded
+	SharePodFailed    = core.SharePodFailed
+	SharePodRejected  = core.SharePodRejected
+
+	// OnDemand and Reservation are the idle-vGPU pool policies (§4.4).
+	OnDemand    = core.OnDemand
+	Reservation = core.Reservation
+
+	// ResourceGPU is the extended resource name of whole GPUs.
+	ResourceGPU = api.ResourceGPU
+)
+
+// config collects the options.
+type config struct {
+	nodes       int
+	gpusPerNode int
+	gpuMem      int64
+	ks          core.Config
+	extender    bool
+	noKubeShare bool
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithNodes sets the worker node count (default 1).
+func WithNodes(n int) Option { return func(c *config) { c.nodes = n } }
+
+// WithGPUsPerNode sets the GPUs per node (default 4, the paper's
+// p3.8xlarge).
+func WithGPUsPerNode(n int) Option { return func(c *config) { c.gpusPerNode = n } }
+
+// WithGPUMemory sets per-GPU memory in bytes (default 16 GiB).
+func WithGPUMemory(bytes int64) Option { return func(c *config) { c.gpuMem = bytes } }
+
+// WithPoolPolicy selects the idle-vGPU policy (default OnDemand).
+func WithPoolPolicy(p core.PoolPolicy) Option {
+	return func(c *config) { c.ks.DevMgr.Policy = p }
+}
+
+// WithTokenQuota sets the device library token quota (default 100ms).
+func WithTokenQuota(d time.Duration) Option {
+	return func(c *config) { c.ks.Devlib.Quota = d }
+}
+
+// WithMemOvercommit enables GPUswap-style memory over-commitment: the
+// scheduler may place containers whose gpu_mem shares sum to factor (>1)
+// on a device, and the device library swaps working sets host↔device at
+// token handoff.
+func WithMemOvercommit(factor float64) Option {
+	return func(c *config) {
+		c.ks.Scheduler.MemOvercommitFactor = factor
+		c.ks.Devlib.MemOvercommit = true
+	}
+}
+
+// WithExtenderScheduler installs the scheduler-extender baseline instead of
+// KubeShare-Sched (for comparisons).
+func WithExtenderScheduler() Option { return func(c *config) { c.extender = true } }
+
+// WithoutKubeShare builds a vanilla cluster with no KubeShare installed
+// (the native baseline).
+func WithoutKubeShare() Option { return func(c *config) { c.noKubeShare = true } }
+
+// Sim is a ready-to-use simulated cluster with KubeShare installed.
+type Sim struct {
+	// Env is the discrete-event environment; use Go/Run on the Sim for the
+	// common cases.
+	Env *sim.Env
+	// Cluster is the underlying miniature Kubernetes cluster.
+	Cluster *kube.Cluster
+	// KS is the installed KubeShare (nil with WithoutKubeShare).
+	KS *core.KubeShare
+}
+
+// New builds a cluster, registers the workload images, and installs
+// KubeShare (unless configured otherwise).
+func New(opts ...Option) (*Sim, error) {
+	cfg := config{nodes: 1, gpusPerNode: 4}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	env := sim.NewEnv()
+	kc := kube.Config{}
+	for i := 0; i < cfg.nodes; i++ {
+		kc.Nodes = append(kc.Nodes, kube.NodeConfig{
+			Name:   fmt.Sprintf("node-%d", i),
+			GPUs:   cfg.gpusPerNode,
+			GPUMem: cfg.gpuMem,
+		})
+	}
+	cluster, err := kube.NewCluster(env, kc)
+	if err != nil {
+		return nil, err
+	}
+	workload.RegisterImages(cluster)
+	s := &Sim{Env: env, Cluster: cluster}
+	switch {
+	case cfg.noKubeShare:
+	case cfg.extender:
+		ks, _, err := core.InstallExtender(cluster, cfg.ks)
+		if err != nil {
+			return nil, err
+		}
+		s.KS = ks
+	default:
+		ks, err := core.Install(cluster, cfg.ks)
+		if err != nil {
+			return nil, err
+		}
+		s.KS = ks
+	}
+	return s, nil
+}
+
+// Go spawns a simulation process (runs when Run/RunFor advance time).
+func (s *Sim) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return s.Env.Go(name, fn)
+}
+
+// Run advances virtual time until no further events exist (the cluster has
+// quiesced).
+func (s *Sim) Run() { s.Env.Run() }
+
+// RunFor advances virtual time by d.
+func (s *Sim) RunFor(d time.Duration) { s.Env.RunUntil(s.Env.Now() + d) }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.Env.Now() }
+
+// SharePods returns the typed SharePod client.
+func (s *Sim) SharePods() apiserver.Client[*core.SharePod] {
+	return core.SharePods(s.Cluster.API)
+}
+
+// VGPUs returns the typed VGPU client.
+func (s *Sim) VGPUs() apiserver.Client[*core.VGPU] {
+	return core.VGPUs(s.Cluster.API)
+}
+
+// Pods returns the typed native-pod client.
+func (s *Sim) Pods() apiserver.Client[*api.Pod] { return s.Cluster.Pods() }
+
+// SharePodSets returns the typed SharePodSet client.
+func (s *Sim) SharePodSets() apiserver.Client[*core.SharePodSet] {
+	return core.SharePodSets(s.Cluster.API)
+}
+
+// CreateSharePod submits a sharePod.
+func (s *Sim) CreateSharePod(sp *SharePod) (*SharePod, error) {
+	return s.SharePods().Create(sp)
+}
+
+// RegisterImage binds an image name to an entrypoint for containers
+// launched in this cluster.
+func (s *Sim) RegisterImage(name string, entry ImageEntrypoint) {
+	s.Cluster.Images.Register(name, entry)
+}
+
+// ImageEntrypoint is a container main function; it receives the container
+// context (proc, env vars, CUDA handle) and its return value is the
+// container's exit status.
+type ImageEntrypoint = runtime.Entrypoint
+
+// ContainerCtx is the execution context passed to an ImageEntrypoint.
+type ContainerCtx = runtime.Ctx
+
+// UsageRate returns a running sharePod's current sliding-window GPU usage
+// share as measured by the node's device library backend — the signal
+// Figure 6 plots. It returns 0 for sharePods that are not running.
+func (s *Sim) UsageRate(name string) float64 {
+	if s.KS == nil {
+		return 0
+	}
+	sp, err := s.SharePods().Get(name)
+	if err != nil || sp.Status.UUID == "" || sp.Status.BoundPod == "" {
+		return 0
+	}
+	backend, ok := s.KS.Backends[sp.Spec.NodeName]
+	if !ok {
+		return 0
+	}
+	mgr := backend.Manager(sp.Status.UUID)
+	total := 0.0
+	for _, c := range sp.Spec.Pod.Containers {
+		total += mgr.UsageRate(sp.Status.BoundPod + "/" + c.Name)
+	}
+	return total
+}
+
+// WaitSharePod parks p until the named sharePod reaches a terminal phase
+// and returns it.
+func (s *Sim) WaitSharePod(p *sim.Proc, name string) (*SharePod, error) {
+	q := s.Cluster.API.Watch(core.KindSharePod, true)
+	defer s.Cluster.API.StopWatch(q)
+	for {
+		ev, ok := q.Get(p)
+		if !ok {
+			return nil, fmt.Errorf("kubeshare: watch closed waiting for %s", name)
+		}
+		sp, isSP := ev.Object.(*core.SharePod)
+		if !isSP || sp.Name != name {
+			continue
+		}
+		if sp.Terminated() {
+			return sp, nil
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package kubeshare
+
+import (
+	"testing"
+	"time"
+
+	"kubeshare/internal/sim"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	s, err := New(WithNodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("hello-gpu", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 100*time.Millisecond)
+	})
+	var got *SharePod
+	s.Go("main", func(p *sim.Proc) {
+		_, err := s.CreateSharePod(&SharePod{
+			ObjectMeta: ObjectMeta{Name: "hello"},
+			Spec: SharePodSpec{
+				GPURequest: 0.5, GPULimit: 1, GPUMem: 0.25,
+				Pod: PodSpec{Containers: []Container{{Name: "c", Image: "hello-gpu"}}},
+			},
+		})
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		got, err = s.WaitSharePod(p, "hello")
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+	})
+	s.Run()
+	if got == nil || got.Status.Phase != SharePodSucceeded {
+		t.Fatalf("sharePod = %+v", got)
+	}
+}
+
+func TestFacadeRunForAdvancesTime(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+	s.RunFor(3 * time.Second)
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestFacadeWithoutKubeShare(t *testing.T) {
+	s, err := New(WithoutKubeShare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KS != nil {
+		t.Fatal("KubeShare installed despite WithoutKubeShare")
+	}
+	// SharePods are inert without controllers: creation works (no
+	// validator either) but nothing schedules them; native pods still run.
+	s.RegisterImage("noop", func(ctx *ContainerCtx) error { return nil })
+	s.Go("main", func(p *sim.Proc) {
+		if _, err := s.Pods().Create(&Pod{
+			ObjectMeta: ObjectMeta{Name: "native"},
+			Spec:       PodSpec{Containers: []Container{{Name: "c", Image: "noop"}}},
+		}); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	s.Run()
+	pod, err := s.Pods().Get("native")
+	if err != nil || pod.Status.Phase != "Succeeded" {
+		t.Fatalf("pod = %+v err=%v", pod, err)
+	}
+}
+
+func TestFacadeExtenderOption(t *testing.T) {
+	s, err := New(WithExtenderScheduler(), WithGPUsPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("burn", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, time.Second)
+	})
+	s.Go("main", func(p *sim.Proc) {
+		for _, n := range []string{"x", "y"} {
+			if _, err := s.CreateSharePod(&SharePod{
+				ObjectMeta: ObjectMeta{Name: n},
+				Spec: SharePodSpec{
+					GPURequest: 0.5, GPULimit: 0.5, GPUMem: 0.2,
+					Pod: PodSpec{Containers: []Container{{Name: "c", Image: "burn"}}},
+				},
+			}); err != nil {
+				t.Errorf("create %s: %v", n, err)
+			}
+		}
+	})
+	s.Run()
+	for _, n := range []string{"x", "y"} {
+		sp, err := s.SharePods().Get(n)
+		if err != nil || sp.Status.Phase != SharePodSucceeded {
+			t.Fatalf("%s: %+v err=%v", n, sp, err)
+		}
+		// Extender ids are round-robin per node.
+		if sp.Spec.GPUID == "" {
+			t.Fatalf("%s not placed", n)
+		}
+	}
+}
+
+func TestFacadePoolPolicyOption(t *testing.T) {
+	s, err := New(WithPoolPolicy(Reservation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("quick", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 10*time.Millisecond)
+	})
+	s.Go("main", func(p *sim.Proc) {
+		s.CreateSharePod(&SharePod{
+			ObjectMeta: ObjectMeta{Name: "one"},
+			Spec: SharePodSpec{
+				GPURequest: 0.5, GPULimit: 1, GPUMem: 0.2,
+				Pod: PodSpec{Containers: []Container{{Name: "c", Image: "quick"}}},
+			},
+		})
+	})
+	s.RunFor(time.Minute)
+	vgpus := s.VGPUs().List()
+	if len(vgpus) != 1 {
+		t.Fatalf("vGPUs = %d, want 1 idle (reservation)", len(vgpus))
+	}
+}
+
+func TestFacadeUsageRate(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("spin", func(ctx *ContainerCtx) error {
+		for i := 0; i < 10000; i++ {
+			if err := ctx.CUDA.LaunchKernel(ctx.Proc, 10*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s.Go("main", func(p *sim.Proc) {
+		s.CreateSharePod(&SharePod{
+			ObjectMeta: ObjectMeta{Name: "spin"},
+			Spec: SharePodSpec{
+				GPURequest: 0.3, GPULimit: 0.6, GPUMem: 0.2,
+				Pod: PodSpec{Containers: []Container{{Name: "c", Image: "spin"}}},
+			},
+		})
+	})
+	s.RunFor(30 * time.Second)
+	rate := s.UsageRate("spin")
+	if rate < 0.5 || rate > 0.65 {
+		t.Fatalf("usage rate %.3f, want ≈0.6 (throttled at limit)", rate)
+	}
+	if s.UsageRate("ghost") != 0 {
+		t.Fatal("unknown sharePod has nonzero usage")
+	}
+}
+
+func TestFacadeTokenQuotaOption(t *testing.T) {
+	s, err := New(WithTokenQuota(30 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KS.Backends["node-0"].Config().Quota != 30*time.Millisecond {
+		t.Fatalf("quota = %v", s.KS.Backends["node-0"].Config().Quota)
+	}
+}
