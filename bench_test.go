@@ -184,18 +184,36 @@ func BenchmarkFig10PodCreation(b *testing.B) {
 }
 
 // BenchmarkFig11SchedulingTime measures one full KubeShare-Sched decision
-// (pool build + Algorithm 1) against real state with N existing SharePods —
-// the real-CPU-time figure. The paper's claim: linear in N, ≪400ms at 100.
+// against real state with N existing SharePods — the real-CPU-time figure.
+// The paper's claim: linear in N, ≪400ms at 100. Two variants: the seed's
+// full rebuild (list everything, re-place every tenant) and the incremental
+// snapshot the scheduler now maintains from watch deltas, which only pays
+// for pool materialization.
 func BenchmarkFig11SchedulingTime(b *testing.B) {
-	for _, n := range []int{10, 25, 50, 100, 200, 400} {
-		b.Run("sharepods="+strconv.Itoa(n), func(b *testing.B) {
-			srv := experiments.PopulateSchedulingState(n)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				experiments.ScheduleOnce(srv)
-			}
-		})
-	}
+	counts := []int{10, 25, 50, 100, 200, 400, 1000, 10000}
+	b.Run("full-rebuild", func(b *testing.B) {
+		for _, n := range counts {
+			b.Run("sharepods="+strconv.Itoa(n), func(b *testing.B) {
+				srv := experiments.PopulateSchedulingState(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					experiments.ScheduleOnce(srv)
+				}
+			})
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for _, n := range counts {
+			b.Run("sharepods="+strconv.Itoa(n), func(b *testing.B) {
+				srv := experiments.PopulateSchedulingState(n)
+				snap := experiments.PopulateSnapshot(srv)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					experiments.ScheduleOnceIncremental(snap)
+				}
+			})
+		}
+	})
 }
 
 // BenchmarkFig12Interference regenerates Figure 12: per-combination

@@ -44,6 +44,20 @@ func NewDeviceState(id, node string) *DeviceState {
 	}
 }
 
+// Clone returns an independent copy of the device state.
+func (d *DeviceState) Clone() *DeviceState {
+	out := *d
+	out.Aff = make(map[string]bool, len(d.Aff))
+	for k, v := range d.Aff {
+		out.Aff[k] = v
+	}
+	out.Anti = make(map[string]bool, len(d.Anti))
+	for k, v := range d.Anti {
+		out.Anti[k] = v
+	}
+	return &out
+}
+
 // fits reports whether r's resource demand fits the residuals. Idle devices
 // may carry stale residual bookkeeping from the pool builder, so capacity is
 // taken as full for them.

@@ -121,6 +121,12 @@ func (s *ExtenderScheduler) scheduleNext(p *sim.Proc) bool {
 		_, err = SharePods(s.srv).Mutate(sp.Name, func(cur *SharePod) error {
 			cur.Spec.GPUID = gpuID
 			cur.Spec.NodeName = node
+			return nil
+		})
+		if err != nil && !apiserver.IsNotFound(err) {
+			panic(fmt.Sprintf("extender: assign %s: %v", sp.Name, err))
+		}
+		_, err = SharePods(s.srv).MutateStatus(sp.Name, func(cur *SharePod) error {
 			cur.Status.Phase = SharePodScheduled
 			cur.Status.ScheduledTime = s.env.Now()
 			return nil

@@ -7,6 +7,7 @@ import (
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
 )
@@ -66,7 +67,14 @@ type DevMgr struct {
 	uuidReports map[string]*sim.Event
 	// binding marks sharePods whose bind workflow is in flight.
 	binding map[string]bool
-	procs   []*sim.Proc
+	// tenants caches each vGPU's live tenant set (gpuID → sharePod names),
+	// maintained from watch deltas so reconcileVGPU no longer lists every
+	// sharePod to decide whether a device went idle.
+	tenants map[string]map[string]bool
+	// idle caches the gpuIDs currently in VGPUIdle phase (DevMgr is the only
+	// phase writer), so the Hybrid policy's reserve check is O(1).
+	idle  map[string]bool
+	procs []*sim.Proc
 }
 
 // NewDevMgr creates KubeShare-DevMgr; Start launches it.
@@ -81,6 +89,8 @@ func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
 		creating:    make(map[string]*sim.Event),
 		uuidReports: make(map[string]*sim.Event),
 		binding:     make(map[string]bool),
+		tenants:     make(map[string]map[string]bool),
+		idle:        make(map[string]bool),
 	}
 }
 
@@ -119,6 +129,13 @@ func (m *DevMgr) Start() {
 			case store.Deleted:
 				m.onSharePodGone(sp)
 			default:
+				if sp.Placed() {
+					if sp.Terminated() {
+						m.removeTenant(sp.Spec.GPUID, sp.Name)
+					} else {
+						m.addTenant(sp.Spec.GPUID, sp.Name)
+					}
+				}
 				if sp.Placed() && !sp.Terminated() && sp.Status.BoundPod == "" && !m.binding[sp.Name] {
 					m.binding[sp.Name] = true
 					spCopy := sp
@@ -130,21 +147,46 @@ func (m *DevMgr) Start() {
 			}
 		}
 	}))
-	podQ := m.srv.Watch("Pod", true)
+	// Only bound pods (stamped with LabelSharePod) matter here; the filter
+	// runs server-side, so holder pods and unrelated cluster pods never
+	// reach this loop.
+	podQ := m.srv.WatchFiltered("Pod", apiserver.WatchOptions{
+		Selector: labels.HasKey(LabelSharePod),
+		Replay:   true,
+	})
 	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr-pods", func(p *sim.Proc) {
 		for {
 			ev, ok := podQ.Get(p)
 			if !ok {
 				return
 			}
-			pod := ev.Object.(*api.Pod)
-			spName := pod.Labels[LabelSharePod]
-			if spName == "" || ev.Type == store.Deleted {
+			if ev.Type == store.Deleted {
 				continue
 			}
-			m.reflectPodStatus(spName, pod)
+			pod := ev.Object.(*api.Pod)
+			m.reflectPodStatus(pod.Labels[LabelSharePod], pod)
 		}
 	}))
+}
+
+// addTenant records a live placed sharePod on its vGPU (idempotent).
+func (m *DevMgr) addTenant(gpuID, spName string) {
+	set, ok := m.tenants[gpuID]
+	if !ok {
+		set = make(map[string]bool)
+		m.tenants[gpuID] = set
+	}
+	set[spName] = true
+}
+
+// removeTenant drops a sharePod from its vGPU's tenant set (idempotent).
+func (m *DevMgr) removeTenant(gpuID, spName string) {
+	if set, ok := m.tenants[gpuID]; ok {
+		delete(set, spName)
+		if len(set) == 0 {
+			delete(m.tenants, gpuID)
+		}
+	}
 }
 
 // Stop terminates the controller loops.
@@ -270,7 +312,7 @@ func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 	if !ok || uuid == "" {
 		return "", fmt.Errorf("holder pod %s reported no device", holder)
 	}
-	_, err := VGPUs(m.srv).Mutate(gpuID, func(cur *VGPU) error {
+	_, err := VGPUs(m.srv).MutateStatus(gpuID, func(cur *VGPU) error {
 		cur.Status.Phase = VGPUActive
 		cur.Status.UUID = uuid
 		return nil
@@ -308,6 +350,10 @@ func (m *DevMgr) reflectPodStatus(spName string, pod *api.Pod) {
 			gpuID = cur.Spec.GPUID
 		})
 		if gpuID != "" {
+			// The sharePod watch event for the terminal status has not been
+			// processed yet; update the tenant cache here so the reconcile
+			// below sees the device without this tenant.
+			m.removeTenant(gpuID, spName)
 			m.reconcileVGPU(gpuID)
 		}
 	}
@@ -322,6 +368,7 @@ func (m *DevMgr) onSharePodGone(sp *SharePod) {
 		}
 	}
 	if sp.Spec.GPUID != "" {
+		m.removeTenant(sp.Spec.GPUID, sp.Name)
 		m.reconcileVGPU(sp.Spec.GPUID)
 	}
 }
@@ -330,10 +377,8 @@ func (m *DevMgr) onSharePodGone(sp *SharePod) {
 // is either deleted (on-demand, releasing the GPU to Kubernetes) or marked
 // idle (reservation).
 func (m *DevMgr) reconcileVGPU(gpuID string) {
-	for _, sp := range SharePods(m.srv).List() {
-		if sp.Spec.GPUID == gpuID && !sp.Terminated() {
-			return // still has tenants
-		}
+	if len(m.tenants[gpuID]) > 0 {
+		return // still has tenants (cache maintained from watch deltas)
 	}
 	if _, inFlight := m.creating[gpuID]; inFlight {
 		return // acquisition still running; bind will re-reconcile
@@ -347,13 +392,7 @@ func (m *DevMgr) reconcileVGPU(gpuID string) {
 		m.markVGPU(gpuID, VGPUIdle)
 		return
 	case Hybrid:
-		idle := 0
-		for _, other := range VGPUs(m.srv).List() {
-			if other.Status.Phase == VGPUIdle {
-				idle++
-			}
-		}
-		if idle < m.cfg.IdleReserve {
+		if len(m.idle) < m.cfg.IdleReserve {
 			m.markVGPU(gpuID, VGPUIdle)
 			return
 		}
@@ -365,6 +404,7 @@ func (m *DevMgr) reconcileVGPU(gpuID string) {
 	if err := VGPUs(m.srv).Delete(gpuID); err != nil && !apiserver.IsNotFound(err) {
 		panic(fmt.Sprintf("kubeshare-devmgr: delete vGPU: %v", err))
 	}
+	delete(m.idle, gpuID)
 	delete(m.uuidReports, v.Status.HolderPod)
 }
 
@@ -380,6 +420,7 @@ func (m *DevMgr) ReleaseIdle() int {
 			continue
 		}
 		if err := VGPUs(m.srv).Delete(v.Spec.GPUID); err == nil {
+			delete(m.idle, v.Spec.GPUID)
 			delete(m.uuidReports, v.Status.HolderPod)
 			released++
 		}
@@ -388,17 +429,25 @@ func (m *DevMgr) ReleaseIdle() int {
 }
 
 func (m *DevMgr) markVGPU(gpuID string, phase VGPUPhase) {
-	_, err := VGPUs(m.srv).Mutate(gpuID, func(cur *VGPU) error {
+	_, err := VGPUs(m.srv).MutateStatus(gpuID, func(cur *VGPU) error {
 		cur.Status.Phase = phase
 		return nil
 	})
 	if err != nil && !apiserver.IsNotFound(err) {
 		panic(fmt.Sprintf("kubeshare-devmgr: mark vGPU %s: %v", gpuID, err))
 	}
+	if phase == VGPUIdle {
+		m.idle[gpuID] = true
+	} else {
+		delete(m.idle, gpuID)
+	}
 }
 
+// updateSharePod writes sharePod status through the status subresource —
+// DevMgr never touches specs, so it cannot race with KubeShare-Sched's
+// placement writes.
 func (m *DevMgr) updateSharePod(name string, mutate func(*SharePod)) {
-	_, err := SharePods(m.srv).Mutate(name, func(cur *SharePod) error {
+	_, err := SharePods(m.srv).MutateStatus(name, func(cur *SharePod) error {
 		mutate(cur)
 		return nil
 	})

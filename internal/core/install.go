@@ -32,6 +32,15 @@ type KubeShare struct {
 	Backends map[string]*devlib.Backend
 }
 
+// Decisions returns the number of Algorithm 1 invocations KubeShare-Sched
+// has made (0 when the extender baseline is installed in its place).
+func (k *KubeShare) Decisions() int64 {
+	if k.Scheduler == nil {
+		return 0
+	}
+	return k.Scheduler.Decisions()
+}
+
 // Install deploys KubeShare onto a cluster, following the operator pattern:
 // it registers the SharePod and VGPU custom resources with the API server,
 // registers the holder image, installs the library interposition hook on

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
@@ -98,6 +99,9 @@ func BuildPoolWithFactor(srv *apiserver.Server, newID func() string, memFactor f
 			pool.FreePhysical[node.Name] = free
 		}
 	}
+	// Canonical device order (by ID) so pools built here and from the
+	// scheduler's incremental snapshot are directly comparable.
+	sort.Slice(pool.Devices, func(i, j int) bool { return pool.Devices[i].ID < pool.Devices[j].ID })
 	return pool
 }
 

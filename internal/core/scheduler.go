@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
 )
 
@@ -33,13 +34,14 @@ type SchedulerConfig struct {
 const DefaultCycleLatency = 15 * time.Millisecond
 
 // Scheduler is KubeShare-Sched: the custom controller assigning sharePods
-// to vGPUs with Algorithm 1. It watches SharePods and the native objects
-// whose changes can unblock a waiting request (pods and vGPUs), and decides
-// one sharePod per cycle.
+// to vGPUs with Algorithm 1. It maintains an incremental cluster snapshot
+// from SharePod / VGPU / Pod / Node watch deltas and decides one sharePod
+// per cycle against pools materialized from it — no per-decision re-listing.
 type Scheduler struct {
 	env    *sim.Env
 	srv    *apiserver.Server
 	cfg    SchedulerConfig
+	snap   *Snapshot
 	wake   *sim.Queue[struct{}]
 	nextID int
 	proc   *sim.Proc
@@ -53,21 +55,31 @@ func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Sch
 	if cfg.CycleLatency == 0 {
 		cfg.CycleLatency = DefaultCycleLatency
 	}
-	return &Scheduler{env: env, srv: srv, cfg: cfg, wake: sim.NewQueue[struct{}](env)}
+	return &Scheduler{
+		env:  env,
+		srv:  srv,
+		cfg:  cfg,
+		snap: NewSnapshot(cfg.MemOvercommitFactor),
+		wake: sim.NewQueue[struct{}](env),
+	}
 }
 
 // Decisions returns the number of scheduling decisions made so far.
 func (s *Scheduler) Decisions() int64 { return s.decisions }
 
-// Start launches the watch and scheduling loops.
+// Start launches the watch and scheduling loops. Every watched kind replays
+// so the snapshot converges to the full cluster state before (and between)
+// decisions.
 func (s *Scheduler) Start() {
-	for _, kind := range []string{KindSharePod, "Pod", KindVGPU} {
-		q := s.srv.Watch(kind, kind == KindSharePod)
+	for _, kind := range []string{KindSharePod, "Pod", KindVGPU, "Node"} {
+		q := s.srv.Watch(kind, true)
 		s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
 			for {
-				if _, ok := q.Get(p); !ok {
+				ev, ok := q.Get(p)
+				if !ok {
 					return
 				}
+				s.snap.Apply(ev)
 				s.kick()
 			}
 		})
@@ -99,22 +111,21 @@ func (s *Scheduler) loop(p *sim.Proc) {
 }
 
 // scheduleNext runs one scheduling cycle: it tries the pending sharePods in
-// age order against the current pool and applies the first decision that
-// makes progress (assignment or rejection). It reports whether progress was
-// made; all-NoCapacity means wait for a pool or pod change.
+// age order against a pool materialized from the snapshot and applies the
+// first decision that makes progress (assignment or rejection). It reports
+// whether progress was made; all-NoCapacity means wait for a pool or pod
+// change.
 func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
-	var pending []*SharePod
-	for _, sp := range SharePods(s.srv).List() {
-		if !sp.Placed() && !sp.Terminated() {
-			pending = append(pending, sp)
-		}
-	}
+	pending := s.snap.Pending()
 	if len(pending) == 0 {
 		return false
 	}
 	sortByAge(pending)
 	p.Sleep(s.cfg.CycleLatency)
-	pool := BuildPoolWithFactor(s.srv, s.newGPUID, s.cfg.MemOvercommitFactor)
+	// The watch procs drained any deltas during the sleep; the snapshot is
+	// current as of now. Materializing the pool is O(devices), with residuals
+	// served from the per-device cache.
+	pool := s.snap.NewPool(s.newGPUID)
 	for _, cand := range pending {
 		// Re-read: the sharePod may have changed during the cycle.
 		sp, err := SharePods(s.srv).Get(cand.Name)
@@ -129,19 +140,10 @@ func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
 		s.decisions++
 		switch dec.Outcome {
 		case Assigned, NewDevice:
-			s.apply(sp.Name, func(cur *SharePod) {
-				cur.Spec.GPUID = dec.GPUID
-				cur.Spec.NodeName = dec.NodeName
-				cur.Status.Phase = SharePodScheduled
-				cur.Status.ScheduledTime = s.env.Now()
-			})
+			s.applyPlacement(sp.Name, dec)
 			return true
 		case Rejected:
-			s.apply(sp.Name, func(cur *SharePod) {
-				cur.Status.Phase = SharePodRejected
-				cur.Status.Message = dec.Reason
-				cur.Status.FinishTime = s.env.Now()
-			})
+			s.applyRejection(sp.Name, dec.Reason)
 			return true
 		}
 		// NoCapacity: try the next pending sharePod this cycle.
@@ -149,14 +151,52 @@ func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
 	return false
 }
 
-func (s *Scheduler) apply(name string, mutate func(*SharePod)) {
-	_, err := SharePods(s.srv).Mutate(name, func(cur *SharePod) error {
-		mutate(cur)
+// applyPlacement commits a placement: the GPUID/NodeName assignment through
+// the spec, the phase transition through the status subresource. The final
+// state is written through into the snapshot immediately — the scheduler's
+// own watch events are not processed until it next yields, and waiting for
+// them would let back-to-back cycles double-book residuals.
+func (s *Scheduler) applyPlacement(name string, dec Decision) {
+	sps := SharePods(s.srv)
+	if _, err := sps.Mutate(name, func(cur *SharePod) error {
+		cur.Spec.GPUID = dec.GPUID
+		cur.Spec.NodeName = dec.NodeName
 		return nil
-	})
-	if err != nil && !apiserver.IsNotFound(err) {
+	}); err != nil {
+		if apiserver.IsNotFound(err) {
+			return
+		}
 		panic(fmt.Sprintf("kubeshare-sched: update %s: %v", name, err))
 	}
+	updated, err := sps.MutateStatus(name, func(cur *SharePod) error {
+		cur.Status.Phase = SharePodScheduled
+		cur.Status.ScheduledTime = s.env.Now()
+		return nil
+	})
+	if err != nil {
+		if apiserver.IsNotFound(err) {
+			return
+		}
+		panic(fmt.Sprintf("kubeshare-sched: update status %s: %v", name, err))
+	}
+	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
+}
+
+// applyRejection marks a sharePod's locality constraints unsatisfiable.
+func (s *Scheduler) applyRejection(name, reason string) {
+	updated, err := SharePods(s.srv).MutateStatus(name, func(cur *SharePod) error {
+		cur.Status.Phase = SharePodRejected
+		cur.Status.Message = reason
+		cur.Status.FinishTime = s.env.Now()
+		return nil
+	})
+	if err != nil {
+		if apiserver.IsNotFound(err) {
+			return
+		}
+		panic(fmt.Sprintf("kubeshare-sched: update status %s: %v", name, err))
+	}
+	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
 }
 
 // sortByAge orders sharePods oldest-first (name as tie-break) for FIFO

@@ -110,6 +110,11 @@ func (s *SharePod) DeepCopyObject() api.Object {
 	return &out
 }
 
+// SetStatusFrom implements api.StatusCarrier: KubeShare-Sched owns the
+// spec's placement fields while DevMgr reports status, so the two write
+// through separate subresources and never race.
+func (s *SharePod) SetStatusFrom(src api.Object) { s.Status = src.(*SharePod).Status }
+
 // Terminated reports whether the sharePod reached a terminal phase.
 func (s *SharePod) Terminated() bool {
 	switch s.Status.Phase {
@@ -201,3 +206,6 @@ func (v *VGPU) DeepCopyObject() api.Object {
 	out.ObjectMeta = v.CloneMeta()
 	return &out
 }
+
+// SetStatusFrom implements api.StatusCarrier.
+func (v *VGPU) SetStatusFrom(src api.Object) { v.Status = src.(*VGPU).Status }

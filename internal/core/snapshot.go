@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/store"
+)
+
+// Snapshot is KubeShare-Sched's incrementally maintained cluster view. The
+// seed implementation rebuilt Algorithm 1's pool from full SharePod / VGPU /
+// Pod / Node lists on every decision — O(cluster) per decision. The snapshot
+// instead consumes watch deltas (Apply) and keeps per-vGPU residual
+// bookkeeping, the per-node free-GPU counts and the pending set up to date,
+// so each decision reads cached state in O(devices touched).
+//
+// Pool equivalence with BuildPoolWithFactor is exact: per-device residuals
+// are recomputed from the device's tenant set in name order (matching the
+// List order BuildPool places in) and devices are emitted sorted by ID, so
+// the two constructions are comparable field by field — the property the
+// snapshot-vs-rebuild tests pin down.
+type Snapshot struct {
+	memFactor float64
+
+	// devices is the live vGPU view: gpuID → entry with its tenant set.
+	devices map[string]*deviceEntry
+	// tenants maps a placed, live sharePod to its device and request, so
+	// deltas can be diffed against what the snapshot already accounts for.
+	tenants map[string]tenantRef
+	// pending holds unplaced, non-terminated sharePods awaiting a decision.
+	pending map[string]*SharePod
+	// vgpuObj marks gpuIDs backed by a VGPU object (a device may also exist
+	// solely because live sharePods reference its ID before DevMgr
+	// materializes it).
+	vgpuObj map[string]bool
+	// vgpuPerNode counts devices per node (carved out of physical GPUs).
+	vgpuPerNode map[string]int
+	// nodeAlloc is each node's allocatable physical GPU count.
+	nodeAlloc map[string]int
+	// podGPU tracks native (non-KubeShare) GPU pods: pod name → contribution.
+	podGPU map[string]podGPURef
+	// nativeGPU sums podGPU per node.
+	nativeGPU map[string]int
+}
+
+// deviceEntry is one vGPU's incremental state.
+type deviceEntry struct {
+	id      string
+	node    string
+	tenants map[string]Request // sharePod name → request
+	// cached is the DeviceState recomputed from tenants; nil when stale.
+	cached *DeviceState
+}
+
+type tenantRef struct {
+	gpuID string
+	node  string
+	req   Request
+}
+
+type podGPURef struct {
+	node  string
+	count int
+}
+
+// NewSnapshot returns an empty snapshot. memFactor follows
+// BuildPoolWithFactor semantics (<=0 means 1).
+func NewSnapshot(memFactor float64) *Snapshot {
+	if memFactor <= 0 {
+		memFactor = 1
+	}
+	return &Snapshot{
+		memFactor:   memFactor,
+		devices:     make(map[string]*deviceEntry),
+		tenants:     make(map[string]tenantRef),
+		pending:     make(map[string]*SharePod),
+		vgpuObj:     make(map[string]bool),
+		vgpuPerNode: make(map[string]int),
+		nodeAlloc:   make(map[string]int),
+		podGPU:      make(map[string]podGPURef),
+		nativeGPU:   make(map[string]int),
+	}
+}
+
+// Apply folds one watch event into the snapshot. It is idempotent — the
+// scheduler writes its own placements through immediately and later sees the
+// same mutation again from the watch stream.
+func (s *Snapshot) Apply(ev store.Event) {
+	deleted := ev.Type == store.Deleted
+	switch obj := ev.Object.(type) {
+	case *SharePod:
+		s.applySharePod(obj, deleted)
+	case *VGPU:
+		s.applyVGPU(obj, deleted)
+	case *api.Pod:
+		s.applyPod(obj, deleted)
+	case *api.Node:
+		s.applyNode(obj, deleted)
+	}
+}
+
+func (s *Snapshot) applySharePod(sp *SharePod, deleted bool) {
+	name := sp.Name
+	live := !deleted && !sp.Terminated()
+	if live && !sp.Placed() {
+		s.pending[name] = sp
+	} else {
+		delete(s.pending, name)
+	}
+	if live && sp.Placed() {
+		s.setTenant(name, sp.Spec.GPUID, sp.Spec.NodeName, RequestOf(sp))
+	} else {
+		s.clearTenant(name)
+	}
+}
+
+func (s *Snapshot) setTenant(name, gpuID, node string, req Request) {
+	if prev, ok := s.tenants[name]; ok {
+		if prev.gpuID == gpuID && prev.node == node && prev.req == req {
+			return
+		}
+		s.clearTenant(name)
+	}
+	d := s.deviceOf(gpuID, node)
+	d.tenants[name] = req
+	d.cached = nil
+	s.tenants[name] = tenantRef{gpuID: gpuID, node: node, req: req}
+}
+
+func (s *Snapshot) clearTenant(name string) {
+	prev, ok := s.tenants[name]
+	if !ok {
+		return
+	}
+	delete(s.tenants, name)
+	if d, ok := s.devices[prev.gpuID]; ok {
+		delete(d.tenants, name)
+		d.cached = nil
+		s.dropDeviceIfDangling(prev.gpuID)
+	}
+}
+
+func (s *Snapshot) applyVGPU(v *VGPU, deleted bool) {
+	id := v.Spec.GPUID
+	if deleted {
+		delete(s.vgpuObj, id)
+		s.dropDeviceIfDangling(id)
+		return
+	}
+	s.vgpuObj[id] = true
+	s.deviceOf(id, v.Spec.NodeName)
+}
+
+// deviceOf returns the entry for a gpuID, creating it (and accounting the
+// node's carved-out GPU) on first sight.
+func (s *Snapshot) deviceOf(id, node string) *deviceEntry {
+	d, ok := s.devices[id]
+	if !ok {
+		d = &deviceEntry{id: id, node: node, tenants: make(map[string]Request)}
+		s.devices[id] = d
+		s.vgpuPerNode[node]++
+	}
+	return d
+}
+
+// dropDeviceIfDangling removes a device that has neither a VGPU object nor
+// live tenants — mirroring BuildPool, which only materializes devices from
+// one of those two sources.
+func (s *Snapshot) dropDeviceIfDangling(id string) {
+	d, ok := s.devices[id]
+	if !ok || s.vgpuObj[id] || len(d.tenants) > 0 {
+		return
+	}
+	delete(s.devices, id)
+	if s.vgpuPerNode[d.node]--; s.vgpuPerNode[d.node] == 0 {
+		delete(s.vgpuPerNode, d.node)
+	}
+}
+
+func (s *Snapshot) applyPod(pod *api.Pod, deleted bool) {
+	// Only native GPU pods affect the free-physical calculation; holder pods
+	// are already accounted as vGPUs.
+	count := 0
+	if !deleted && !pod.Terminated() && pod.Labels[LabelVGPUHolder] == "" && pod.Spec.NodeName != "" {
+		count = int(pod.Spec.Requests()[api.ResourceGPU])
+	}
+	prev, had := s.podGPU[pod.Name]
+	if had && prev.node == pod.Spec.NodeName && prev.count == count {
+		return
+	}
+	if had {
+		if s.nativeGPU[prev.node] -= prev.count; s.nativeGPU[prev.node] == 0 {
+			delete(s.nativeGPU, prev.node)
+		}
+		delete(s.podGPU, pod.Name)
+	}
+	if count > 0 {
+		s.podGPU[pod.Name] = podGPURef{node: pod.Spec.NodeName, count: count}
+		s.nativeGPU[pod.Spec.NodeName] += count
+	}
+}
+
+func (s *Snapshot) applyNode(node *api.Node, deleted bool) {
+	if deleted {
+		delete(s.nodeAlloc, node.Name)
+		return
+	}
+	s.nodeAlloc[node.Name] = int(node.Status.Allocatable[api.ResourceGPU])
+}
+
+// Pending returns the unplaced, non-terminated sharePods (unsorted; callers
+// order by age).
+func (s *Snapshot) Pending() []*SharePod {
+	out := make([]*SharePod, 0, len(s.pending))
+	for _, sp := range s.pending {
+		out = append(out, sp)
+	}
+	return out
+}
+
+// PendingCount returns the size of the pending set.
+func (s *Snapshot) PendingCount() int { return len(s.pending) }
+
+// deviceState returns the device's DeviceState, recomputing from the tenant
+// set only when stale. Tenants are placed in name order — the same order
+// BuildPool encounters them in SharePods().List() — so last-writer fields
+// (Excl) agree between the two constructions.
+func (d *deviceEntry) deviceState(memFactor float64) *DeviceState {
+	if d.cached != nil {
+		return d.cached
+	}
+	ds := NewDeviceState(d.id, d.node)
+	ds.MemCapacity = memFactor
+	ds.Mem = memFactor
+	names := make([]string, 0, len(d.tenants))
+	for n := range d.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ds.Place(d.tenants[n])
+	}
+	d.cached = ds
+	return ds
+}
+
+// NewPool materializes an Algorithm 1 pool from the snapshot, equivalent to
+// BuildPoolWithFactor against the same cluster state: devices sorted by ID
+// with residuals from cached per-device recomputation, plus the per-node
+// free physical GPU counts. The returned pool is private to the caller —
+// Algorithm 1 commits trial placements onto it without disturbing the
+// snapshot.
+func (s *Snapshot) NewPool(newID func() string) *Pool {
+	pool := &Pool{FreePhysical: map[string]int{}, NewID: newID, MemFactor: s.memFactor}
+	ids := make([]string, 0, len(s.devices))
+	for id := range s.devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pool.Devices = append(pool.Devices, s.devices[id].deviceState(s.memFactor).Clone())
+	}
+	for node, alloc := range s.nodeAlloc {
+		if free := alloc - s.nativeGPU[node] - s.vgpuPerNode[node]; free > 0 {
+			pool.FreePhysical[node] = free
+		}
+	}
+	return pool
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// newSnapRig wires an API server with a Snapshot fed from real watch
+// queues. Events are enqueued synchronously at mutation time, so the drain
+// callback folds them into the snapshot without running the simulation.
+func newSnapRig(memFactor float64) (*apiserver.Server, *Snapshot, func()) {
+	env := sim.NewEnv()
+	srv := apiserver.New(env)
+	snap := NewSnapshot(memFactor)
+	var queues []*sim.Queue[store.Event]
+	for _, kind := range []string{KindSharePod, KindVGPU, "Pod", "Node"} {
+		queues = append(queues, srv.Watch(kind, true))
+	}
+	drain := func() {
+		for _, q := range queues {
+			for {
+				ev, ok := q.TryGet()
+				if !ok {
+					break
+				}
+				snap.Apply(ev)
+			}
+		}
+	}
+	return srv, snap, drain
+}
+
+// requirePoolsEqual compares a snapshot-materialized pool with a freshly
+// rebuilt one field by field (both emit devices sorted by ID).
+func requirePoolsEqual(t *testing.T, got, want *Pool) {
+	t.Helper()
+	if len(got.Devices) != len(want.Devices) {
+		t.Fatalf("device count %d, want %d", len(got.Devices), len(want.Devices))
+	}
+	for i, g := range got.Devices {
+		w := want.Devices[i]
+		if g.ID != w.ID || g.NodeName != w.NodeName {
+			t.Fatalf("device %d: %s@%s, want %s@%s", i, g.ID, g.NodeName, w.ID, w.NodeName)
+		}
+		if g.Idle != w.Idle {
+			t.Fatalf("device %s: idle=%v, want %v", g.ID, g.Idle, w.Idle)
+		}
+		const eps = 1e-9
+		if diff := g.Util - w.Util; diff > eps || diff < -eps {
+			t.Fatalf("device %s: util %v, want %v", g.ID, g.Util, w.Util)
+		}
+		if diff := g.Mem - w.Mem; diff > eps || diff < -eps {
+			t.Fatalf("device %s: mem %v, want %v", g.ID, g.Mem, w.Mem)
+		}
+		if g.MemCapacity != w.MemCapacity {
+			t.Fatalf("device %s: memCapacity %v, want %v", g.ID, g.MemCapacity, w.MemCapacity)
+		}
+		if g.Excl != w.Excl {
+			t.Fatalf("device %s: excl %q, want %q", g.ID, g.Excl, w.Excl)
+		}
+		if len(g.Aff) != len(w.Aff) || len(g.Anti) != len(w.Anti) {
+			t.Fatalf("device %s: label sets differ", g.ID)
+		}
+		for k := range w.Aff {
+			if !g.Aff[k] {
+				t.Fatalf("device %s: missing aff %q", g.ID, k)
+			}
+		}
+		for k := range w.Anti {
+			if !g.Anti[k] {
+				t.Fatalf("device %s: missing anti %q", g.ID, k)
+			}
+		}
+	}
+	if len(got.FreePhysical) != len(want.FreePhysical) {
+		t.Fatalf("freePhysical %v, want %v", got.FreePhysical, want.FreePhysical)
+	}
+	for node, n := range want.FreePhysical {
+		if got.FreePhysical[node] != n {
+			t.Fatalf("freePhysical[%s] = %d, want %d", node, got.FreePhysical[node], n)
+		}
+	}
+}
+
+func snapTestSP(name string, i int) *SharePod {
+	return &SharePod{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: SharePodSpec{
+			Pod:        api.PodSpec{Containers: []api.Container{{Name: "c", Image: "i"}}},
+			GPURequest: 0.1 + float64(i%5)*0.05,
+			GPUMem:     0.1 + float64(i%4)*0.05,
+		},
+	}
+}
+
+// TestSnapshotMatchesRebuildRandomized runs a randomized sequence of
+// SharePod / VGPU / Pod / Node mutations and checks after every step that
+// the pool materialized from the incrementally maintained snapshot is
+// identical to a full BuildPoolWithFactor rebuild.
+func TestSnapshotMatchesRebuildRandomized(t *testing.T) {
+	for _, memFactor := range []float64{1.0, 1.5} {
+		t.Run(fmt.Sprintf("memFactor=%v", memFactor), func(t *testing.T) {
+			srv, snap, drain := newSnapRig(memFactor)
+			rng := rand.New(rand.NewSource(11))
+			affLabels := []string{"", "train-a", "train-b"}
+			gpuIDs := []string{"g-00", "g-01", "g-02", "g-03", "g-04", "g-05"}
+			nodes := []string{"n-0", "n-1", "n-2"}
+
+			for _, n := range nodes {
+				capacity := api.ResourceList{api.ResourceCPU: 32000, api.ResourceGPU: 4}
+				apiserver.Nodes(srv).Create(&api.Node{
+					ObjectMeta: api.ObjectMeta{Name: n},
+					Status:     api.NodeStatus{Capacity: capacity, Allocatable: capacity.Clone(), Ready: true},
+				})
+			}
+
+			sps := SharePods(srv)
+			vgpus := VGPUs(srv)
+			pods := apiserver.Pods(srv)
+			serial := 0
+			for step := 0; step < 1200; step++ {
+				switch rng.Intn(10) {
+				case 0, 1: // create a pending or pre-placed sharePod
+					serial++
+					sp := snapTestSP(fmt.Sprintf("sp-%03d", serial), serial)
+					if rng.Intn(2) == 0 {
+						i := rng.Intn(len(gpuIDs))
+						sp.Spec.GPUID = gpuIDs[i]
+						sp.Spec.NodeName = nodes[i%len(nodes)]
+						sp.Spec.Affinity = affLabels[rng.Intn(len(affLabels))]
+						sp.Spec.AntiAffinity = affLabels[rng.Intn(len(affLabels))]
+						if rng.Intn(4) == 0 {
+							sp.Spec.Exclusion = "solo"
+						}
+					}
+					sps.Create(sp)
+				case 2, 3: // place a pending sharePod (spec write)
+					for _, sp := range sps.List() {
+						if !sp.Placed() && !sp.Terminated() {
+							i := rng.Intn(len(gpuIDs))
+							sps.Mutate(sp.Name, func(cur *SharePod) error {
+								cur.Spec.GPUID = gpuIDs[i]
+								cur.Spec.NodeName = nodes[i%len(nodes)]
+								cur.Spec.Affinity = affLabels[rng.Intn(len(affLabels))]
+								return nil
+							})
+							break
+						}
+					}
+				case 4: // terminate a placed sharePod (status write)
+					if list := sps.List(); len(list) > 0 {
+						sp := list[rng.Intn(len(list))]
+						sps.MutateStatus(sp.Name, func(cur *SharePod) error {
+							cur.Status.Phase = SharePodSucceeded
+							return nil
+						})
+					}
+				case 5: // delete a sharePod
+					if list := sps.List(); len(list) > 0 {
+						sps.Delete(list[rng.Intn(len(list))].Name)
+					}
+				case 6: // materialize a VGPU object
+					i := rng.Intn(len(gpuIDs))
+					vgpus.Create(&VGPU{
+						ObjectMeta: api.ObjectMeta{Name: gpuIDs[i]},
+						Spec:       VGPUSpec{GPUID: gpuIDs[i], NodeName: nodes[i%len(nodes)]},
+						Status:     VGPUStatus{Phase: VGPUActive},
+					})
+				case 7: // delete a VGPU object
+					if list := vgpus.List(); len(list) > 0 {
+						vgpus.Delete(list[rng.Intn(len(list))].Name)
+					}
+				case 8: // create a native GPU pod (consumes physical capacity)
+					serial++
+					pods.Create(&api.Pod{
+						ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("native-%03d", serial)},
+						Spec: api.PodSpec{
+							NodeName: nodes[rng.Intn(len(nodes))],
+							Containers: []api.Container{{
+								Name: "c", Image: "i",
+								Requests: api.ResourceList{api.ResourceGPU: 1},
+							}},
+						},
+					})
+				case 9: // terminate or delete a native pod
+					if list := pods.List(); len(list) > 0 {
+						pod := list[rng.Intn(len(list))]
+						if rng.Intn(2) == 0 {
+							pods.MutateStatus(pod.Name, func(cur *api.Pod) error {
+								cur.Status.Phase = api.PodSucceeded
+								return nil
+							})
+						} else {
+							pods.Delete(pod.Name)
+						}
+					}
+				}
+				drain()
+				got := snap.NewPool(nil)
+				want := BuildPoolWithFactor(srv, nil, memFactor)
+				requirePoolsEqual(t, got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotApplyIdempotent pins the write-through contract: the
+// scheduler applies its own placement immediately and later sees the same
+// event from the watch stream; the second application must be a no-op.
+func TestSnapshotApplyIdempotent(t *testing.T) {
+	srv, snap, drain := newSnapRig(1)
+	capacity := api.ResourceList{api.ResourceGPU: 4}
+	apiserver.Nodes(srv).Create(&api.Node{
+		ObjectMeta: api.ObjectMeta{Name: "n-0"},
+		Status:     api.NodeStatus{Capacity: capacity, Allocatable: capacity.Clone(), Ready: true},
+	})
+	sp := snapTestSP("sp-1", 1)
+	sp.Spec.GPUID = "g-0"
+	sp.Spec.NodeName = "n-0"
+	stored, err := SharePods(srv).Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	// Write-through: apply the already-seen object again, twice.
+	snap.Apply(store.Event{Type: store.Modified, Object: stored})
+	snap.Apply(store.Event{Type: store.Modified, Object: stored})
+	got := snap.NewPool(nil)
+	want := BuildPool(srv, nil)
+	requirePoolsEqual(t, got, want)
+	if got.Devices[0].Util >= 1 {
+		t.Fatalf("tenant not accounted: util %v", got.Devices[0].Util)
+	}
+}
+
+// TestSchedulerSnapshotEquivalenceEndToEnd drives the real KubeShare-Sched
+// over a randomized submission sequence and cross-checks that the decisions
+// recorded on the sharePods are exactly those a full-rebuild pool would have
+// produced (capacity sums stay within bounds; every placement lands on a
+// device that existed or was newly created).
+func TestSchedulerSnapshotCapacityInvariant(t *testing.T) {
+	env := sim.NewEnv()
+	srv := apiserver.New(env)
+	srv.RegisterValidator(KindSharePod, ValidateSharePod)
+	for _, n := range []string{"n-0", "n-1"} {
+		capacity := api.ResourceList{api.ResourceCPU: 32000, api.ResourceGPU: 2}
+		apiserver.Nodes(srv).Create(&api.Node{
+			ObjectMeta: api.ObjectMeta{Name: n},
+			Status:     api.NodeStatus{Capacity: capacity, Allocatable: capacity.Clone(), Ready: true},
+		})
+	}
+	NewScheduler(env, srv, SchedulerConfig{}).Start()
+	rng := rand.New(rand.NewSource(3))
+	env.Go("submit", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			sp := snapTestSP(fmt.Sprintf("sp-%03d", i), i)
+			sp.Spec.GPURequest = 0.2 + 0.1*float64(rng.Intn(3))
+			sp.Spec.GPUMem = 0.2
+			if _, err := SharePods(srv).Create(sp); err != nil {
+				t.Errorf("create: %v", err)
+			}
+			p.Sleep(20 * time.Millisecond)
+		}
+	})
+	env.Run()
+
+	// Algorithm 1 capacity invariant: per-device commitment sums ≤ 1.
+	util := map[string]float64{}
+	mem := map[string]float64{}
+	placed := 0
+	for _, sp := range SharePods(srv).List() {
+		if !sp.Placed() || sp.Terminated() {
+			continue
+		}
+		placed++
+		util[sp.Spec.GPUID] += sp.Spec.GPURequest
+		mem[sp.Spec.GPUID] += sp.Spec.GPUMem
+	}
+	if placed == 0 {
+		t.Fatal("nothing placed")
+	}
+	for id, u := range util {
+		if u > 1+1e-9 || mem[id] > 1+1e-9 {
+			t.Fatalf("device %s over-committed: util %v mem %v", id, u, mem[id])
+		}
+	}
+	// 4 physical GPUs total: never more than 4 distinct devices.
+	if len(util) > 4 {
+		t.Fatalf("%d devices carved from 4 physical GPUs", len(util))
+	}
+}

@@ -89,6 +89,37 @@ func ScheduleOnce(srv *apiserver.Server) core.Decision {
 	return core.Schedule(core.Request{Util: 0.3, Mem: 0.2}, pool)
 }
 
+// PopulateSnapshot folds the server's current state into an incremental
+// scheduler snapshot by draining replay watches — the steady-state view
+// KubeShare-Sched maintains from deltas instead of rebuilding per decision.
+func PopulateSnapshot(srv *apiserver.Server) *core.Snapshot {
+	snap := core.NewSnapshot(1)
+	for _, kind := range []string{core.KindSharePod, core.KindVGPU, "Pod", "Node"} {
+		q := srv.Watch(kind, true)
+		for {
+			ev, ok := q.TryGet()
+			if !ok {
+				break
+			}
+			snap.Apply(ev)
+		}
+		srv.StopWatch(q)
+	}
+	return snap
+}
+
+// ScheduleOnceIncremental performs one scheduling decision from the
+// maintained snapshot (pool materialization + Algorithm 1) — the
+// incremental counterpart of ScheduleOnce.
+func ScheduleOnceIncremental(snap *core.Snapshot) core.Decision {
+	serial := 0
+	pool := snap.NewPool(func() string {
+		serial++
+		return fmt.Sprintf("fresh-%d", serial)
+	})
+	return core.Schedule(core.Request{Util: 0.3, Mem: 0.2}, pool)
+}
+
 // Fig11 sweeps the SharePod count and reports mean decision time. The
 // paper's shape: linear in N and comfortably under 400 ms at N=100.
 func Fig11(cfg Fig11Config) (*metrics.Table, error) {

@@ -107,6 +107,18 @@ type Object interface {
 	DeepCopyObject() Object
 }
 
+// StatusCarrier is implemented by objects with a status subresource. The
+// store uses it to keep spec and status writes from clobbering each other:
+// Update preserves the stored status (ignoring the caller's status fields)
+// and UpdateStatus preserves the stored spec and metadata. Objects that do
+// not implement it keep whole-object write semantics.
+type StatusCarrier interface {
+	Object
+	// SetStatusFrom overwrites the receiver's status with src's status.
+	// src is guaranteed to be the same concrete type.
+	SetStatusFrom(src Object)
+}
+
 // Key returns the store key of an object.
 func Key(o Object) string { return o.Kind() + "/" + o.GetMeta().Name }
 
@@ -206,6 +218,9 @@ func (p *Pod) DeepCopyObject() Object {
 	return &out
 }
 
+// SetStatusFrom implements StatusCarrier.
+func (p *Pod) SetStatusFrom(src Object) { p.Status = src.(*Pod).Status }
+
 // Terminated reports whether the pod reached a terminal phase.
 func (p *Pod) Terminated() bool {
 	return p.Status.Phase == PodSucceeded || p.Status.Phase == PodFailed
@@ -242,6 +257,14 @@ func (n *Node) DeepCopyObject() Object {
 	out.Status.Capacity = n.Status.Capacity.Clone()
 	out.Status.Allocatable = n.Status.Allocatable.Clone()
 	return &out
+}
+
+// SetStatusFrom implements StatusCarrier.
+func (n *Node) SetStatusFrom(src Object) {
+	st := src.(*Node).Status
+	st.Capacity = st.Capacity.Clone()
+	st.Allocatable = st.Allocatable.Clone()
+	n.Status = st
 }
 
 // MatchesSelector reports whether the node's labels satisfy sel.

@@ -2,6 +2,13 @@
 // watch access to the object store, with per-kind admission validation and
 // optimistic-concurrency semantics. All cluster components — and KubeShare's
 // custom controllers — interact exclusively through it.
+//
+// The client API distinguishes spec writes (Update/Mutate) from status
+// writes (UpdateStatus/MutateStatus), mirroring the status subresource:
+// a controller updating an object's status can never clobber a concurrent
+// spec write and vice versa. Lists and watches can be narrowed server-side
+// by label selector (ListSelector, WatchFiltered), answered from the
+// store's indexes.
 package apiserver
 
 import (
@@ -9,9 +16,22 @@ import (
 	"fmt"
 
 	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
 )
+
+// WatchOptions narrows a watch subscription server-side: by exact object
+// name, by label selector, and with or without replay of the current state.
+type WatchOptions struct {
+	// Name restricts delivery to the object with this exact name.
+	Name string
+	// Selector restricts delivery to objects whose labels match.
+	Selector labels.Selector
+	// Replay delivers the currently matching objects first as Added events
+	// (list+watch semantics).
+	Replay bool
+}
 
 // Server is the cluster's API frontend.
 type Server struct {
@@ -59,12 +79,23 @@ func (s *Server) Create(obj api.Object) (api.Object, error) {
 	return s.store.Create(obj)
 }
 
-// Update validates and replaces obj (ErrConflict on stale version).
+// Update validates and replaces obj (ErrConflict on stale version). For
+// kinds with a status subresource the stored status is preserved — use
+// UpdateStatus for status writes.
 func (s *Server) Update(obj api.Object) (api.Object, error) {
 	if err := s.validate(obj); err != nil {
 		return nil, err
 	}
 	return s.store.Update(obj)
+}
+
+// UpdateStatus validates and replaces only obj's status, preserving the
+// stored spec and metadata (the status subresource write).
+func (s *Server) UpdateStatus(obj api.Object) (api.Object, error) {
+	if err := s.validate(obj); err != nil {
+		return nil, err
+	}
+	return s.store.UpdateStatus(obj)
 }
 
 // Get fetches one object.
@@ -76,9 +107,26 @@ func (s *Server) Delete(kind, name string) error { return s.store.Delete(kind, n
 // List returns all objects of a kind.
 func (s *Server) List(kind string) []api.Object { return s.store.List(kind + "/") }
 
+// ListSelector returns the kind's objects whose labels match sel, answered
+// from the store's label index.
+func (s *Server) ListSelector(kind string, sel labels.Selector) []api.Object {
+	return s.store.ListSelector(kind, sel)
+}
+
+// Count returns the number of objects of a kind without listing them.
+func (s *Server) Count(kind string) int { return s.store.Count(kind) }
+
 // Watch subscribes to a kind (list+watch when replay is true).
 func (s *Server) Watch(kind string, replay bool) *sim.Queue[store.Event] {
 	return s.store.Watch(kind+"/", replay)
+}
+
+// WatchFiltered subscribes to a kind with server-side filtering by exact
+// name and/or label selector; events the filter rejects are never
+// delivered to the subscriber.
+func (s *Server) WatchFiltered(kind string, opts WatchOptions) *sim.Queue[store.Event] {
+	return s.store.WatchFiltered(kind+"/",
+		store.WatchOptions{Name: opts.Name, Selector: opts.Selector}, opts.Replay)
 }
 
 // StopWatch cancels a watch.
@@ -124,10 +172,24 @@ func (c Client[T]) Get(name string) (T, error) {
 	return out.(T), nil
 }
 
-// Update replaces the stored object.
+// Update replaces the stored object's spec and metadata. For kinds with a
+// status subresource the stored status is preserved; use UpdateStatus to
+// write status.
 func (c Client[T]) Update(obj T) (T, error) {
 	var zero T
 	out, err := c.s.Update(obj)
+	if err != nil {
+		return zero, err
+	}
+	return out.(T), nil
+}
+
+// UpdateStatus replaces only the stored object's status (the status
+// subresource write): the stored spec and metadata are preserved, so a
+// controller reporting status can never clobber a concurrent spec write.
+func (c Client[T]) UpdateStatus(obj T) (T, error) {
+	var zero T
+	out, err := c.s.UpdateStatus(obj)
 	if err != nil {
 		return zero, err
 	}
@@ -139,7 +201,19 @@ func (c Client[T]) Delete(name string) error { return c.s.Delete(c.kind, name) }
 
 // List returns all objects of the kind, sorted by name.
 func (c Client[T]) List() []T {
-	objs := c.s.List(c.kind)
+	return toTyped[T](c.s.List(c.kind))
+}
+
+// ListSelector returns the kind's objects whose labels match sel, sorted by
+// name. The query is answered from the store's label index in O(matching).
+func (c Client[T]) ListSelector(sel labels.Selector) []T {
+	return toTyped[T](c.s.ListSelector(c.kind, sel))
+}
+
+// Count returns the number of stored objects of the kind.
+func (c Client[T]) Count() int { return c.s.Count(c.kind) }
+
+func toTyped[T api.Object](objs []api.Object) []T {
 	out := make([]T, len(objs))
 	for i, o := range objs {
 		out[i] = o.(T)
@@ -152,9 +226,27 @@ func (c Client[T]) Watch(replay bool) *sim.Queue[store.Event] {
 	return c.s.Watch(c.kind, replay)
 }
 
-// Mutate runs a read-modify-write loop: it fetches name, applies mutate and
-// updates, retrying on version conflicts. mutate must be idempotent.
+// WatchFiltered subscribes to the kind with server-side name/selector
+// filtering.
+func (c Client[T]) WatchFiltered(opts WatchOptions) *sim.Queue[store.Event] {
+	return c.s.WatchFiltered(c.kind, opts)
+}
+
+// Mutate runs a read-modify-write loop against the spec: it fetches name,
+// applies mutate and updates, retrying on version conflicts. mutate must be
+// idempotent. Status changes made by mutate are discarded for kinds with a
+// status subresource — use MutateStatus for those.
 func (c Client[T]) Mutate(name string, mutate func(T) error) (T, error) {
+	return c.mutate(name, mutate, c.Update)
+}
+
+// MutateStatus is Mutate against the status subresource: only status
+// changes made by mutate are persisted.
+func (c Client[T]) MutateStatus(name string, mutate func(T) error) (T, error) {
+	return c.mutate(name, mutate, c.UpdateStatus)
+}
+
+func (c Client[T]) mutate(name string, mutate func(T) error, write func(T) (T, error)) (T, error) {
 	var zero T
 	for {
 		cur, err := c.Get(name)
@@ -164,7 +256,7 @@ func (c Client[T]) Mutate(name string, mutate func(T) error) (T, error) {
 		if err := mutate(cur); err != nil {
 			return zero, err
 		}
-		out, err := c.Update(cur)
+		out, err := write(cur)
 		if err == nil {
 			return out, nil
 		}

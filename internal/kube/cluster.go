@@ -165,17 +165,15 @@ func (c *Cluster) WaitPodPhase(p *sim.Proc, name string, phases ...api.PodPhase)
 		}
 		return false
 	}
-	q := c.API.Watch("Pod", true)
+	// Name-filtered subscription: unrelated pod churn never wakes the waiter.
+	q := c.API.WatchFiltered("Pod", apiserver.WatchOptions{Name: name, Replay: true})
 	defer c.API.StopWatch(q)
 	for {
 		ev, ok := q.Get(p)
 		if !ok {
 			return nil, fmt.Errorf("kube: watch closed waiting for %s", name)
 		}
-		pod, isPod := ev.Object.(*api.Pod)
-		if !isPod || pod.Name != name {
-			continue
-		}
+		pod := ev.Object.(*api.Pod)
 		if ev.Type == store.Deleted {
 			return nil, fmt.Errorf("kube: pod %s deleted while waiting", name)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/sim"
 )
 
@@ -143,7 +144,10 @@ func (m *ReplicationManager) reconcile(p *sim.Proc, name string) error {
 	pods := apiserver.Pods(m.srv)
 	var owned []*api.Pod
 	live := 0
-	for _, pod := range pods.List() {
+	// The selector narrows the scan to label-matching pods via the store's
+	// index; the owner check still runs here (ownership is metadata, not a
+	// label).
+	for _, pod := range pods.ListSelector(labels.Set(rc.Selector)) {
 		if pod.OwnerName != rcOwnerPrefix+name || !rc.MatchesLabels(pod.Labels) {
 			continue
 		}

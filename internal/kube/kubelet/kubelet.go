@@ -238,7 +238,7 @@ func (k *Kubelet) teardown(name string, w *podWorker) {
 }
 
 func (k *Kubelet) setPhase(name string, phase api.PodPhase, msg string, extra func(*api.Pod)) {
-	_, err := apiserver.Pods(k.srv).Mutate(name, func(p *api.Pod) error {
+	_, err := apiserver.Pods(k.srv).MutateStatus(name, func(p *api.Pod) error {
 		p.Status.Phase = phase
 		p.Status.Message = msg
 		if extra != nil {

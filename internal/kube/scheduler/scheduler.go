@@ -198,15 +198,26 @@ func (s *Scheduler) scheduleOne(pod *api.Pod) {
 	if node == "" {
 		return
 	}
-	updated, err := apiserver.Pods(s.srv).Mutate(pod.Name, func(p *api.Pod) error {
+	pods := apiserver.Pods(s.srv)
+	updated, err := pods.Mutate(pod.Name, func(p *api.Pod) error {
 		if p.Spec.NodeName == "" {
 			p.Spec.NodeName = node
-			p.Status.ScheduledTime = s.env.Now()
 		}
 		return nil
 	})
 	if err != nil {
 		delete(s.pods, pod.Name) // deleted while in queue
+		return
+	}
+	// ScheduledTime is status; written through the status subresource so the
+	// bind above never races with kubelet phase reports.
+	if updated, err = pods.MutateStatus(pod.Name, func(p *api.Pod) error {
+		if p.Status.ScheduledTime == 0 {
+			p.Status.ScheduledTime = s.env.Now()
+		}
+		return nil
+	}); err != nil {
+		delete(s.pods, pod.Name)
 		return
 	}
 	s.pods[pod.Name] = updated

@@ -111,7 +111,7 @@ func TestPendingPodScheduledWhenCapacityFrees(t *testing.T) {
 			t.Error("waiting pod bound while capacity full")
 		}
 		// Terminate the big pod; the scheduler must react to the event.
-		apiserver.Pods(srv).Mutate("big", func(cur *api.Pod) error {
+		apiserver.Pods(srv).MutateStatus("big", func(cur *api.Pod) error {
 			cur.Status.Phase = api.PodSucceeded
 			return nil
 		})

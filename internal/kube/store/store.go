@@ -2,6 +2,12 @@
 // versioned object store with optimistic concurrency and prefix watches.
 // Each mutation bumps a store-wide revision; every object carries the
 // revision of its last write as its ResourceVersion.
+//
+// Objects are kept in per-kind buckets with a lazily sorted name index and
+// a label posting index (key → value → names), so lists, selector queries
+// and watch fan-out cost O(matching objects) instead of O(all keys).
+// Watches can be filtered server-side by kind, exact name and label
+// selector — subscribers never receive events they would discard.
 package store
 
 import (
@@ -11,6 +17,7 @@ import (
 	"strings"
 
 	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/sim"
 )
 
@@ -42,35 +49,147 @@ type Event struct {
 	Object api.Object
 }
 
-// watcher fans events out to one subscriber.
+// WatchOptions narrows a watch subscription server-side. The zero value
+// subscribes to everything under the watch's prefix.
+type WatchOptions struct {
+	// Name restricts delivery to the object with this exact name.
+	Name string
+	// Selector restricts delivery to objects whose labels match. For
+	// Deleted events the last stored labels are consulted. Nil matches all.
+	Selector labels.Selector
+}
+
+// matches reports whether an object with the given name and labels passes
+// the filter.
+func (o WatchOptions) matches(name string, lbls map[string]string) bool {
+	if o.Name != "" && o.Name != name {
+		return false
+	}
+	if o.Selector != nil && !o.Selector.Matches(lbls) {
+		return false
+	}
+	return true
+}
+
+// watcher fans events out to one subscriber. Watchers registered with a
+// plain "<Kind>/" prefix live in the per-kind bucket and are only visited
+// for mutations of that kind; others are matched by generic prefix.
 type watcher struct {
 	prefix string
+	opts   WatchOptions
 	queue  *sim.Queue[Event]
+}
+
+// bucket holds one kind's objects plus its indexes.
+type bucket struct {
+	objs map[string]api.Object // name → stored object
+	// sorted caches the names in order; rebuilt lazily after create/delete.
+	sorted []string
+	dirty  bool
+	// byLabel is the posting index: label key → value → set of names.
+	byLabel map[string]map[string]map[string]struct{}
+	// watchers subscribed to exactly this kind.
+	watchers []*watcher
+}
+
+func newBucket() *bucket {
+	return &bucket{
+		objs:    make(map[string]api.Object),
+		byLabel: make(map[string]map[string]map[string]struct{}),
+	}
+}
+
+// names returns the bucket's object names sorted, rebuilding the cache if
+// stale.
+func (b *bucket) names() []string {
+	if b.dirty {
+		b.sorted = b.sorted[:0]
+		for n := range b.objs {
+			b.sorted = append(b.sorted, n)
+		}
+		sort.Strings(b.sorted)
+		b.dirty = false
+	}
+	return b.sorted
+}
+
+func (b *bucket) indexLabels(name string, lbls map[string]string) {
+	for k, v := range lbls {
+		vals, ok := b.byLabel[k]
+		if !ok {
+			vals = make(map[string]map[string]struct{})
+			b.byLabel[k] = vals
+		}
+		set, ok := vals[v]
+		if !ok {
+			set = make(map[string]struct{})
+			vals[v] = set
+		}
+		set[name] = struct{}{}
+	}
+}
+
+func (b *bucket) unindexLabels(name string, lbls map[string]string) {
+	for k, v := range lbls {
+		if vals, ok := b.byLabel[k]; ok {
+			if set, ok := vals[v]; ok {
+				delete(set, name)
+				if len(set) == 0 {
+					delete(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				delete(b.byLabel, k)
+			}
+		}
+	}
 }
 
 // Store is the versioned object store.
 type Store struct {
-	env      *sim.Env
-	rev      int64
-	objects  map[string]api.Object
-	watchers []*watcher
-	nextUID  int64
+	env   *sim.Env
+	rev   int64
+	kinds map[string]*bucket
+	// global holds watchers whose prefix is not a plain "<Kind>/" — they
+	// are matched by string prefix against every mutation.
+	global  []*watcher
+	nextUID int64
 }
 
 // New returns an empty store.
 func New(env *sim.Env) *Store {
-	return &Store{env: env, objects: make(map[string]api.Object)}
+	return &Store{env: env, kinds: make(map[string]*bucket)}
 }
 
 // Revision returns the store-wide revision of the last mutation.
 func (s *Store) Revision() int64 { return s.rev }
 
+func (s *Store) bucketOf(kind string) *bucket {
+	b, ok := s.kinds[kind]
+	if !ok {
+		b = newBucket()
+		s.kinds[kind] = b
+	}
+	return b
+}
+
+// kindNames returns all kind names sorted (for generic-prefix scans).
+func (s *Store) kindNames() []string {
+	out := make([]string, 0, len(s.kinds))
+	for k := range s.kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Create inserts obj, assigning UID, CreationTime and ResourceVersion. The
 // stored copy is returned.
 func (s *Store) Create(obj api.Object) (api.Object, error) {
-	key := api.Key(obj)
-	if _, ok := s.objects[key]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrExists, key)
+	b := s.bucketOf(obj.Kind())
+	name := obj.GetMeta().Name
+	if _, ok := b.objs[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, api.Key(obj))
 	}
 	stored := obj.DeepCopyObject()
 	meta := stored.GetMeta()
@@ -79,107 +198,315 @@ func (s *Store) Create(obj api.Object) (api.Object, error) {
 	meta.ResourceVersion = s.rev
 	meta.UID = fmt.Sprintf("uid-%d", s.nextUID)
 	meta.CreationTime = s.env.Now()
-	s.objects[key] = stored
-	s.notify(Event{Added, stored.DeepCopyObject()})
+	b.objs[name] = stored
+	b.dirty = true
+	b.indexLabels(name, meta.Labels)
+	s.notify(b, Event{Added, stored.DeepCopyObject()})
 	return stored.DeepCopyObject(), nil
 }
 
 // Update replaces the stored object. The caller's copy must carry the
 // ResourceVersion it read; a stale version yields ErrConflict. UID and
-// CreationTime are preserved from the stored object.
+// CreationTime are preserved from the stored object. For kinds with a
+// status subresource (api.StatusCarrier) the stored status is preserved
+// too — status writes go through UpdateStatus.
 func (s *Store) Update(obj api.Object) (api.Object, error) {
-	key := api.Key(obj)
-	cur, ok := s.objects[key]
+	return s.update(obj, false)
+}
+
+// UpdateStatus replaces only the stored object's status, preserving spec
+// and metadata (labels, annotations, owner) from the stored copy — the
+// status-subresource write. Objects that do not implement
+// api.StatusCarrier fall back to a whole-object Update.
+func (s *Store) UpdateStatus(obj api.Object) (api.Object, error) {
+	return s.update(obj, true)
+}
+
+func (s *Store) update(obj api.Object, statusOnly bool) (api.Object, error) {
+	b := s.bucketOf(obj.Kind())
+	name := obj.GetMeta().Name
+	cur, ok := b.objs[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, api.Key(obj))
 	}
 	curMeta := cur.GetMeta()
 	if obj.GetMeta().ResourceVersion != curMeta.ResourceVersion {
 		return nil, fmt.Errorf("%w: %s (have %d, stored %d)", ErrConflict,
-			key, obj.GetMeta().ResourceVersion, curMeta.ResourceVersion)
+			api.Key(obj), obj.GetMeta().ResourceVersion, curMeta.ResourceVersion)
 	}
-	stored := obj.DeepCopyObject()
+	var stored api.Object
+	if sc, carries := cur.(api.StatusCarrier); carries {
+		if statusOnly {
+			// Stored spec + metadata, caller's status.
+			stored = cur.DeepCopyObject()
+			stored.(api.StatusCarrier).SetStatusFrom(obj)
+		} else {
+			// Caller's spec + metadata, stored status.
+			stored = obj.DeepCopyObject()
+			stored.(api.StatusCarrier).SetStatusFrom(sc)
+		}
+	} else {
+		stored = obj.DeepCopyObject()
+	}
 	meta := stored.GetMeta()
 	s.rev++
 	meta.ResourceVersion = s.rev
 	meta.UID = curMeta.UID
 	meta.CreationTime = curMeta.CreationTime
-	s.objects[key] = stored
-	s.notify(Event{Modified, stored.DeepCopyObject()})
+	b.unindexLabels(name, curMeta.Labels)
+	b.objs[name] = stored
+	b.indexLabels(name, meta.Labels)
+	s.notify(b, Event{Modified, stored.DeepCopyObject()})
 	return stored.DeepCopyObject(), nil
 }
 
 // Delete removes the object by key.
 func (s *Store) Delete(kind, name string) error {
-	key := api.KeyOf(kind, name)
-	cur, ok := s.objects[key]
+	b := s.bucketOf(kind)
+	cur, ok := b.objs[name]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, key)
+		return fmt.Errorf("%w: %s", ErrNotFound, api.KeyOf(kind, name))
 	}
-	delete(s.objects, key)
+	delete(b.objs, name)
+	b.dirty = true
+	b.unindexLabels(name, cur.GetMeta().Labels)
 	s.rev++
-	s.notify(Event{Deleted, cur.DeepCopyObject()})
+	s.notify(b, Event{Deleted, cur.DeepCopyObject()})
 	return nil
 }
 
 // Get returns a deep copy of the object by key.
 func (s *Store) Get(kind, name string) (api.Object, error) {
-	obj, ok := s.objects[api.KeyOf(kind, name)]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, api.KeyOf(kind, name))
+	if b, ok := s.kinds[kind]; ok {
+		if obj, ok := b.objs[name]; ok {
+			return obj.DeepCopyObject(), nil
+		}
 	}
-	return obj.DeepCopyObject(), nil
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, api.KeyOf(kind, name))
+}
+
+// Count returns the number of objects of a kind without copying them.
+func (s *Store) Count(kind string) int {
+	if b, ok := s.kinds[kind]; ok {
+		return len(b.objs)
+	}
+	return 0
 }
 
 // List returns deep copies of all objects whose key has the given prefix
-// (typically "<Kind>/"), sorted by key for determinism.
+// (typically "<Kind>/"), sorted by key for determinism. A "<Kind>/..."
+// prefix is answered from the kind's index in O(matching).
 func (s *Store) List(prefix string) []api.Object {
-	var keys []string
-	for k := range s.objects {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
+	if kind, namePrefix, ok := splitPrefix(prefix); ok {
+		b, exists := s.kinds[kind]
+		if !exists {
+			return nil
 		}
+		return b.list(namePrefix)
 	}
-	sort.Strings(keys)
-	out := make([]api.Object, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, s.objects[k].DeepCopyObject())
+	// Generic prefix ("" or a partial kind name): walk matching kinds in
+	// key order.
+	var out []api.Object
+	for _, kind := range s.kindNames() {
+		if !strings.HasPrefix(kind+"/", prefix) {
+			continue
+		}
+		out = append(out, s.kinds[kind].list("")...)
 	}
 	return out
+}
+
+// list returns deep copies of the bucket's objects whose name starts with
+// namePrefix, in name order.
+func (b *bucket) list(namePrefix string) []api.Object {
+	names := b.names()
+	lo := sort.SearchStrings(names, namePrefix)
+	var out []api.Object
+	for _, n := range names[lo:] {
+		if !strings.HasPrefix(n, namePrefix) {
+			break
+		}
+		out = append(out, b.objs[n].DeepCopyObject())
+	}
+	return out
+}
+
+// ListSelector returns deep copies of the kind's objects whose labels match
+// sel, sorted by name. Equality and existence requirements are answered
+// from the label posting index; the smallest posting set drives the scan.
+func (s *Store) ListSelector(kind string, sel labels.Selector) []api.Object {
+	b, ok := s.kinds[kind]
+	if !ok {
+		return nil
+	}
+	if sel == nil || sel.Empty() {
+		return b.list("")
+	}
+	candidates := b.candidateNames(sel)
+	if candidates == nil {
+		// No indexable requirement: full (sorted) scan.
+		var out []api.Object
+		for _, n := range b.names() {
+			if sel.Matches(b.objs[n].GetMeta().Labels) {
+				out = append(out, b.objs[n].DeepCopyObject())
+			}
+		}
+		return out
+	}
+	sort.Strings(candidates)
+	var out []api.Object
+	for _, n := range candidates {
+		obj, ok := b.objs[n]
+		if ok && sel.Matches(obj.GetMeta().Labels) {
+			out = append(out, obj.DeepCopyObject())
+		}
+	}
+	return out
+}
+
+// candidateNames returns the smallest posting set usable for sel, or nil
+// when no requirement is indexable (caller falls back to a full scan). The
+// result may contain false positives; callers must re-check Matches.
+func (b *bucket) candidateNames(sel labels.Selector) []string {
+	bestSize := -1
+	var best []string
+	for _, r := range sel.Requirements() {
+		var size int
+		switch r.Op {
+		case labels.Equals:
+			size = len(b.byLabel[r.Key][r.Value])
+		case labels.Exists:
+			for _, set := range b.byLabel[r.Key] {
+				size += len(set)
+			}
+		default:
+			continue // not indexable; filter-only
+		}
+		if bestSize == -1 || size < bestSize {
+			bestSize = size
+			best = nil
+			switch r.Op {
+			case labels.Equals:
+				for n := range b.byLabel[r.Key][r.Value] {
+					best = append(best, n)
+				}
+			case labels.Exists:
+				for _, set := range b.byLabel[r.Key] {
+					for n := range set {
+						best = append(best, n)
+					}
+				}
+			}
+			if size == 0 {
+				return []string{}
+			}
+		}
+	}
+	return best
+}
+
+// splitPrefix decomposes "<Kind>/<name-prefix>" into its parts; ok is false
+// for prefixes without a slash (generic scans).
+func splitPrefix(prefix string) (kind, namePrefix string, ok bool) {
+	i := strings.IndexByte(prefix, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	return prefix[:i], prefix[i+1:], true
 }
 
 // Watch subscribes to mutations of keys with the given prefix. When replay
 // is true, the current matching objects are delivered first as Added events
 // (list+watch semantics). Cancel the watch with StopWatch.
 func (s *Store) Watch(prefix string, replay bool) *sim.Queue[Event] {
-	w := &watcher{prefix: prefix, queue: sim.NewQueue[Event](s.env)}
+	return s.WatchFiltered(prefix, WatchOptions{}, replay)
+}
+
+// WatchFiltered is Watch narrowed by server-side filters: events are only
+// delivered for objects passing opts (exact name and/or label selector).
+// Replay delivers the currently matching objects as Added events. The
+// filters run in the store, so subscribers never pay for events they would
+// discard — the kube way of keeping watch fan-out O(interested parties).
+func (s *Store) WatchFiltered(prefix string, opts WatchOptions, replay bool) *sim.Queue[Event] {
+	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
 	if replay {
-		for _, obj := range s.List(prefix) {
+		for _, obj := range s.replaySet(prefix, opts) {
 			w.queue.Put(Event{Added, obj})
 		}
 	}
-	s.watchers = append(s.watchers, w)
+	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
+		b := s.bucketOf(kind)
+		b.watchers = append(b.watchers, w)
+	} else {
+		s.global = append(s.global, w)
+	}
 	return w.queue
+}
+
+// replaySet lists the objects a filtered watch replays, using the indexes
+// where possible.
+func (s *Store) replaySet(prefix string, opts WatchOptions) []api.Object {
+	kind, namePrefix, ok := splitPrefix(prefix)
+	if ok && namePrefix == "" && opts.Name != "" {
+		// Exact-name watch: at most one object.
+		if obj, err := s.Get(kind, opts.Name); err == nil {
+			if opts.Selector == nil || opts.Selector.Matches(obj.GetMeta().Labels) {
+				return []api.Object{obj}
+			}
+		}
+		return nil
+	}
+	var objs []api.Object
+	if ok && namePrefix == "" && opts.Selector != nil {
+		objs = s.ListSelector(kind, opts.Selector)
+	} else {
+		objs = s.List(prefix)
+	}
+	var out []api.Object
+	for _, obj := range objs {
+		if opts.matches(obj.GetMeta().Name, obj.GetMeta().Labels) {
+			out = append(out, obj)
+		}
+	}
+	return out
 }
 
 // StopWatch cancels a subscription created by Watch and closes its queue.
 func (s *Store) StopWatch(q *sim.Queue[Event]) {
-	for i, w := range s.watchers {
+	for i, w := range s.global {
 		if w.queue == q {
-			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			s.global = append(s.global[:i], s.global[i+1:]...)
 			q.Close()
 			return
 		}
 	}
+	for _, b := range s.kinds {
+		for i, w := range b.watchers {
+			if w.queue == q {
+				b.watchers = append(b.watchers[:i], b.watchers[i+1:]...)
+				q.Close()
+				return
+			}
+		}
+	}
 }
 
-func (s *Store) notify(ev Event) {
-	key := api.Key(ev.Object)
-	for _, w := range s.watchers {
-		if strings.HasPrefix(key, w.prefix) {
-			// Each subscriber gets its own copy so mutation never leaks
-			// between consumers.
+// notify fans an event out to the kind's watchers and any generic-prefix
+// watchers. Each subscriber gets its own copy so mutation never leaks
+// between consumers.
+func (s *Store) notify(b *bucket, ev Event) {
+	meta := ev.Object.GetMeta()
+	for _, w := range b.watchers {
+		if w.opts.matches(meta.Name, meta.Labels) {
 			w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject()})
+		}
+	}
+	if len(s.global) > 0 {
+		key := api.Key(ev.Object)
+		for _, w := range s.global {
+			if strings.HasPrefix(key, w.prefix) && w.opts.matches(meta.Name, meta.Labels) {
+				w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject()})
+			}
 		}
 	}
 }

@@ -25,7 +25,9 @@ import (
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/runtime"
+	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/workload"
 )
@@ -57,6 +59,21 @@ type (
 	Share = devlib.Share
 	// Proc is a simulation process handle (the argument of Go callbacks).
 	Proc = sim.Proc
+	// Event is one watch notification delivered by Sim.Watch.
+	Event = store.Event
+	// WatchOptions narrows a Sim.Watch subscription: exact name, label
+	// selector, and replay of the current state.
+	WatchOptions = apiserver.WatchOptions
+	// Selector filters objects by labels (see SelectorFromMap / HasLabel).
+	Selector = labels.Selector
+)
+
+// Selector constructors for Sim.Watch / ListSelector filters.
+var (
+	// SelectorFromMap builds an equality selector from key=value pairs.
+	SelectorFromMap = labels.SelectorFromMap
+	// HasLabel builds a selector matching objects carrying the label key.
+	HasLabel = labels.HasKey
 )
 
 // Re-exported phases and policies.
@@ -74,6 +91,16 @@ const (
 
 	// ResourceGPU is the extended resource name of whole GPUs.
 	ResourceGPU = api.ResourceGPU
+
+	// KindSharePod and KindVGPU name the custom resource kinds for
+	// Sim.Watch subscriptions.
+	KindSharePod = core.KindSharePod
+	KindVGPU     = core.KindVGPU
+
+	// EventAdded, EventModified and EventDeleted classify watch events.
+	EventAdded    = store.Added
+	EventModified = store.Modified
+	EventDeleted  = store.Deleted
 )
 
 // config collects the options.
@@ -231,15 +258,79 @@ type ImageEntrypoint = runtime.Entrypoint
 // ContainerCtx is the execution context passed to an ImageEntrypoint.
 type ContainerCtx = runtime.Ctx
 
-// UsageRate returns a running sharePod's current sliding-window GPU usage
-// share as measured by the node's device library backend — the signal
-// Figure 6 plots. It returns 0 for sharePods that are not running.
-func (s *Sim) UsageRate(name string) float64 {
-	if s.KS == nil {
-		return 0
+// Watch subscribes to a kind ("SharePod", "VGPU", "Pod", "Node", ...) with
+// optional server-side filtering by exact name and label selector. Events
+// the filter rejects are never delivered — the subscription costs
+// O(matching events), not O(cluster churn). Cancel with StopWatch.
+func (s *Sim) Watch(kind string, opts WatchOptions) *sim.Queue[Event] {
+	return s.Cluster.API.WatchFiltered(kind, opts)
+}
+
+// StopWatch cancels a subscription created by Watch and closes its queue.
+func (s *Sim) StopWatch(q *sim.Queue[Event]) { s.Cluster.API.StopWatch(q) }
+
+// Stats is a point-in-time snapshot of cluster and KubeShare state — the
+// one-call observability surface replacing ad-hoc per-object queries.
+type Stats struct {
+	// Now is the virtual time of the snapshot.
+	Now time.Duration
+	// SharePods counts all SharePod objects; Pending/Running/Terminated
+	// break them down by phase group.
+	SharePods           int
+	PendingSharePods    int
+	RunningSharePods    int
+	TerminatedSharePods int
+	// VGPUs counts pool devices; IdleVGPUs those without tenants.
+	VGPUs     int
+	IdleVGPUs int
+	// Pods and Nodes count the native objects.
+	Pods  int
+	Nodes int
+	// Decisions is the number of Algorithm 1 invocations so far (0 without
+	// KubeShare installed).
+	Decisions int64
+	// Usage maps each running sharePod to its current sliding-window GPU
+	// usage share as measured by the node's device library backend — the
+	// signal Figure 6 plots.
+	Usage map[string]float64
+}
+
+// Stats returns a consistent snapshot of the cluster at the current virtual
+// instant.
+func (s *Sim) Stats() Stats {
+	st := Stats{
+		Now:   s.Env.Now(),
+		Pods:  s.Pods().Count(),
+		Nodes: apiserver.Nodes(s.Cluster.API).Count(),
+		Usage: map[string]float64{},
 	}
-	sp, err := s.SharePods().Get(name)
-	if err != nil || sp.Status.UUID == "" || sp.Status.BoundPod == "" {
+	if s.KS == nil {
+		return st
+	}
+	st.Decisions = s.KS.Decisions()
+	for _, v := range s.VGPUs().List() {
+		st.VGPUs++
+		if v.Status.Phase == core.VGPUIdle {
+			st.IdleVGPUs++
+		}
+	}
+	for _, sp := range s.SharePods().List() {
+		st.SharePods++
+		switch {
+		case sp.Terminated():
+			st.TerminatedSharePods++
+		case sp.Status.Phase == core.SharePodRunning:
+			st.RunningSharePods++
+			st.Usage[sp.Name] = s.usageRate(sp)
+		default:
+			st.PendingSharePods++
+		}
+	}
+	return st
+}
+
+func (s *Sim) usageRate(sp *SharePod) float64 {
+	if sp.Status.UUID == "" || sp.Status.BoundPod == "" {
 		return 0
 	}
 	backend, ok := s.KS.Backends[sp.Spec.NodeName]
@@ -254,21 +345,36 @@ func (s *Sim) UsageRate(name string) float64 {
 	return total
 }
 
+// UsageRate returns a running sharePod's current sliding-window GPU usage
+// share. It returns 0 for sharePods that are not running.
+//
+// Deprecated: use Stats().Usage[name] for the cluster-wide view.
+func (s *Sim) UsageRate(name string) float64 {
+	if s.KS == nil {
+		return 0
+	}
+	sp, err := s.SharePods().Get(name)
+	if err != nil {
+		return 0
+	}
+	return s.usageRate(sp)
+}
+
 // WaitSharePod parks p until the named sharePod reaches a terminal phase
-// and returns it.
+// and returns it. The subscription is filtered by kind and name in the
+// store, so unrelated cluster events never wake the waiter.
+//
+// Deprecated: use Watch(KindSharePod, WatchOptions{Name: name, Replay:
+// true}) directly for non-blocking or multi-object variants.
 func (s *Sim) WaitSharePod(p *sim.Proc, name string) (*SharePod, error) {
-	q := s.Cluster.API.Watch(core.KindSharePod, true)
-	defer s.Cluster.API.StopWatch(q)
+	q := s.Watch(KindSharePod, WatchOptions{Name: name, Replay: true})
+	defer s.StopWatch(q)
 	for {
 		ev, ok := q.Get(p)
 		if !ok {
 			return nil, fmt.Errorf("kubeshare: watch closed waiting for %s", name)
 		}
-		sp, isSP := ev.Object.(*core.SharePod)
-		if !isSP || sp.Name != name {
-			continue
-		}
-		if sp.Terminated() {
+		if sp, isSP := ev.Object.(*core.SharePod); isSP && sp.Terminated() {
 			return sp, nil
 		}
 	}

@@ -178,3 +178,80 @@ func TestFacadeTokenQuotaOption(t *testing.T) {
 		t.Fatalf("quota = %v", s.KS.Backends["node-0"].Config().Quota)
 	}
 }
+
+func TestFacadeWatchNameFilteredNoWake(t *testing.T) {
+	s, err := New(WithNodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("noop-gpu", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 50*time.Millisecond)
+	})
+	// Subscribe to a sharePod that will never exist, then generate plenty of
+	// unrelated churn. The name filter must keep the queue silent.
+	q := s.Watch(KindSharePod, WatchOptions{Name: "never-created", Replay: true})
+	defer s.StopWatch(q)
+	s.Go("main", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			name := "churn-" + string(rune('a'+i))
+			if _, err := s.CreateSharePod(&SharePod{
+				ObjectMeta: ObjectMeta{Name: name},
+				Spec: SharePodSpec{
+					GPURequest: 0.2, GPULimit: 0.5, GPUMem: 0.1,
+					Pod: PodSpec{Containers: []Container{{Name: "c", Image: "noop-gpu"}}},
+				},
+			}); err != nil {
+				t.Errorf("create %s: %v", name, err)
+			}
+		}
+	})
+	s.Run()
+	if ev, ok := q.TryGet(); ok {
+		t.Fatalf("name-filtered watch woke on unrelated event: %+v", ev)
+	}
+	// A selector-filtered watch over the same churn does deliver events.
+	q2 := s.Watch(KindSharePod, WatchOptions{Replay: true})
+	defer s.StopWatch(q2)
+	if _, ok := q2.TryGet(); !ok {
+		t.Fatal("unfiltered replay watch saw nothing")
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	s, err := New(WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("work", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 200*time.Millisecond)
+	})
+	s.Go("main", func(p *sim.Proc) {
+		for _, name := range []string{"a", "b"} {
+			if _, err := s.CreateSharePod(&SharePod{
+				ObjectMeta: ObjectMeta{Name: name},
+				Spec: SharePodSpec{
+					GPURequest: 0.4, GPULimit: 0.8, GPUMem: 0.2,
+					Pod: PodSpec{Containers: []Container{{Name: "c", Image: "work"}}},
+				},
+			}); err != nil {
+				t.Errorf("create %s: %v", name, err)
+			}
+		}
+	})
+	s.Run()
+	st := s.Stats()
+	if st.SharePods != 2 || st.TerminatedSharePods != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Nodes != 2 {
+		t.Fatalf("nodes = %d", st.Nodes)
+	}
+	if st.Decisions == 0 {
+		t.Fatal("no scheduling decisions recorded")
+	}
+	// All sharePods are done: vGPUs have been garbage-collected and nothing
+	// is reporting usage.
+	if len(st.Usage) != 0 {
+		t.Fatalf("usage reported for terminated sharePods: %v", st.Usage)
+	}
+}
