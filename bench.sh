@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# bench.sh — measure the simulation-substrate benchmarks and emit
+# BENCH_sim.json.
+#
+# Usage:
+#   ./bench.sh                 # measure the current tree only
+#   BASELINE_REF=<git-ref> ./bench.sh
+#                              # also measure <git-ref> from a temporary
+#                              # worktree, interleaved run-by-run with the
+#                              # current tree, and report speedups
+#
+# Interleaving matters: on a shared machine the run-to-run variance of the
+# GC-heavy micro-benchmarks is large (±30% has been observed), so comparing
+# a baseline measured at one time against a new tree measured at another
+# mostly measures the machine. Each round runs baseline then current
+# back-to-back and the minimum over rounds is reported for both sides.
+# Allocation counts (allocs/op) are exact and machine-independent; prefer
+# them when judging the result.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+COUNT="${COUNT:-3}"
+BASELINE_REF="${BASELINE_REF:-}"
+OUT="${OUT:-BENCH_sim.json}"
+
+MICRO='BenchmarkTimerChurn|BenchmarkProcContextSwitch|BenchmarkQueueHandoff|BenchmarkManyProcs|BenchmarkSimKernel'
+FIGS='BenchmarkFig8aJobFrequency|BenchmarkFig9Utilization'
+
+run_micro() { # $1 = dir
+  (cd "$1" && go test ./internal/sim/ -run xxx -bench "$MICRO" -benchtime 1s -benchmem 2>/dev/null | grep '^Benchmark' || true)
+}
+run_figs() { # $1 = dir
+  (cd "$1" && go test . -run xxx -bench "$FIGS" -benchtime 1x 2>/dev/null | grep '^Benchmark' || true)
+}
+
+BASEDIR=""
+cleanup() {
+  if [ -n "$BASEDIR" ] && [ -d "$BASEDIR" ]; then
+    git worktree remove --force "$BASEDIR" >/dev/null 2>&1 || rm -rf "$BASEDIR"
+  fi
+}
+trap cleanup EXIT
+
+if [ -n "$BASELINE_REF" ]; then
+  BASEDIR="$(mktemp -d /tmp/bench-baseline.XXXXXX)"
+  rmdir "$BASEDIR"
+  git worktree add --detach "$BASEDIR" "$BASELINE_REF" >/dev/null
+fi
+
+NEW_RAW="$(mktemp)"
+BASE_RAW="$(mktemp)"
+trap 'rm -f "$NEW_RAW" "$BASE_RAW"; cleanup' EXIT
+
+for ((i = 1; i <= COUNT; i++)); do
+  echo "round $i/$COUNT..." >&2
+  if [ -n "$BASEDIR" ]; then
+    run_micro "$BASEDIR" >>"$BASE_RAW"
+    run_figs "$BASEDIR" >>"$BASE_RAW"
+  fi
+  run_micro . >>"$NEW_RAW"
+  run_figs . >>"$NEW_RAW"
+done
+
+# min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
+min_ns() {
+  awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {
+    for (i = 1; i <= NF; i++) if ($i == "ns/op") v = $(i-1)
+    if (v != "" && (best == "" || v + 0 < best + 0)) best = v
+  } END { if (best != "") printf "%s", best }' "$1"
+}
+allocs_of() {
+  awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") { printf "%s", $(i-1); exit }
+  }' "$1"
+}
+
+BENCHES='BenchmarkTimerChurn BenchmarkProcContextSwitch BenchmarkQueueHandoff BenchmarkManyProcs BenchmarkSimKernelSameInstant BenchmarkSimKernelTimerStop BenchmarkSimKernelDeepHeap BenchmarkFig8aJobFrequency BenchmarkFig9Utilization'
+
+{
+  echo '{'
+  echo '  "generated_by": "bench.sh",'
+  echo "  \"go\": \"$(go version | awk '{print $3}')\","
+  echo "  \"cpus\": $(nproc),"
+  echo "  \"rounds\": $COUNT,"
+  if [ -n "$BASELINE_REF" ]; then
+    echo "  \"baseline_ref\": \"$(git rev-parse "$BASELINE_REF")\","
+  fi
+  echo '  "note": "min ns/op over interleaved rounds; wall-clock ratios are noisy on shared machines, allocs/op are exact",'
+  echo '  "benchmarks": {'
+  first=1
+  for b in $BENCHES; do
+    new="$(min_ns "$NEW_RAW" "$b")"
+    [ -z "$new" ] && continue
+    [ $first -eq 0 ] && echo ','
+    first=0
+    printf '    "%s": {' "$b"
+    printf '"ns_op": %s' "$new"
+    na="$(allocs_of "$NEW_RAW" "$b")"
+    [ -n "$na" ] && printf ', "allocs_op": %s' "$na"
+    if [ -n "$BASEDIR" ]; then
+      base="$(min_ns "$BASE_RAW" "$b")"
+      if [ -n "$base" ]; then
+        printf ', "baseline_ns_op": %s' "$base"
+        ba="$(allocs_of "$BASE_RAW" "$b")"
+        [ -n "$ba" ] && printf ', "baseline_allocs_op": %s' "$ba"
+        printf ', "speedup": %s' "$(awk -v a="$base" -v b="$new" 'BEGIN { printf "%.2f", a / b }')"
+      fi
+    fi
+    printf '}'
+  done
+  echo ''
+  echo '  }'
+  echo '}'
+} >"$OUT"
+echo "wrote $OUT" >&2

@@ -133,6 +133,7 @@ type client struct {
 	limit    float64 // maximum usage share (gpu_limit)
 	window   *metrics.UsageWindow
 	queued   *sim.Event // pending acquire, nil when none
+	acquire  *sim.Event // cached acquire event, Reset and reused per Acquire
 	enqueued time.Duration
 }
 
@@ -146,22 +147,29 @@ type TokenManager struct {
 	holder  *client
 	grant   time.Duration // when the current holder received the token
 	tokSeq  uint64
-	expiry  *sim.Timer
-	retry   *sim.Timer
+	expiry  sim.Timer
+	retry   sim.Timer
 	// handoffs counts token grants, for overhead accounting in tests.
 	handoffs int64
 	// swap is the optional memory over-commitment broker (see swap.go).
 	swap *swapState
+	// retryFn/expireFn are the timer callbacks, bound once; scheduling a
+	// method value directly would allocate a closure per (re)arm.
+	retryFn  func()
+	expireFn func()
 }
 
 // NewTokenManager creates a manager for one device.
 func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
-	return &TokenManager{
+	m := &TokenManager{
 		env:     env,
 		uuid:    uuid,
 		cfg:     cfg.withDefaults(),
 		clients: make(map[string]*client),
 	}
+	m.retryFn = m.trySchedule
+	m.expireFn = m.reclaim
+	return m
 }
 
 // Register adds a container with its resource shares. request and limit are
@@ -287,7 +295,15 @@ func (m *TokenManager) Acquire(p *sim.Proc, id string) (Token, error) {
 	if c.queued != nil {
 		return Token{}, fmt.Errorf("devlib: client %q has a concurrent acquire in flight", id)
 	}
-	ev := sim.NewEvent(m.env)
+	// Each client acquires serially (enforced above), so the grant event can
+	// be reused across acquires instead of allocated per call.
+	ev := c.acquire
+	if ev == nil {
+		ev = sim.NewEvent(m.env)
+		c.acquire = ev
+	} else {
+		ev.Reset()
+	}
 	c.queued = ev
 	c.enqueued = m.env.Now()
 	m.queue = append(m.queue, c)
@@ -312,10 +328,7 @@ func (m *TokenManager) reclaim() {
 		m.holder.window.AddSpan(m.grant, now)
 		m.holder = nil
 	}
-	if m.expiry != nil {
-		m.expiry.Stop()
-		m.expiry = nil
-	}
+	m.expiry.Stop()
 	m.trySchedule()
 }
 
@@ -359,11 +372,8 @@ func (m *TokenManager) trySchedule() {
 	if best == nil {
 		// Everyone queued is throttled at their limit; retry when the
 		// window has slid forward by one quota.
-		if m.retry == nil {
-			m.retry = m.env.After(m.cfg.Quota, func() {
-				m.retry = nil
-				m.trySchedule()
-			})
+		if !m.retry.Active() {
+			m.retry = m.env.After(m.cfg.Quota, m.retryFn)
 		}
 		return
 	}
@@ -373,10 +383,7 @@ func (m *TokenManager) trySchedule() {
 	m.holder = best
 	m.grant = now
 	tok := Token{ExpiresAt: now + m.cfg.Quota, seq: m.tokSeq}
-	m.expiry = m.env.After(m.cfg.Quota, func() {
-		m.expiry = nil
-		m.reclaim()
-	})
+	m.expiry = m.env.After(m.cfg.Quota, m.expireFn)
 	ev := best.queued
 	best.queued = nil
 	ev.Trigger(tok)

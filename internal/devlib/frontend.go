@@ -63,8 +63,15 @@ type Frontend struct {
 	cfg      Config
 
 	token      Token
-	releaseTmr *sim.Timer
-	closed     bool
+	releaseTmr sim.Timer
+	// releaseFn is the grace-expiry callback, built once so scheduling the
+	// grace timer after every kernel does not allocate a fresh closure. It
+	// reads f.token at fire time; every path that changes the token first
+	// stops the pending timer, and TokenManager.Release ignores stale
+	// tokens, so the late read is equivalent to capturing the token at
+	// scheduling time.
+	releaseFn func()
+	closed    bool
 
 	// Virtual-memory mode (Config.MemOvercommit): allocations are tracked
 	// here instead of on the physical device, and residency is managed by
@@ -95,6 +102,10 @@ func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share)
 		share:    share,
 		memCap:   int64(share.Memory * float64(total)),
 		cfg:      mgr.cfg,
+	}
+	f.releaseFn = func() {
+		f.mgr.Release(f.clientID, f.token)
+		f.token = Token{}
 	}
 	if mgr.cfg.MemOvercommit {
 		mgr.EnableSwap(total, mgr.cfg.SwapBandwidth)
@@ -186,10 +197,7 @@ func (f *Frontend) LaunchKernel(p *sim.Proc, work time.Duration) error {
 	if f.closed {
 		return cuda.ErrClosed
 	}
-	if f.releaseTmr != nil {
-		f.releaseTmr.Stop()
-		f.releaseTmr = nil
-	}
+	f.releaseTmr.Stop()
 	if !f.token.Valid(p.Env().Now()) {
 		tok, err := f.mgr.Acquire(p, f.clientID)
 		if err != nil {
@@ -214,19 +222,14 @@ func (f *Frontend) LaunchKernel(p *sim.Proc, work time.Duration) error {
 	if f.closed {
 		return nil // closed while the kernel ran
 	}
-	tok := f.token
 	if f.mgr.Waiting() > 0 {
 		// Work-conserving handover: someone is queued, so give the device
 		// up right away instead of idling through the grace period.
-		f.mgr.Release(f.clientID, tok)
+		f.mgr.Release(f.clientID, f.token)
 		f.token = Token{}
 		return nil
 	}
-	f.releaseTmr = p.Env().After(f.cfg.Grace, func() {
-		f.releaseTmr = nil
-		f.mgr.Release(f.clientID, tok)
-		f.token = Token{}
-	})
+	f.releaseTmr = p.Env().After(f.cfg.Grace, f.releaseFn)
 	return nil
 }
 
@@ -238,10 +241,7 @@ func (f *Frontend) LaunchKernelAsync(p *sim.Proc, work time.Duration) (*sim.Even
 	if f.closed {
 		return nil, cuda.ErrClosed
 	}
-	if f.releaseTmr != nil {
-		f.releaseTmr.Stop()
-		f.releaseTmr = nil
-	}
+	f.releaseTmr.Stop()
 	if !f.token.Valid(p.Env().Now()) {
 		tok, err := f.mgr.Acquire(p, f.clientID)
 		if err != nil {
@@ -270,17 +270,12 @@ func (f *Frontend) Synchronize(p *sim.Proc) error {
 	if f.closed || !f.token.Valid(p.Env().Now()) {
 		return nil
 	}
-	tok := f.token
 	if f.mgr.Waiting() > 0 {
-		f.mgr.Release(f.clientID, tok)
+		f.mgr.Release(f.clientID, f.token)
 		f.token = Token{}
 		return nil
 	}
-	f.releaseTmr = p.Env().After(f.cfg.Grace, func() {
-		f.releaseTmr = nil
-		f.mgr.Release(f.clientID, tok)
-		f.token = Token{}
-	})
+	f.releaseTmr = p.Env().After(f.cfg.Grace, f.releaseFn)
 	return nil
 }
 
@@ -301,10 +296,7 @@ func (f *Frontend) Close(p *sim.Proc) error {
 		return nil
 	}
 	f.closed = true
-	if f.releaseTmr != nil {
-		f.releaseTmr.Stop()
-		f.releaseTmr = nil
-	}
+	f.releaseTmr.Stop()
 	f.mgr.Unregister(f.clientID)
 	return f.base.Close(p)
 }

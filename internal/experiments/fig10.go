@@ -43,19 +43,24 @@ func Fig10(cfg Fig10Config) (*metrics.Table, error) {
 	tb := metrics.NewTable("Figure 10: pod creation latency",
 		"concurrent", "native_s", "kubeshare_s", "kubeshare_with_vgpu_s",
 		"no_vgpu_overhead", "with_vgpu_overhead")
-	for _, n := range cfg.Concurrency {
-		native, err := measureNativeCreation(cfg, n)
-		if err != nil {
-			return nil, err
+	// Flatten the concurrency × {native, warm-pool, cold} grid; all three
+	// measurements of a level land at indices 3i, 3i+1, 3i+2.
+	lat, err := runIndexed(3*len(cfg.Concurrency), func(i int) (time.Duration, error) {
+		n := cfg.Concurrency[i/3]
+		switch i % 3 {
+		case 0:
+			return measureNativeCreation(cfg, n)
+		case 1:
+			return measureShareCreation(cfg, n, true)
+		default:
+			return measureShareCreation(cfg, n, false)
 		}
-		warm, err := measureShareCreation(cfg, n, true)
-		if err != nil {
-			return nil, err
-		}
-		cold, err := measureShareCreation(cfg, n, false)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.Concurrency {
+		native, warm, cold := lat[3*i], lat[3*i+1], lat[3*i+2]
 		tb.AddRow(n, native.Seconds(), warm.Seconds(), cold.Seconds(),
 			warm.Seconds()/native.Seconds(), cold.Seconds()/native.Seconds())
 	}

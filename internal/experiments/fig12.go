@@ -106,31 +106,29 @@ func runCombo(steps int, profs ...interferenceProfile) (map[string]time.Duration
 // combinations involving A ≲1.1×.
 func Fig12(cfg Fig12Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
-	soloA, err := runCombo(cfg.Steps, jobA)
-	if err != nil {
-		return nil, err
+	// Indices 0–1 are the solo baselines, 2–4 the shared combinations; each
+	// combo is an independent single-GPU cluster, so all five fan out.
+	combos := [][]interferenceProfile{
+		{jobA}, {jobB},
+		{jobA, jobA}, {jobB, jobB}, {jobA, jobB},
 	}
-	soloB, err := runCombo(cfg.Steps, jobB)
+	walls, err := runIndexed(len(combos), func(i int) (map[string]time.Duration, error) {
+		return runCombo(cfg.Steps, combos[i]...)
+	})
 	if err != nil {
 		return nil, err
 	}
 	baseline := map[string]time.Duration{
-		"A": soloA["job-A-0"],
-		"B": soloB["job-B-0"],
+		"A": walls[0]["job-A-0"],
+		"B": walls[1]["job-B-0"],
 	}
 	tb := metrics.NewTable("Figure 12: slowdown on a shared GPU per job combination",
 		"combo", "job", "slowdown")
-	for _, combo := range [][]interferenceProfile{
-		{jobA, jobA}, {jobB, jobB}, {jobA, jobB},
-	} {
+	for ci, combo := range combos[2:] {
 		label := combo[0].kind + "+" + combo[1].kind
-		walls, err := runCombo(cfg.Steps, combo...)
-		if err != nil {
-			return nil, err
-		}
 		for i, prof := range combo {
 			name := fmt.Sprintf("job-%s-%d", prof.kind, i)
-			slow := walls[name].Seconds() / baseline[prof.kind].Seconds()
+			slow := walls[ci+2][name].Seconds() / baseline[prof.kind].Seconds()
 			tb.AddRow(label, prof.kind, slow)
 		}
 	}

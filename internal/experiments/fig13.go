@@ -166,15 +166,15 @@ func Fig13(cfg Fig13Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("Figure 13: throughput under interference workloads (jobs/min)",
 		"jobA_ratio", "kubernetes", "kubeshare", "kubeshare_anti_affinity")
-	for _, ratio := range cfg.Ratios {
-		row := make([]float64, 0, 3)
-		for _, setting := range []fig13Setting{fig13Kubernetes, fig13NoLabel, fig13AntiAff} {
-			tput, err := runFig13Workload(cfg, ratio, setting)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, tput)
-		}
+	settings := []fig13Setting{fig13Kubernetes, fig13NoLabel, fig13AntiAff}
+	tputs, err := runIndexed(len(cfg.Ratios)*len(settings), func(i int) (float64, error) {
+		return runFig13Workload(cfg, cfg.Ratios[i/len(settings)], settings[i%len(settings)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ratio := range cfg.Ratios {
+		row := tputs[i*len(settings) : (i+1)*len(settings)]
 		tb.AddRow(ratio, row[0], row[1], row[2])
 	}
 	return tb, nil

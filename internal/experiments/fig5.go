@@ -40,11 +40,12 @@ func Fig5(cfg Fig5Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("Figure 5: TF-Serving GPU usage vs client request rate",
 		"req_per_s", "gpu_usage")
-	for _, rate := range cfg.Rates {
+	utils, err := runIndexed(len(cfg.Rates), func(i int) (float64, error) {
+		rate := cfg.Rates[i]
 		env := sim.NewEnv()
 		c, err := newCluster(env, 1, 1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		pod := &api.Pod{
 			ObjectMeta: api.ObjectMeta{Name: "serve"},
@@ -70,7 +71,13 @@ func Fig5(cfg Fig5Config) (*metrics.Table, error) {
 		if util > 1 {
 			util = 1
 		}
-		tb.AddRow(rate, util)
+		return util, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rate := range cfg.Rates {
+		tb.AddRow(rate, utils[i])
 	}
 	return tb, nil
 }

@@ -97,19 +97,22 @@ func Fig7(cfg Fig7Config) (*metrics.Table, error) {
 		return got.Status.FinishTime - got.Status.StartTime, nil
 	}
 
-	base, err := runTraining(0, false)
+	// Index 0 is the no-library baseline; 1..len(Quotas) are the quota runs.
+	// Every run is its own Env, so all points fan out together.
+	walls, err := runIndexed(len(cfg.Quotas)+1, func(i int) (time.Duration, error) {
+		if i == 0 {
+			return runTraining(0, false)
+		}
+		return runTraining(cfg.Quotas[i-1], true)
+	})
 	if err != nil {
 		return nil, err
 	}
-	baseTput := float64(cfg.Steps*workload.DefaultBatch) / base.Seconds()
+	baseTput := float64(cfg.Steps*workload.DefaultBatch) / walls[0].Seconds()
 	tb := metrics.NewTable("Figure 7: training throughput vs token quota (normalized to no device library)",
 		"quota_ms", "images_per_s", "normalized")
-	for _, quota := range cfg.Quotas {
-		wall, err := runTraining(quota, true)
-		if err != nil {
-			return nil, err
-		}
-		tput := float64(cfg.Steps*workload.DefaultBatch) / wall.Seconds()
+	for i, quota := range cfg.Quotas {
+		tput := float64(cfg.Steps*workload.DefaultBatch) / walls[i+1].Seconds()
 		tb.AddRow(int(quota.Milliseconds()), tput, tput/baseTput)
 	}
 	return tb, nil

@@ -59,31 +59,38 @@ func (c Fig8Config) withDefaults() Fig8Config {
 }
 
 // throughputAt runs both systems for one workload parameterization and
-// returns their mean throughputs (jobs/min) across repeats.
+// returns their mean throughputs (jobs/min) across repeats. The
+// repeats × systems grid fans out in parallel; each run regenerates its job
+// list from the per-repeat seed, so runs share nothing.
 func throughputAt(cfg Fig8Config, gen workload.GeneratorConfig) (k8s, ks float64, err error) {
-	var k8sSum, ksSum float64
-	for rep := 0; rep < cfg.Repeats; rep++ {
+	systems := []System{Kubernetes, KubeShare}
+	tputs, err := runIndexed(cfg.Repeats*len(systems), func(i int) (float64, error) {
 		g := gen
-		g.Seed = gen.Seed + int64(rep)*9973
-		jobs := workload.Generate(g)
-		for _, sys := range []System{Kubernetes, KubeShare} {
-			res, err := RunSharing(SharingConfig{
-				System:      sys,
-				Nodes:       cfg.Nodes,
-				GPUsPerNode: cfg.GPUsPerNode,
-				Jobs:        jobs,
-			})
-			if err != nil {
-				return 0, 0, err
-			}
-			if res.Failed > 0 {
-				return 0, 0, fmt.Errorf("%s run had %d failed jobs", sys, res.Failed)
-			}
-			if sys == Kubernetes {
-				k8sSum += res.ThroughputPerMin
-			} else {
-				ksSum += res.ThroughputPerMin
-			}
+		g.Seed = gen.Seed + int64(i/len(systems))*9973
+		sys := systems[i%len(systems)]
+		res, err := RunSharing(SharingConfig{
+			System:      sys,
+			Nodes:       cfg.Nodes,
+			GPUsPerNode: cfg.GPUsPerNode,
+			Jobs:        workload.Generate(g),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.Failed > 0 {
+			return 0, fmt.Errorf("%s run had %d failed jobs", sys, res.Failed)
+		}
+		return res.ThroughputPerMin, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var k8sSum, ksSum float64
+	for i, t := range tputs {
+		if systems[i%len(systems)] == Kubernetes {
+			k8sSum += t
+		} else {
+			ksSum += t
 		}
 	}
 	n := float64(cfg.Repeats)
@@ -100,20 +107,24 @@ func Fig8a(cfg Fig8Config, factors []float64) (*metrics.Table, error) {
 	}
 	tb := metrics.NewTable("Figure 8a: throughput vs job frequency",
 		"freq_factor", "offered_jobs_per_min", "kubernetes", "kubeshare", "speedup")
-	for _, f := range factors {
+	pts, err := runIndexed(len(factors), func(i int) ([2]float64, error) {
 		gen := workload.GeneratorConfig{
 			Jobs:             cfg.Jobs,
-			MeanInterArrival: time.Duration(float64(cfg.BaseInterArrival) / f),
+			MeanInterArrival: time.Duration(float64(cfg.BaseInterArrival) / factors[i]),
 			DemandMean:       cfg.DemandMean,
 			DemandVar:        cfg.DemandVar,
 			JobDuration:      cfg.JobDuration,
 			Seed:             cfg.Seed,
 		}
 		k8s, ks, err := throughputAt(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
-		offered := 60.0 / gen.MeanInterArrival.Seconds()
+		return [2]float64{k8s, ks}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range factors {
+		offered := 60.0 / time.Duration(float64(cfg.BaseInterArrival)/f).Seconds()
+		k8s, ks := pts[i][0], pts[i][1]
 		tb.AddRow(f, offered, k8s, ks, ks/k8s)
 	}
 	return tb, nil
@@ -129,20 +140,24 @@ func Fig8b(cfg Fig8Config, means []float64) (*metrics.Table, error) {
 	}
 	tb := metrics.NewTable("Figure 8b: throughput vs mean GPU demand",
 		"demand_mean", "kubernetes", "kubeshare", "speedup")
-	for _, mean := range means {
+	pts, err := runIndexed(len(means), func(i int) ([2]float64, error) {
 		gen := workload.GeneratorConfig{
 			Jobs: cfg.Jobs,
 			// Heavy load so sharing capacity is the bottleneck.
 			MeanInterArrival: cfg.BaseInterArrival / 12,
-			DemandMean:       mean,
+			DemandMean:       means[i],
 			DemandVar:        cfg.DemandVar,
 			JobDuration:      cfg.JobDuration,
 			Seed:             cfg.Seed,
 		}
 		k8s, ks, err := throughputAt(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
+		return [2]float64{k8s, ks}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mean := range means {
+		k8s, ks := pts[i][0], pts[i][1]
 		tb.AddRow(mean, k8s, ks, ks/k8s)
 	}
 	return tb, nil
@@ -157,19 +172,23 @@ func Fig8c(cfg Fig8Config, variances []float64) (*metrics.Table, error) {
 	}
 	tb := metrics.NewTable("Figure 8c: throughput vs GPU demand variance",
 		"demand_var", "kubernetes", "kubeshare", "speedup")
-	for _, v := range variances {
+	pts, err := runIndexed(len(variances), func(i int) ([2]float64, error) {
 		gen := workload.GeneratorConfig{
 			Jobs:             cfg.Jobs,
 			MeanInterArrival: cfg.BaseInterArrival / 12,
 			DemandMean:       cfg.DemandMean,
-			DemandVar:        v,
+			DemandVar:        variances[i],
 			JobDuration:      cfg.JobDuration,
 			Seed:             cfg.Seed,
 		}
 		k8s, ks, err := throughputAt(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
+		return [2]float64{k8s, ks}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variances {
+		k8s, ks := pts[i][0], pts[i][1]
 		tb.AddRow(v, k8s, ks, ks/k8s)
 	}
 	return tb, nil

@@ -64,20 +64,23 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 		Active:   map[System]*metrics.Series{},
 		Makespan: map[System]time.Duration{},
 	}
-	for _, sys := range []System{Kubernetes, KubeShare} {
-		res, err := RunSharing(SharingConfig{
-			System:      sys,
+	systems := []System{Kubernetes, KubeShare}
+	results, err := runIndexed(len(systems), func(i int) (SharingResult, error) {
+		return RunSharing(SharingConfig{
+			System:      systems[i],
 			Nodes:       cfg.Nodes,
 			GPUsPerNode: cfg.GPUsPerNode,
 			Jobs:        jobs,
 			Sample:      cfg.Sample,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out.Util[sys] = res.Util
-		out.Active[sys] = res.ActiveGPUs
-		out.Makespan[sys] = res.Makespan
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		out.Util[sys] = results[i].Util
+		out.Active[sys] = results[i].ActiveGPUs
+		out.Makespan[sys] = results[i].Makespan
 	}
 	// Bucket the timelines over the longer of the two makespans.
 	horizon := out.Makespan[Kubernetes]

@@ -177,22 +177,26 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	return res, nil
 }
 
-// terminatedCount counts workload jobs in a terminal phase.
+// terminatedCount counts workload jobs in a terminal phase. It runs once per
+// sample tick, so it scans the store in place instead of deep-copying every
+// object the way List would.
 func terminatedCount(c *kube.Cluster, sys System) int {
 	n := 0
 	if sys == Kubernetes {
-		for _, pod := range c.Pods().List() {
+		c.Pods().Scan(func(pod *api.Pod) bool {
 			if pod.Terminated() {
 				n++
 			}
-		}
+			return true
+		})
 		return n
 	}
-	for _, sp := range core.SharePods(c.API).List() {
+	core.SharePods(c.API).Scan(func(sp *core.SharePod) bool {
 		if sp.Terminated() {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -201,12 +205,15 @@ func terminatedCount(c *kube.Cluster, sys System) int {
 func allocatedGPUs(c *kube.Cluster, sys System) int {
 	n := 0
 	if sys == Kubernetes {
-		for _, pod := range c.Pods().List() {
+		c.Pods().Scan(func(pod *api.Pod) bool {
 			if !pod.Terminated() && pod.Spec.NodeName != "" {
-				n += int(pod.Spec.Requests()[api.ResourceGPU])
+				for _, ct := range pod.Spec.Containers {
+					n += int(ct.Requests[api.ResourceGPU])
+				}
 			}
-		}
+			return true
+		})
 		return n
 	}
-	return len(core.VGPUs(c.API).List())
+	return core.VGPUs(c.API).Count()
 }

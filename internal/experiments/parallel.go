@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed evaluates fn(0) … fn(n-1) and returns the results in index
+// order. Each index is expected to be an independent simulation — its own
+// sim.Env, its own seeded random streams, no shared mutable state — so the
+// points can be fanned across up to GOMAXPROCS OS threads without changing
+// any result: every output is a pure function of its index, never of worker
+// scheduling, and assembling the slice by index keeps tables byte-identical
+// to a serial sweep.
+//
+// Workers pull indices from an atomic counter, so a slow point (one
+// saturated run) does not stall the others behind a static partition. When
+// only one worker is warranted (GOMAXPROCS=1 or n==1) the loop runs inline
+// with early exit on error; otherwise every point runs to completion and the
+// lowest-index error is reported, matching what a serial sweep would return.
+func runIndexed[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

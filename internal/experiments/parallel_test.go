@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestRunIndexedOrder(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	got, err := runIndexed(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunIndexedLowestError(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	_, err := runIndexed(50, func(i int) (int, error) {
+		if i%7 == 3 {
+			return 0, fmt.Errorf("point %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 3" {
+		t.Fatalf("err = %v, want point 3 (the lowest failing index)", err)
+	}
+}
+
+func TestRunIndexedSerialFallback(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	calls := 0
+	boom := errors.New("boom")
+	_, err := runIndexed(10, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The single-worker path stops at the first failure like a plain loop.
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (early exit)", calls)
+	}
+}
+
+func TestRunIndexedEmpty(t *testing.T) {
+	got, err := runIndexed(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}

@@ -124,21 +124,17 @@ func Table1(cfg Table1Config) (*metrics.Table, error) {
 		{"mixed demands (Fig 3)", cfg.Demands},
 		{"contending 0.6s", []float64{0.6, 0.6, 0.6, 0.6, 0.6, 0.6}},
 	}
-	for _, sc := range scenarios {
+	systems := []table1System{table1Deepomatic, table1Extender, table1KubeShare}
+	stats, err := runIndexed(len(scenarios)*len(systems), func(i int) (placementStats, error) {
 		scCfg := cfg
-		scCfg.Demands = sc.demands
-		deep, err := runPlacement(scCfg, table1Deepomatic)
-		if err != nil {
-			return nil, err
-		}
-		ext, err := runPlacement(scCfg, table1Extender)
-		if err != nil {
-			return nil, err
-		}
-		ks, err := runPlacement(scCfg, table1KubeShare)
-		if err != nil {
-			return nil, err
-		}
+		scCfg.Demands = scenarios[i/len(systems)].demands
+		return runPlacement(scCfg, systems[i%len(systems)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		deep, ext, ks := stats[3*i], stats[3*i+1], stats[3*i+2]
 		tb.AddRow(sc.name, "active GPUs", deep.activeDevices, ext.activeDevices, ks.activeDevices)
 		tb.AddRow(sc.name, "over-committed GPUs", deep.overcommitted, ext.overcommitted, ks.overcommitted)
 		tb.AddRow(sc.name, "queued jobs", deep.pendingJobs, ext.pendingJobs, ks.pendingJobs)

@@ -44,7 +44,10 @@ type Device struct {
 	active     []*kernel
 	lastUpdate time.Duration
 	busyAccum  time.Duration
-	completion *sim.Timer
+	completion sim.Timer
+	// freeKernels pools retired kernel structs; launch/retire churn is the
+	// hottest allocation site in cluster-scale experiments.
+	freeKernels []*kernel
 }
 
 // kernel is a resident unit of GPU work.
@@ -120,10 +123,7 @@ func (d *Device) update() {
 
 // reschedule (re)arms the completion timer for the earliest-finishing kernel.
 func (d *Device) reschedule() {
-	if d.completion != nil {
-		d.completion.Stop()
-		d.completion = nil
-	}
+	d.completion.Stop()
 	if len(d.active) == 0 {
 		return
 	}
@@ -142,16 +142,24 @@ func (d *Device) reschedule() {
 
 // onCompletion retires finished kernels and rearms the timer.
 func (d *Device) onCompletion() {
-	d.completion = nil
 	d.update()
 	const eps = 1e-9 // one nanosecond of work
-	var still []*kernel
+	still := d.active[:0]
 	for _, k := range d.active {
 		if k.remaining <= eps {
+			// Trigger only schedules the waiters' wakeups, so the kernel
+			// struct can be recycled immediately; the done event escaped to
+			// the launcher and stays owned by it.
 			k.done.Trigger(nil)
+			k.done = nil
+			k.ctx = nil
+			d.freeKernels = append(d.freeKernels, k)
 		} else {
 			still = append(still, k)
 		}
+	}
+	for i := len(still); i < len(d.active); i++ {
+		d.active[i] = nil
 	}
 	d.active = still
 	d.reschedule()
@@ -159,15 +167,32 @@ func (d *Device) onCompletion() {
 
 // launch makes a kernel resident and returns its completion event.
 func (d *Device) launch(ctx *Context, work time.Duration) *sim.Event {
+	done := sim.NewEvent(d.env)
+	d.launchInto(ctx, work, done)
+	return done
+}
+
+// launchInto is launch with a caller-provided completion event, so the
+// synchronous path can reuse one event per context instead of allocating.
+func (d *Device) launchInto(ctx *Context, work time.Duration, done *sim.Event) {
 	d.update()
-	k := &kernel{ctx: ctx, remaining: work.Seconds(), done: sim.NewEvent(d.env)}
 	if work <= 0 {
-		k.done.Trigger(nil)
-		return k.done
+		done.Trigger(nil)
+		return
 	}
+	var k *kernel
+	if n := len(d.freeKernels); n > 0 {
+		k = d.freeKernels[n-1]
+		d.freeKernels[n-1] = nil
+		d.freeKernels = d.freeKernels[:n-1]
+	} else {
+		k = &kernel{}
+	}
+	k.ctx = ctx
+	k.remaining = work.Seconds()
+	k.done = done
 	d.active = append(d.active, k)
 	d.reschedule()
-	return k.done
 }
 
 // BusyTime returns the accumulated device-busy time up to the current
@@ -199,7 +224,10 @@ type Context struct {
 	owner   string
 	memUsed int64
 	devTime time.Duration
-	closed  bool
+	// syncEv is the reusable completion event for synchronous Launch; it
+	// never escapes the Launch call, so one event serves every kernel.
+	syncEv *sim.Event
+	closed bool
 }
 
 // Owner returns the principal that opened the context.
@@ -255,9 +283,23 @@ func (c *Context) LaunchAsync(work time.Duration) *sim.Event {
 	return c.dev.launch(c, work)
 }
 
-// Launch submits a kernel and parks p until it completes.
+// Launch submits a kernel and parks p until it completes. The completion
+// event is cached on the context and reused (a launch on an open context is
+// the serving hot path), so steady-state synchronous kernels allocate
+// nothing.
 func (c *Context) Launch(p *sim.Proc, work time.Duration) {
-	p.Wait(c.LaunchAsync(work))
+	if c.closed {
+		return // matches waiting on LaunchAsync's already-failed event
+	}
+	ev := c.syncEv
+	if ev == nil {
+		ev = sim.NewEvent(c.dev.env)
+		c.syncEv = ev
+	} else {
+		ev.Reset()
+	}
+	c.dev.launchInto(c, work, ev)
+	p.Wait(ev)
 }
 
 // Close releases the context's memory and detaches it from the device.

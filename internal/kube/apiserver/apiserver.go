@@ -116,6 +116,10 @@ func (s *Server) ListSelector(kind string, sel labels.Selector) []api.Object {
 // Count returns the number of objects of a kind without listing them.
 func (s *Server) Count(kind string) int { return s.store.Count(kind) }
 
+// Scan iterates a kind's objects in name order without copying; see
+// store.Scan for the read-only contract fn must honor.
+func (s *Server) Scan(kind string, fn func(api.Object) bool) { s.store.Scan(kind, fn) }
+
 // Watch subscribes to a kind (list+watch when replay is true).
 func (s *Server) Watch(kind string, replay bool) *sim.Queue[store.Event] {
 	return s.store.Watch(kind+"/", replay)
@@ -212,6 +216,16 @@ func (c Client[T]) ListSelector(sel labels.Selector) []T {
 
 // Count returns the number of stored objects of the kind.
 func (c Client[T]) Count() int { return c.s.Count(c.kind) }
+
+// Scan calls fn on each stored object in name order without deep-copying,
+// stopping early when fn returns false. The objects are the store's live
+// instances: fn must treat them as strictly read-only and must not retain
+// them. Use for aggregate reads (counters, samplers) where List's per-object
+// clone would dominate; anything that mutates or keeps the object must use
+// List/Get.
+func (c Client[T]) Scan(fn func(T) bool) {
+	c.s.Scan(c.kind, func(o api.Object) bool { return fn(o.(T)) })
+}
 
 func toTyped[T api.Object](objs []api.Object) []T {
 	out := make([]T, len(objs))

@@ -38,8 +38,16 @@ type Scheduler struct {
 
 	nodes map[string]*api.Node
 	pods  map[string]*api.Pod
-	// pendingDirty marks that the pending set may have schedulable pods.
-	wake *sim.Queue[struct{}]
+	// Incrementally maintained views of s.pods, updated from watch deltas so
+	// the scheduling loop never rescans the full pod set:
+	//   committed — per-node sum of requests of bound, non-terminated pods;
+	//   pending   — unbound, non-terminated pods awaiting placement;
+	//   order     — pending sorted by (CreationTime, Name), rebuilt lazily.
+	committed map[string]api.ResourceList
+	pending   map[string]*api.Pod
+	order     []*api.Pod
+	dirty     bool
+	wake      *sim.Queue[struct{}]
 }
 
 // New creates a scheduler. Call Start to begin scheduling.
@@ -48,13 +56,49 @@ func New(env *sim.Env, srv *apiserver.Server, cfg Config) *Scheduler {
 		cfg.BindLatency = DefaultBindLatency
 	}
 	return &Scheduler{
-		env:   env,
-		srv:   srv,
-		cfg:   cfg,
-		nodes: make(map[string]*api.Node),
-		pods:  make(map[string]*api.Pod),
-		wake:  sim.NewQueue[struct{}](env),
+		env:       env,
+		srv:       srv,
+		cfg:       cfg,
+		nodes:     make(map[string]*api.Node),
+		pods:      make(map[string]*api.Pod),
+		committed: make(map[string]api.ResourceList),
+		pending:   make(map[string]*api.Pod),
+		wake:      sim.NewQueue[struct{}](env),
 	}
+}
+
+// setPod is the single mutation point for s.pods; nil removes. It keeps the
+// committed and pending views consistent by applying the old pod's
+// contribution in reverse and then the new pod's forward.
+func (s *Scheduler) setPod(name string, pod *api.Pod) {
+	if old, ok := s.pods[name]; ok {
+		if old.Spec.NodeName != "" && !old.Terminated() {
+			s.nodeCommitted(old.Spec.NodeName).Sub(old.Spec.Requests())
+		} else if _, p := s.pending[name]; p {
+			delete(s.pending, name)
+			s.dirty = true
+		}
+	}
+	if pod == nil {
+		delete(s.pods, name)
+		return
+	}
+	s.pods[name] = pod
+	if pod.Spec.NodeName != "" && !pod.Terminated() {
+		s.nodeCommitted(pod.Spec.NodeName).Add(pod.Spec.Requests())
+	} else if !pod.Terminated() {
+		s.pending[name] = pod
+		s.dirty = true
+	}
+}
+
+func (s *Scheduler) nodeCommitted(node string) api.ResourceList {
+	rl := s.committed[node]
+	if rl == nil {
+		rl = api.ResourceList{}
+		s.committed[node] = rl
+	}
+	return rl
 }
 
 // Start launches the watch and scheduling loops.
@@ -69,9 +113,9 @@ func (s *Scheduler) Start() {
 			}
 			pod := ev.Object.(*api.Pod)
 			if ev.Type == store.Deleted {
-				delete(s.pods, pod.Name)
+				s.setPod(pod.Name, nil)
 			} else {
-				s.pods[pod.Name] = pod
+				s.setPod(pod.Name, pod)
 			}
 			s.kick()
 		}
@@ -120,20 +164,21 @@ func (s *Scheduler) loop(p *sim.Proc) {
 // nextPending returns the oldest unbound, unscheduled pod that fits some
 // node right now, or nil.
 func (s *Scheduler) nextPending() *api.Pod {
-	var candidates []*api.Pod
-	for _, pod := range s.pods {
-		if pod.Spec.NodeName == "" && !pod.Terminated() {
-			candidates = append(candidates, pod)
+	if s.dirty {
+		s.order = s.order[:0]
+		for _, pod := range s.pending {
+			s.order = append(s.order, pod)
 		}
+		sort.Slice(s.order, func(i, j int) bool {
+			a, b := s.order[i], s.order[j]
+			if a.CreationTime != b.CreationTime {
+				return a.CreationTime < b.CreationTime
+			}
+			return a.Name < b.Name
+		})
+		s.dirty = false
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		a, b := candidates[i], candidates[j]
-		if a.CreationTime != b.CreationTime {
-			return a.CreationTime < b.CreationTime
-		}
-		return a.Name < b.Name
-	})
-	for _, pod := range candidates {
+	for _, pod := range s.order {
 		if s.pickNode(pod) != "" {
 			return pod
 		}
@@ -141,55 +186,43 @@ func (s *Scheduler) nextPending() *api.Pod {
 	return nil
 }
 
-// committed sums the requests of non-terminated pods assigned to node.
-func (s *Scheduler) committed(node string) api.ResourceList {
-	total := api.ResourceList{}
-	for _, pod := range s.pods {
-		if pod.Spec.NodeName == node && !pod.Terminated() {
-			total.Add(pod.Spec.Requests())
-		}
-	}
-	return total
-}
-
 // pickNode runs filter + score and returns the chosen node name ("" when no
-// node fits).
+// node fits). The filter reads the per-node committed cache directly — no
+// ResourceList is materialized — and the score argmax replaces a sort; both
+// produce exactly the choice the sort-based version did, because (score,
+// name) is a strict total order over candidate nodes.
 func (s *Scheduler) pickNode(pod *api.Pod) string {
 	need := pod.Spec.Requests()
-	type scored struct {
-		name  string
-		score float64
-	}
-	var fits []scored
+	best := ""
+	bestScore := 0.0
 	for name, node := range s.nodes {
 		if !node.Status.Ready || !node.MatchesSelector(pod.Spec.NodeSelector) {
 			continue
 		}
-		free := node.Status.Allocatable.Clone()
-		free.Sub(s.committed(name))
-		if !free.Fits(need) {
+		alloc := node.Status.Allocatable
+		com := s.committed[name]
+		ok := true
+		for k, v := range need {
+			if v > alloc[k]-com[k] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			continue
 		}
 		// Least-allocated scoring: prefer the node with the most residual
 		// CPU fraction after placement (ties broken by name for
 		// determinism).
-		alloc := node.Status.Allocatable
 		score := 0.0
-		if alloc[api.ResourceCPU] > 0 {
-			score = float64(free[api.ResourceCPU]-need[api.ResourceCPU]) / float64(alloc[api.ResourceCPU])
+		if a := alloc[api.ResourceCPU]; a > 0 {
+			score = float64(a-com[api.ResourceCPU]-need[api.ResourceCPU]) / float64(a)
 		}
-		fits = append(fits, scored{name, score})
-	}
-	if len(fits) == 0 {
-		return ""
-	}
-	sort.Slice(fits, func(i, j int) bool {
-		if fits[i].score != fits[j].score {
-			return fits[i].score > fits[j].score
+		if best == "" || score > bestScore || (score == bestScore && name < best) {
+			best, bestScore = name, score
 		}
-		return fits[i].name < fits[j].name
-	})
-	return fits[0].name
+	}
+	return best
 }
 
 // scheduleOne binds pod to its chosen node.
@@ -206,7 +239,7 @@ func (s *Scheduler) scheduleOne(pod *api.Pod) {
 		return nil
 	})
 	if err != nil {
-		delete(s.pods, pod.Name) // deleted while in queue
+		s.setPod(pod.Name, nil) // deleted while in queue
 		return
 	}
 	// ScheduledTime is status; written through the status subresource so the
@@ -217,8 +250,8 @@ func (s *Scheduler) scheduleOne(pod *api.Pod) {
 		}
 		return nil
 	}); err != nil {
-		delete(s.pods, pod.Name)
+		s.setPod(pod.Name, nil)
 		return
 	}
-	s.pods[pod.Name] = updated
+	s.setPod(pod.Name, updated)
 }

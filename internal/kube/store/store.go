@@ -331,6 +331,24 @@ func (b *bucket) list(namePrefix string) []api.Object {
 	return out
 }
 
+// Scan calls fn on each of kind's objects in name order without copying,
+// stopping early when fn returns false. The objects are the store's live
+// instances: fn must treat them as read-only and must not retain them after
+// returning — mutations or retained references would corrupt the store's
+// copy-on-write discipline. Intended for samplers and aggregate metrics that
+// would otherwise deep-copy the world once per tick.
+func (s *Store) Scan(kind string, fn func(api.Object) bool) {
+	b, ok := s.kinds[kind]
+	if !ok {
+		return
+	}
+	for _, n := range b.names() {
+		if !fn(b.objs[n]) {
+			return
+		}
+	}
+}
+
 // ListSelector returns deep copies of the kind's objects whose labels match
 // sel, sorted by name. Equality and existence requirements are answered
 // from the label posting index; the smallest posting set drives the scan.

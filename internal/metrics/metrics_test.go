@@ -146,7 +146,7 @@ func TestUsageWindowEviction(t *testing.T) {
 	if got := u.Rate(25 * time.Second); got != 0 {
 		t.Fatalf("rate = %v, want 0", got)
 	}
-	if len(u.spans) != 0 {
+	if u.n != 0 {
 		t.Fatal("evicted spans not freed")
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Every component of the simulated cluster (kubelets, schedulers, container
 // entrypoints, token managers, workload generators) runs as a Proc: a
-// goroutine whose execution is strictly interleaved by the Env scheduler so
+// coroutine whose execution is strictly interleaved by the Env scheduler so
 // that exactly one proc runs at any instant. Blocking operations (Sleep,
 // Event.Wait, Queue.Get, Resource.Acquire) hand control back to the
 // scheduler, which advances virtual time to the next pending event. The
@@ -13,43 +13,54 @@
 //
 // The kernel is intentionally free of wall-clock dependencies; virtual time
 // is a time.Duration offset from the simulation epoch.
+//
+// Internally the event queue is split three ways, all holding pointer-free
+// 24-byte entries so queue maintenance never triggers write barriers:
+//
+//   - a FIFO ring for events scheduled at the current instant — the dominant
+//     case: every proc wakeup, Queue.Put handoff and Event.Trigger;
+//   - a one-entry head register caching the earliest future event, so the
+//     common schedule-one/fire-one timer pattern never touches the heap;
+//   - a 4-ary min-heap keyed by (time, seq) for the rest.
+//
+// Entries reference pooled item slots carrying the callback/proc pointers
+// and a generation counter (for safe Timer cancellation), so steady-state
+// scheduling allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
 	"sort"
 	"time"
 )
 
-// item is a scheduled callback in the event heap.
+// entry is one scheduled event. It is pointer-free by design: entries are
+// copied around the ring and heap constantly, and pointer fields would make
+// every copy pay GC write barriers.
+type entry struct {
+	t    time.Duration
+	seq  uint64 // FIFO tie-break among events with equal t
+	slot uint32 // index into Env.items
+}
+
+// item is a pooled event payload: what to run (exactly one of proc/fn is
+// set) plus cancellation state. The generation counter makes recycled slots
+// safe: a Timer remembers the gen it was issued with, and any mismatch means
+// the event already fired and the slot now belongs to someone else.
 type item struct {
-	t   time.Duration
-	seq uint64 // FIFO tie-break among events with equal t
-	fn  func()
-	// cancelled items stay in the heap but are skipped when popped.
+	proc      *Proc  // wake (dispatch) this proc ...
+	fn        func() // ... or run this callback
+	gen       uint32
 	cancelled bool
+	inHeap    bool // the entry sits in the heap (not ring or head register)
 }
 
-// eventHeap is a min-heap ordered by (time, sequence).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func entryLess(a, b *entry) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
+	return a.seq < b.seq
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
@@ -57,20 +68,35 @@ func (h *eventHeap) Pop() (popped any) {
 // goroutine (the one calling Run/RunUntil/Step); the kernel provides the
 // interleaving, not the Go scheduler.
 type Env struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	yield   chan struct{} // procs signal the scheduler here when they park or finish
-	current *Proc         // proc currently executing, nil when the scheduler runs
-	live    int           // procs that have started and not yet finished
-	nextPID int
-	running bool
-	tracer  func(t time.Duration, format string, args ...any)
+	now time.Duration
+	// ring holds events scheduled for the current instant, in FIFO order.
+	// Invariant: every ring entry has t == now (the ring drains before the
+	// clock advances), and ring order agrees with seq order.
+	ring fifo[entry]
+	// head caches one future event — typically the earliest — so the
+	// schedule-one/fire-one pattern bypasses the heap. Correctness does not
+	// depend on head being the minimum: pops take the 3-way minimum of
+	// ring/head/heap fronts.
+	head      entry
+	headValid bool
+	// heap is a 4-ary min-heap of future events keyed by (t, seq).
+	heap          []entry
+	heapCancelled int // cancelled entries still buried in the heap
+	pending       int // live (non-cancelled) scheduled events
+	seq           uint64
+	items         []item   // slot-addressed event payloads
+	freeSlots     []uint32 // recycled item slots
+	freeWaiters   []*waiter
+	current       *Proc // proc currently executing, nil when the scheduler runs
+	live          int   // procs that have started and not yet finished
+	nextPID       int
+	running       bool
+	tracer        func(t time.Duration, format string, args ...any)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	return &Env{}
 }
 
 // Now returns the current virtual time as an offset from the simulation epoch.
@@ -88,59 +114,279 @@ func (env *Env) tracef(format string, args ...any) {
 	}
 }
 
-// schedule enqueues fn to run at absolute time t (clamped to now) and
-// returns the heap item so callers can implement cancellation.
-func (env *Env) schedule(t time.Duration, fn func()) *item {
+// slot pool ---------------------------------------------------------------
+
+func (env *Env) newSlot() uint32 {
+	if n := len(env.freeSlots); n > 0 {
+		s := env.freeSlots[n-1]
+		env.freeSlots = env.freeSlots[:n-1]
+		return s
+	}
+	env.items = append(env.items, item{})
+	return uint32(len(env.items) - 1)
+}
+
+// recycleSlot bumps the generation (invalidating outstanding Timers) and
+// returns the slot to the pool. Called exactly once per scheduled event,
+// when its entry leaves the ring, head register or heap.
+func (env *Env) recycleSlot(slot uint32) {
+	it := &env.items[slot]
+	it.gen++
+	it.cancelled = false
+	it.inHeap = false
+	env.freeSlots = append(env.freeSlots, slot)
+}
+
+// scheduling --------------------------------------------------------------
+
+// enqueue schedules an event at absolute time t (clamped to now) and returns
+// its slot and generation. Entries at the current instant go to the FIFO
+// ring; future entries go to the head register or the heap.
+func (env *Env) enqueue(t time.Duration, proc *Proc, fn func()) (uint32, uint32) {
+	slot := env.newSlot()
+	it := &env.items[slot]
+	// Payload pointers are cleared here, on reuse, rather than in recycleSlot:
+	// when a slot is reused for the same kind of event (the dominant pattern —
+	// timer after timer, wakeup after wakeup) the overwrite below is the only
+	// GC write barrier the whole schedule/fire cycle pays. The cost is that a
+	// free slot pins its last payload until its next tenant arrives; the free
+	// list is bounded by peak event concurrency, so the retention is too.
+	if proc != nil {
+		it.proc = proc
+		if it.fn != nil {
+			it.fn = nil
+		}
+	} else {
+		it.fn = fn
+		if it.proc != nil {
+			it.proc = nil
+		}
+	}
+	gen := it.gen
 	if t < env.now {
 		t = env.now
 	}
 	env.seq++
-	it := &item{t: t, seq: env.seq, fn: fn}
-	heap.Push(&env.queue, it)
-	return it
+	env.pending++
+	e := entry{t: t, seq: env.seq, slot: slot}
+	switch {
+	case t == env.now:
+		env.ring.push(e)
+	case !env.headValid:
+		env.head = e
+		env.headValid = true
+	case entryLess(&e, &env.head):
+		env.demoteHead()
+		env.head = e
+	default:
+		it.inHeap = true
+		env.heapPush(e)
+	}
+	return slot, gen
+}
+
+// demoteHead moves the head-register entry into the heap; the caller
+// immediately refills (or invalidates) the register.
+func (env *Env) demoteHead() {
+	hit := &env.items[env.head.slot]
+	hit.inHeap = true
+	if hit.cancelled {
+		env.heapCancelled++
+	}
+	env.heapPush(env.head)
+}
+
+// cancelItem lazily cancels a scheduled entry's payload. Ring and head
+// entries are skipped at pop time; heap entries are counted and compacted
+// away once they outnumber the live ones.
+func (env *Env) cancelItem(it *item) {
+	it.cancelled = true
+	env.pending--
+	if it.inHeap {
+		env.heapCancelled++
+		if env.heapCancelled >= 32 && env.heapCancelled*2 > len(env.heap) {
+			env.compactHeap()
+		}
+	}
 }
 
 // After schedules fn to run after delay d of virtual time. It returns a
 // Timer whose Stop method cancels the callback if it has not yet fired.
-func (env *Env) After(d time.Duration, fn func()) *Timer {
+func (env *Env) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{it: env.schedule(env.now+d, fn)}
+	return env.timerAt(env.now+d, fn)
 }
 
 // At schedules fn at absolute virtual time t (clamped to the present).
-func (env *Env) At(t time.Duration, fn func()) *Timer {
-	return &Timer{it: env.schedule(t, fn)}
+func (env *Env) At(t time.Duration, fn func()) Timer {
+	return env.timerAt(t, fn)
 }
 
-// Timer is a handle to a scheduled callback.
-type Timer struct{ it *item }
+func (env *Env) timerAt(t time.Duration, fn func()) Timer {
+	slot, gen := env.enqueue(t, nil, fn)
+	return Timer{env: env, slot: slot, gen: gen}
+}
+
+// Timer is a handle to a scheduled callback. The zero Timer is inert: Stop
+// and Active return false.
+type Timer struct {
+	env  *Env
+	slot uint32
+	gen  uint32
+}
 
 // Stop cancels the timer. It reports whether the callback was still pending.
-func (tm *Timer) Stop() bool {
-	if tm == nil || tm.it == nil || tm.it.cancelled {
+func (tm Timer) Stop() bool {
+	if tm.env == nil {
 		return false
 	}
-	tm.it.cancelled = true
+	it := &tm.env.items[tm.slot]
+	if it.gen != tm.gen || it.cancelled {
+		return false
+	}
+	tm.env.cancelItem(it)
 	return true
+}
+
+// Active reports whether the callback is still pending: not yet fired and
+// not stopped. Inside the firing callback itself Active is already false.
+func (tm Timer) Active() bool {
+	if tm.env == nil {
+		return false
+	}
+	it := &tm.env.items[tm.slot]
+	return it.gen == tm.gen && !it.cancelled
+}
+
+// 4-ary heap --------------------------------------------------------------
+//
+// Children of node i live at 4i+1..4i+4, the parent at (i-1)/4. Compared to
+// a binary heap this halves the tree depth (fewer cache lines touched per
+// sift) at the cost of three extra comparisons per level on the way down.
+
+func (env *Env) heapPush(e entry) {
+	h := append(env.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	env.heap = h
+}
+
+func (env *Env) heapPop() entry {
+	h := env.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	env.heap = h[:n]
+	if n > 1 {
+		env.siftDown(0)
+	}
+	return top
+}
+
+func (env *Env) siftDown(i int) {
+	h := env.heap
+	n := len(h)
+	for {
+		min := i
+		c := i<<2 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if entryLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// compactHeap removes cancelled entries in place, recycles their slots and
+// re-heapifies (Floyd's bottom-up construction).
+func (env *Env) compactHeap() {
+	h := env.heap[:0]
+	for _, e := range env.heap {
+		if env.items[e.slot].cancelled {
+			env.recycleSlot(e.slot)
+			continue
+		}
+		h = append(h, e)
+	}
+	env.heap = h
+	for i := (len(h) - 2) >> 2; i >= 0; i-- {
+		env.siftDown(i)
+	}
+	env.heapCancelled = 0
+}
+
+// event selection ---------------------------------------------------------
+
+const (
+	srcNone = iota
+	srcRing
+	srcHead
+	srcHeap
+)
+
+// front locates the earliest pending entry as the 3-way minimum of the ring,
+// head register and heap fronts.
+func (env *Env) front() (src int, e *entry) {
+	if env.ring.n > 0 {
+		src, e = srcRing, env.ring.peek()
+	}
+	if env.headValid && (src == srcNone || entryLess(&env.head, e)) {
+		src, e = srcHead, &env.head
+	}
+	if len(env.heap) > 0 && (src == srcNone || entryLess(&env.heap[0], e)) {
+		src, e = srcHeap, &env.heap[0]
+	}
+	return src, e
+}
+
+func (env *Env) popFrom(src int) entry {
+	switch src {
+	case srcRing:
+		return env.ring.pop()
+	case srcHead:
+		env.headValid = false
+		return env.head
+	default:
+		return env.heapPop()
+	}
 }
 
 // Go spawns fn as a new simulation process that begins executing at the
 // current virtual time (after the caller yields). The name appears in traces
 // and String output.
+//
+// Procs are coroutines (iter.Pull), not plain goroutines: park/dispatch is a
+// direct coroutine switch with no Go-scheduler round trip, which is the
+// difference between ~100ns and ~650ns per virtual context switch.
 func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
 	env.nextPID++
 	p := &Proc{
 		env:    env,
 		id:     env.nextPID,
 		name:   name,
-		resume: make(chan struct{}),
 		doneEv: NewEvent(env),
 	}
 	env.live++
-	go func() {
-		<-p.resume
+	p.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSignal); !ok {
@@ -151,14 +397,13 @@ func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
 			env.live--
 			p.doneEv.Trigger(p.killErr)
 			env.tracef("proc %s finished", p.name)
-			env.yield <- struct{}{}
 		}()
 		if p.killed { // killed before first execution
 			panic(killSignal{})
 		}
 		fn(p)
-	}()
-	env.schedule(env.now, func() { env.dispatch(p) })
+	})
+	env.enqueue(env.now, p, nil)
 	return p
 }
 
@@ -167,27 +412,64 @@ func (env *Env) dispatch(p *Proc) {
 	if p.finished {
 		return
 	}
+	prev := env.current
 	env.current = p
-	p.resume <- struct{}{}
-	<-env.yield
-	env.current = nil
+	p.next()
+	env.current = prev
 }
 
 // Step executes the single earliest pending event. It reports whether an
 // event was executed (false means the queue is empty).
 func (env *Env) Step() bool {
-	for env.queue.Len() > 0 {
-		it := heap.Pop(&env.queue).(*item)
+	for {
+		// Inlined front()+popFrom(): select the 3-way minimum of ring, head
+		// register and heap fronts, then remove it from its source.
+		var e entry
+		src := srcNone
+		if env.ring.n > 0 {
+			e = *env.ring.peek()
+			src = srcRing
+		}
+		if env.headValid && (src == srcNone || entryLess(&env.head, &e)) {
+			e = env.head
+			src = srcHead
+		}
+		if len(env.heap) > 0 && (src == srcNone || entryLess(&env.heap[0], &e)) {
+			src = srcHeap
+		}
+		switch src {
+		case srcNone:
+			return false
+		case srcRing:
+			env.ring.popRaw()
+		case srcHead:
+			env.headValid = false
+		default:
+			e = env.heapPop()
+		}
+		it := &env.items[e.slot]
 		if it.cancelled {
+			if it.inHeap {
+				env.heapCancelled--
+			}
+			env.recycleSlot(e.slot)
 			continue
 		}
-		if it.t > env.now {
-			env.now = it.t
+		proc, fn := it.proc, it.fn
+		// Recycle before running, so a Timer queried from inside its own
+		// callback reports inactive.
+		env.recycleSlot(e.slot)
+		env.pending--
+		if e.t > env.now {
+			env.now = e.t
 		}
-		it.fn()
+		if proc != nil {
+			env.dispatch(proc)
+		} else {
+			fn()
+		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty. Procs blocked forever (for
@@ -203,11 +485,7 @@ func (env *Env) Run() {
 // RunUntil executes events with time ≤ t and then sets the clock to t.
 func (env *Env) RunUntil(t time.Duration) {
 	env.running = true
-	for env.queue.Len() > 0 {
-		// Peek: find the earliest non-cancelled item without popping.
-		if env.peekTime() > t {
-			break
-		}
+	for env.peekTime() <= t {
 		env.Step()
 	}
 	if env.now < t {
@@ -216,29 +494,28 @@ func (env *Env) RunUntil(t time.Duration) {
 	env.running = false
 }
 
-// peekTime returns the time of the earliest live event, or a value past any
-// horizon when the queue holds only cancelled items.
+// peekTime returns the time of the earliest live event, dropping cancelled
+// fronts on the way, or a value past any horizon when nothing is pending.
 func (env *Env) peekTime() time.Duration {
-	for env.queue.Len() > 0 {
-		if env.queue[0].cancelled {
-			heap.Pop(&env.queue)
-			continue
+	for {
+		src, e := env.front()
+		if src == srcNone {
+			return 1<<63 - 1
 		}
-		return env.queue[0].t
+		it := &env.items[e.slot]
+		if !it.cancelled {
+			return e.t
+		}
+		popped := env.popFrom(src)
+		if it.inHeap {
+			env.heapCancelled--
+		}
+		env.recycleSlot(popped.slot)
 	}
-	return 1<<63 - 1
 }
 
 // Pending returns the number of live (non-cancelled) events in the queue.
-func (env *Env) Pending() int {
-	n := 0
-	for _, it := range env.queue {
-		if !it.cancelled {
-			n++
-		}
-	}
-	return n
-}
+func (env *Env) Pending() int { return env.pending }
 
 // Live returns the number of procs that have started and not yet finished.
 func (env *Env) Live() int { return env.live }
@@ -247,10 +524,20 @@ func (env *Env) Live() int { return env.live }
 // stuck simulations.
 func (env *Env) Snapshot() []string {
 	var out []string
-	for _, it := range env.queue {
-		if !it.cancelled {
-			out = append(out, fmt.Sprintf("t=%v seq=%d", it.t, it.seq))
+	add := func(e *entry) {
+		if env.items[e.slot].cancelled {
+			return
 		}
+		out = append(out, fmt.Sprintf("t=%v seq=%d", e.t, e.seq))
+	}
+	for i := 0; i < env.ring.n; i++ {
+		add(env.ring.at(i))
+	}
+	if env.headValid {
+		add(&env.head)
+	}
+	for i := range env.heap {
+		add(&env.heap[i])
 	}
 	sort.Strings(out)
 	return out

@@ -4,16 +4,55 @@ import "time"
 
 // waiter is one parked proc waiting on a synchronization object. The woken
 // flag guards against double-wake (e.g. a Trigger racing a timeout or Kill).
+// Waiters are pooled on the Env; the generation counter invalidates stale
+// references left behind in waiter lists after the proc resumed elsewhere.
 type waiter struct {
 	p     *Proc
+	gen   uint32
 	woken bool
 	val   any
 	ok    bool
 }
 
-// stale reports whether this entry must be skipped by producers: it was
-// already woken by another path, or its proc died while parked.
-func (w *waiter) stale() bool { return w.woken || w.p.killed || w.p.finished }
+// waiterRef is a generation-stamped reference held in a waiter list. The
+// waiter itself may be recycled (and re-issued to another proc) while the
+// reference lingers; the gen check detects that.
+type waiterRef struct {
+	w   *waiter
+	gen uint32
+}
+
+// stale reports whether this entry must be skipped by producers: the waiter
+// was recycled, already woken by another path, or its proc died while parked.
+func (r waiterRef) stale() bool {
+	w := r.w
+	return w.gen != r.gen || w.woken || w.p.killed || w.p.finished
+}
+
+// waiter pool -------------------------------------------------------------
+
+func (env *Env) newWaiter(p *Proc) *waiter {
+	if n := len(env.freeWaiters); n > 0 {
+		w := env.freeWaiters[n-1]
+		env.freeWaiters[n-1] = nil
+		env.freeWaiters = env.freeWaiters[:n-1]
+		w.p = p
+		return w
+	}
+	return &waiter{p: p}
+}
+
+// recycleWaiter returns w to the pool, bumping the generation so lingering
+// waiterRefs become stale. Only the normal resume path recycles; a
+// kill-unwound proc leaks its waiter to the GC, which is safe.
+func (env *Env) recycleWaiter(w *waiter) {
+	w.gen++
+	w.p = nil
+	w.woken = false
+	w.val = nil
+	w.ok = false
+	env.freeWaiters = append(env.freeWaiters, w)
+}
 
 // Event is a one-shot broadcast condition with an attached value. Waiting on
 // an already-triggered event returns immediately with the stored value, so
@@ -22,7 +61,8 @@ type Event struct {
 	env     *Env
 	fired   bool
 	val     any
-	waiters []*waiter
+	waiters []waiterRef
+	pruneAt int // amortized sweep threshold for stale refs
 }
 
 // NewEvent returns an untriggered event bound to env.
@@ -34,6 +74,49 @@ func (e *Event) Fired() bool { return e.fired }
 // Value returns the value the event was triggered with (nil before firing).
 func (e *Event) Value() any { return e.val }
 
+// Reset returns a fired event to the untriggered state so its owner can
+// reuse it as a fresh one-shot instead of allocating a new Event. The caller
+// must own the event's full lifecycle: every Wait on the previous firing
+// must have returned, and no one may hold the old Event expecting Fired to
+// stay true. Stale waiter references (procs killed while parked here) are
+// swept; resetting an event with live parked waiters would strand them, so
+// that panics.
+func (e *Event) Reset() {
+	if len(e.waiters) != 0 {
+		for _, r := range e.waiters {
+			if !r.stale() {
+				panic("sim: Reset of an Event with parked waiters")
+			}
+		}
+		for i := range e.waiters {
+			e.waiters[i] = waiterRef{}
+		}
+		e.waiters = e.waiters[:0]
+	}
+	e.fired = false
+	e.val = nil
+}
+
+// register appends a waiter reference, sweeping stale refs (from timeouts
+// and kills) once they could dominate the list, so an event waited on with
+// timeouts forever does not grow without bound.
+func (e *Event) register(w *waiter) {
+	if len(e.waiters) >= 8 && len(e.waiters) >= e.pruneAt {
+		live := e.waiters[:0]
+		for _, r := range e.waiters {
+			if !r.stale() {
+				live = append(live, r)
+			}
+		}
+		for i := len(live); i < len(e.waiters); i++ {
+			e.waiters[i] = waiterRef{}
+		}
+		e.waiters = live
+		e.pruneAt = 2 * (len(live) + 8)
+	}
+	e.waiters = append(e.waiters, waiterRef{w: w, gen: w.gen})
+}
+
 // Trigger fires the event, waking every waiter with val. Triggering an
 // already-fired event is a no-op, so racing producers are safe.
 func (e *Event) Trigger(val any) {
@@ -42,17 +125,18 @@ func (e *Event) Trigger(val any) {
 	}
 	e.fired = true
 	e.val = val
-	for _, w := range e.waiters {
-		if w.stale() {
-			continue
+	for i, r := range e.waiters {
+		if !r.stale() {
+			w := r.w
+			w.woken = true
+			w.val = val
+			w.ok = true
+			e.env.enqueue(e.env.now, w.p, nil)
 		}
-		w.woken = true
-		w.val = val
-		w.ok = true
-		p := w.p
-		e.env.schedule(e.env.now, func() { e.env.dispatch(p) })
+		e.waiters[i] = waiterRef{}
 	}
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
+	e.pruneAt = 0
 }
 
 // Wait parks p until the event fires and returns the trigger value.
@@ -61,10 +145,12 @@ func (p *Proc) Wait(e *Event) any {
 	if e.fired {
 		return e.val
 	}
-	w := &waiter{p: p}
-	e.waiters = append(e.waiters, w)
+	w := p.env.newWaiter(p)
+	e.register(w)
 	p.park()
-	return w.val
+	v := w.val
+	p.env.recycleWaiter(w)
+	return v
 }
 
 // WaitTimeout parks p until the event fires or d elapses. The second result
@@ -74,20 +160,23 @@ func (p *Proc) WaitTimeout(e *Event, d time.Duration) (any, bool) {
 	if e.fired {
 		return e.val, true
 	}
-	w := &waiter{p: p}
-	e.waiters = append(e.waiters, w)
+	w := p.env.newWaiter(p)
+	e.register(w)
+	ref := waiterRef{w: w, gen: w.gen}
 	tm := p.env.After(d, func() {
-		if w.stale() {
+		if ref.stale() {
 			return
 		}
 		w.woken = true
 		w.ok = false
 		p.env.dispatch(p)
 	})
-	p.pending = append(p.pending, tm.it)
+	p.pending = append(p.pending, procTimer{slot: tm.slot, gen: tm.gen})
 	p.park()
 	tm.Stop()
-	return w.val, w.ok
+	v, ok := w.val, w.ok
+	p.env.recycleWaiter(w)
+	return v, ok
 }
 
 // WaitAny parks p until any of the given events fires and returns the index
@@ -106,15 +195,17 @@ func (p *Proc) WaitAny(events ...*Event) (int, any) {
 	// Register a shared waiter entry on every event; whichever Trigger runs
 	// first flips woken and the rest become stale no-ops. The index is
 	// recovered post-park by scanning fired flags in argument order.
-	w := &waiter{p: p}
+	w := p.env.newWaiter(p)
 	for _, e := range events {
-		e.waiters = append(e.waiters, w)
+		e.register(w)
 	}
 	p.park()
+	v := w.val
+	p.env.recycleWaiter(w)
 	for i, e := range events {
 		if e.fired {
-			return i, w.val
+			return i, v
 		}
 	}
-	return -1, w.val
+	return -1, v
 }

@@ -14,22 +14,33 @@ var ErrKilled = errors.New("sim: proc killed")
 // runner recovers it. User code must not recover it (re-panic if it does).
 type killSignal struct{}
 
-// Proc is a simulation process: a goroutine whose execution is interleaved
+// procTimer is a generation-stamped reference to a pooled item slot; a gen
+// mismatch means the event already fired and the slot was recycled.
+type procTimer struct {
+	slot uint32
+	gen  uint32
+}
+
+// Proc is a simulation process: a coroutine whose execution is interleaved
 // by the Env scheduler. All blocking methods must be called from the proc's
 // own body (they park the calling proc).
 type Proc struct {
-	env      *Env
-	id       int
-	name     string
-	resume   chan struct{}
+	env  *Env
+	id   int
+	name string
+	// next resumes the coroutine until it parks or returns; yield (valid
+	// once the body has started) suspends it back to the scheduler.
+	next     func() (struct{}, bool)
+	yield    func(struct{}) bool
 	finished bool
 	killed   bool
 	killErr  error
 	doneEv   *Event
-	// pending tracks heap items that would wake this proc from its current
-	// park (sleep wakes, timeout timers); Kill cancels them so a dead proc
-	// cannot drag the virtual clock forward.
-	pending []*item
+	// pending tracks scheduled items that would wake this proc from its
+	// current park (sleep wakes, timeout timers); Kill cancels them so a
+	// dead proc cannot drag the virtual clock forward. The list is cleared
+	// on every resume, so it never grows past one park's worth of handles.
+	pending []procTimer
 }
 
 // Env returns the environment the proc runs in.
@@ -63,12 +74,23 @@ func (p *Proc) Tracef(format string, args ...any) {
 // park hands control back to the scheduler and blocks until resumed. On
 // resume it honours a pending kill by unwinding the stack.
 func (p *Proc) park() {
-	p.env.yield <- struct{}{}
-	<-p.resume
-	p.pending = p.pending[:0]
+	if !p.yield(struct{}{}) {
+		// The coroutine's consumer was stopped; unwind like a kill.
+		panic(killSignal{})
+	}
+	p.clearPending()
 	if p.killed {
 		panic(killSignal{})
 	}
+}
+
+// clearPending drops wake handles from the park that just ended, zeroing the
+// slots so the slice does not pin pooled items.
+func (p *Proc) clearPending() {
+	for i := range p.pending {
+		p.pending[i] = procTimer{}
+	}
+	p.pending = p.pending[:0]
 }
 
 // checkRunning panics when a blocking primitive is invoked from outside the
@@ -89,8 +111,8 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	it := p.env.schedule(p.env.now+d, func() { p.env.dispatch(p) })
-	p.pending = append(p.pending, it)
+	slot, gen := p.env.enqueue(p.env.now+d, p, nil)
+	p.pending = append(p.pending, procTimer{slot: slot, gen: gen})
 	p.park()
 }
 
@@ -118,13 +140,16 @@ func (p *Proc) Kill(reason error) {
 	if p.env.current == p {
 		panic("sim: proc cannot Kill itself; return from its body instead")
 	}
-	for _, it := range p.pending {
-		it.cancelled = true
+	for _, pt := range p.pending {
+		it := &p.env.items[pt.slot]
+		if it.gen == pt.gen && !it.cancelled {
+			p.env.cancelItem(it)
+		}
 	}
-	p.pending = nil
+	p.clearPending()
 	// Wake it so the unwind happens promptly even if it was parked on a
 	// queue or event; stale waiter entries are skipped via their woken flag.
-	p.env.schedule(p.env.now, func() { p.env.dispatch(p) })
+	p.env.enqueue(p.env.now, p, nil)
 }
 
 // WaitProc blocks until other finishes and returns its completion error

@@ -2,6 +2,29 @@ package sim
 
 import "time"
 
+// qwaiter is a parked getter. It plays the role of waiter but stores the
+// delivered value with its static type, so handing an item to a getter never
+// boxes it into an interface. Instances are pooled per queue.
+type qwaiter[T any] struct {
+	p     *Proc
+	gen   uint32
+	woken bool
+	ok    bool
+	val   T
+}
+
+// qref is a generation-stamped reference to a pooled qwaiter, held in the
+// getter ring; see waiterRef for the staleness rules.
+type qref[T any] struct {
+	qw  *qwaiter[T]
+	gen uint32
+}
+
+func (r qref[T]) stale() bool {
+	qw := r.qw
+	return qw.gen != r.gen || qw.woken || qw.p.killed || qw.p.finished
+}
+
 // Queue is an unbounded FIFO channel between procs. Put never blocks; Get
 // parks the caller until an item is available. Items are delivered in
 // arrival order and getters are served in arrival order.
@@ -11,8 +34,10 @@ import "time"
 // delivered to a dead process.
 type Queue[T any] struct {
 	env     *Env
-	items   []T
-	getters []*waiter
+	items   fifo[T]
+	getters fifo[qref[T]]
+	free    []*qwaiter[T]
+	pruneAt int // amortized sweep threshold for stale getter refs
 	closed  bool
 }
 
@@ -20,10 +45,41 @@ type Queue[T any] struct {
 func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
+
+func (q *Queue[T]) newWaiter(p *Proc) *qwaiter[T] {
+	if n := len(q.free); n > 0 {
+		qw := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		qw.p = p
+		return qw
+	}
+	return &qwaiter[T]{p: p}
+}
+
+func (q *Queue[T]) recycleWaiter(qw *qwaiter[T]) {
+	var zero T
+	qw.gen++
+	qw.p = nil
+	qw.woken = false
+	qw.ok = false
+	qw.val = zero
+	q.free = append(q.free, qw)
+}
+
+// registerGetter parks bookkeeping for a getter, sweeping stale refs (from
+// timeouts and kills) once they could dominate the ring.
+func (q *Queue[T]) registerGetter(qw *qwaiter[T]) {
+	if q.getters.len() >= 8 && q.getters.len() >= q.pruneAt {
+		q.getters.compact(func(r *qref[T]) bool { return !r.stale() })
+		q.pruneAt = 2 * (q.getters.len() + 8)
+	}
+	q.getters.push(qref[T]{qw: qw, gen: qw.gen})
+}
 
 // Put appends v and wakes the oldest parked getter, if any. Put on a closed
 // queue panics, mirroring send-on-closed-channel.
@@ -31,20 +87,19 @@ func (q *Queue[T]) Put(v T) {
 	if q.closed {
 		panic("sim: Put on closed Queue")
 	}
-	for len(q.getters) > 0 {
-		w := q.getters[0]
-		q.getters = q.getters[1:]
-		if w.stale() {
+	for q.getters.len() > 0 {
+		r := q.getters.pop()
+		if r.stale() {
 			continue // entry from a timeout or a killed proc
 		}
-		w.woken = true
-		w.val = v
-		w.ok = true
-		p := w.p
-		q.env.schedule(q.env.now, func() { q.env.dispatch(p) })
+		qw := r.qw
+		qw.woken = true
+		qw.val = v
+		qw.ok = true
+		q.env.enqueue(q.env.now, qw.p, nil)
 		return
 	}
-	q.items = append(q.items, v)
+	q.items.push(v)
 }
 
 // Close wakes every parked getter with ok=false. Buffered items remain
@@ -54,27 +109,25 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, w := range q.getters {
-		if w.stale() {
+	for q.getters.len() > 0 {
+		r := q.getters.pop()
+		if r.stale() {
 			continue
 		}
-		w.woken = true
-		w.ok = false
-		p := w.p
-		q.env.schedule(q.env.now, func() { q.env.dispatch(p) })
+		qw := r.qw
+		qw.woken = true
+		qw.ok = false
+		q.env.enqueue(q.env.now, qw.p, nil)
 	}
-	q.getters = nil
 }
 
 // TryGet pops the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.pop(), true
 }
 
 // Get pops the oldest item, parking p until one arrives. The second result
@@ -84,17 +137,16 @@ func (q *Queue[T]) Get(p *Proc) (T, bool) {
 	if v, ok := q.TryGet(); ok {
 		return v, true
 	}
-	var zero T
 	if q.closed {
+		var zero T
 		return zero, false
 	}
-	w := &waiter{p: p}
-	q.getters = append(q.getters, w)
+	qw := q.newWaiter(p)
+	q.registerGetter(qw)
 	p.park()
-	if !w.ok {
-		return zero, false
-	}
-	return w.val.(T), true
+	v, ok := qw.val, qw.ok
+	q.recycleWaiter(qw)
+	return v, ok
 }
 
 // GetTimeout is Get with a deadline; the second result is false on timeout
@@ -104,25 +156,25 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 	if v, ok := q.TryGet(); ok {
 		return v, true
 	}
-	var zero T
 	if q.closed {
+		var zero T
 		return zero, false
 	}
-	w := &waiter{p: p}
-	q.getters = append(q.getters, w)
+	qw := q.newWaiter(p)
+	q.registerGetter(qw)
+	ref := qref[T]{qw: qw, gen: qw.gen}
 	tm := p.env.After(d, func() {
-		if w.stale() {
+		if ref.stale() {
 			return
 		}
-		w.woken = true
-		w.ok = false
+		qw.woken = true
+		qw.ok = false
 		p.env.dispatch(p)
 	})
-	p.pending = append(p.pending, tm.it)
+	p.pending = append(p.pending, procTimer{slot: tm.slot, gen: tm.gen})
 	p.park()
 	tm.Stop()
-	if !w.ok {
-		return zero, false
-	}
-	return w.val.(T), true
+	v, ok := qw.val, qw.ok
+	q.recycleWaiter(qw)
+	return v, ok
 }

@@ -12,12 +12,12 @@ type Resource struct {
 	env      *Env
 	capacity int64
 	used     int64
-	waiters  []*resWaiter
+	waiters  fifo[resWaiter]
 }
 
 type resWaiter struct {
-	w *waiter
-	n int64
+	ref waiterRef
+	n   int64
 }
 
 // NewResource returns a resource with the given capacity.
@@ -47,7 +47,7 @@ func (r *Resource) TryAcquire(n int64) bool {
 	if n > r.capacity {
 		return false
 	}
-	if len(r.waiters) > 0 || r.used+n > r.capacity {
+	if r.waiters.len() > 0 || r.used+n > r.capacity {
 		return false
 	}
 	r.used += n
@@ -64,10 +64,11 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	if r.TryAcquire(n) {
 		return
 	}
-	w := &waiter{p: p}
-	r.waiters = append(r.waiters, &resWaiter{w: w, n: n})
+	w := r.env.newWaiter(p)
+	r.waiters.push(resWaiter{ref: waiterRef{w: w, gen: w.gen}, n: n})
 	p.park()
 	// The grant (used += n) was performed by Release on our behalf.
+	r.env.recycleWaiter(w)
 }
 
 // Release returns n units and grants as many parked waiters, in FIFO order,
@@ -80,20 +81,20 @@ func (r *Resource) Release(n int64) {
 	if r.used < 0 {
 		panic("sim: Resource released below zero")
 	}
-	for len(r.waiters) > 0 {
-		rw := r.waiters[0]
-		if rw.w.stale() { // timed-out or killed waiter: discard without granting
-			r.waiters = r.waiters[1:]
+	for r.waiters.len() > 0 {
+		rw := r.waiters.peek()
+		if rw.ref.stale() { // killed waiter: discard without granting
+			r.waiters.pop()
 			continue
 		}
 		if r.used+rw.n > r.capacity {
 			return // strict FIFO: head doesn't fit, nobody behind it goes
 		}
-		r.waiters = r.waiters[1:]
-		r.used += rw.n
-		rw.w.woken = true
-		rw.w.ok = true
-		p := rw.w.p
-		r.env.schedule(r.env.now, func() { r.env.dispatch(p) })
+		granted := r.waiters.pop()
+		r.used += granted.n
+		w := granted.ref.w
+		w.woken = true
+		w.ok = true
+		r.env.enqueue(r.env.now, w.p, nil)
 	}
 }
