@@ -10,6 +10,11 @@ go test ./...
 go test -race ./internal/kube/... ./internal/core/...
 go test -race ./internal/sim/... ./internal/devlib/...
 GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden' ./internal/experiments/
+# Chaos soak under the race detector: the multi-seed recovery suite (node
+# crashes, holder kills, device faults, watch drops) must satisfy every
+# quiescence invariant; failures print the seed to reproduce. The plain
+# `go test ./...` pass above already ran it race-free.
+GOMAXPROCS=4 go test -race ./internal/chaos/
 # Smoke the kernel micro-benchmarks so a regression that only breaks bench
 # setup (not the unit tests) is caught here.
 go test ./internal/sim/ -run xxx -bench BenchmarkSimKernel -benchtime 1x

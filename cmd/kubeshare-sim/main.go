@@ -6,7 +6,7 @@
 //	kubeshare-sim [-scale quick|full] [-csv] [-seed N] [experiment ...]
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13, or "all" (the default). Full scale matches the paper's
+// fig12 fig13 fig14, or "all" (the default). Full scale matches the paper's
 // 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
 // cluster and workloads for fast iteration.
 package main
@@ -117,7 +117,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-			"fig9", "fig10", "fig11", "fig12", "fig13"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -226,6 +226,14 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.Nodes, cfg.GPUsPerNode = 1, 4
 		}
 		return experiments.Fig13(cfg)
+	case "fig14":
+		cfg := experiments.Fig14Config{Seed: seed}
+		if !full {
+			cfg.Nodes, cfg.Jobs = 2, 12
+			cfg.JobDuration = 10 * time.Second
+			cfg.Intensities = []float64{0, 1, 2}
+		}
+		return experiments.Fig14(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig13)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig14)")
 }

@@ -1,16 +1,24 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
+	"kubeshare/internal/devlib"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
 )
+
+// errVGPULost marks a vGPU whose physical backing disappeared mid-bind
+// (holder pod death that recovery could not ride out). Binds seeing it
+// requeue the sharePod instead of failing it.
+var errVGPULost = errors.New("core: vGPU lost")
 
 // PoolPolicy controls what happens to a vGPU when its last tenant leaves
 // (§4.4): OnDemand releases the physical GPU back to Kubernetes
@@ -36,6 +44,10 @@ type DevMgrConfig struct {
 	// OpLatency models one DevMgr operation (vGPU info query plus bound-pod
 	// construction).
 	OpLatency time.Duration
+	// RecoveryTimeout bounds how long a dead vGPU pod's replacement may take
+	// to come up before the vGPU is written off and its tenants requeued
+	// (default 30s).
+	RecoveryTimeout time.Duration
 }
 
 // DefaultOpLatency is used when OpLatency is zero. It covers the vGPU info
@@ -73,14 +85,35 @@ type DevMgr struct {
 	tenants map[string]map[string]bool
 	// idle caches the gpuIDs currently in VGPUIdle phase (DevMgr is the only
 	// phase writer), so the Hybrid policy's reserve check is O(1).
-	idle  map[string]bool
-	procs []*sim.Proc
+	idle map[string]bool
+	// placedGPU remembers each live sharePod's last-seen placement, so a
+	// requeue (placement cleared under a live sharePod) releases the old
+	// device's tenant entry.
+	placedGPU map[string]string
+	// holderGen counts holder incarnations per gpuID (0 = original).
+	holderGen map[string]int
+	// recovering single-flights vGPU recovery per gpuID.
+	recovering map[string]bool
+	// backends resolves a node's device-library daemon, for suspending and
+	// resuming token managers across vGPU pod restarts (see SetBackends).
+	backends map[string]*devlib.Backend
+
+	reflectors []*apiserver.Reflector
+	procs      []*sim.Proc
+
+	// recoveries/recoveryFails count vGPU recovery attempts and write-offs
+	// (observability/tests).
+	recoveries    int64
+	recoveryFails int64
 }
 
 // NewDevMgr creates KubeShare-DevMgr; Start launches it.
 func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
 	if cfg.OpLatency == 0 {
 		cfg.OpLatency = DefaultOpLatency
+	}
+	if cfg.RecoveryTimeout == 0 {
+		cfg.RecoveryTimeout = 30 * time.Second
 	}
 	return &DevMgr{
 		env:         env,
@@ -91,7 +124,37 @@ func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
 		binding:     make(map[string]bool),
 		tenants:     make(map[string]map[string]bool),
 		idle:        make(map[string]bool),
+		placedGPU:   make(map[string]string),
+		holderGen:   make(map[string]int),
+		recovering:  make(map[string]bool),
+		backends:    make(map[string]*devlib.Backend),
 	}
+}
+
+// SetBackends wires the per-node device-library daemons in, so recovery can
+// suspend and resume the token manager of a dying vGPU pod. Call before
+// Start.
+func (m *DevMgr) SetBackends(backends map[string]*devlib.Backend) {
+	m.backends = backends
+}
+
+// Recoveries returns (attempted, failed) vGPU recovery counts.
+func (m *DevMgr) Recoveries() (int64, int64) { return m.recoveries, m.recoveryFails }
+
+// TenantView returns a copy of the tenant cache (gpuID → sorted sharePod
+// names). Chaos soaks check it against the live placed sharePods: a
+// divergence means a leaked or orphaned tenant entry.
+func (m *DevMgr) TenantView() map[string][]string {
+	out := make(map[string][]string, len(m.tenants))
+	for gpuID, set := range m.tenants {
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out[gpuID] = names
+	}
+	return out
 }
 
 // ReportUUID is called by the holder image entrypoint to deliver the device
@@ -115,12 +178,28 @@ func (m *DevMgr) uuidReport(holderPod string) *sim.Event {
 	return ev
 }
 
-// Start launches the sharePod and pod watch loops.
+// failUUIDWaiters forgets a holder's report channel, first waking anyone
+// still waiting on it with errVGPULost. A holder that died before reporting
+// will never trigger its event; silently deleting the map entry would strand
+// the waiting bind forever (holding its single-flight flags), which is
+// exactly the wedge the chaos soak caught. Trigger is idempotent, so holders
+// that already reported are unaffected.
+func (m *DevMgr) failUUIDWaiters(holderPod string) {
+	if ev, ok := m.uuidReports[holderPod]; ok {
+		ev.Trigger(fmt.Errorf("%w: holder %s died before reporting", errVGPULost, holderPod))
+		delete(m.uuidReports, holderPod)
+	}
+}
+
+// Start launches the sharePod, bound-pod and holder-pod watch loops. All
+// three ride reflectors, so dropped watches resume (or relist) without
+// losing deltas.
 func (m *DevMgr) Start() {
-	spQ := m.srv.Watch(KindSharePod, true)
+	spR := m.srv.NewReflector(KindSharePod, apiserver.WatchOptions{Replay: true})
+	m.reflectors = append(m.reflectors, spR)
 	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr", func(p *sim.Proc) {
 		for {
-			ev, ok := spQ.Get(p)
+			ev, ok := spR.Get(p)
 			if !ok {
 				return
 			}
@@ -128,20 +207,46 @@ func (m *DevMgr) Start() {
 			switch ev.Type {
 			case store.Deleted:
 				m.onSharePodGone(sp)
+				delete(m.placedGPU, sp.Name)
 			default:
-				if sp.Placed() {
-					if sp.Terminated() {
+				// Maintain the tenant cache, including the requeue edge: a
+				// live sharePod whose placement was cleared (or moved) must
+				// release its old device.
+				cur := ""
+				if sp.Placed() && !sp.Terminated() {
+					cur = sp.Spec.GPUID
+				}
+				if old, ok := m.placedGPU[sp.Name]; ok && old != cur {
+					m.removeTenant(old, sp.Name)
+					m.reconcileVGPU(old)
+				}
+				if cur != "" {
+					m.placedGPU[sp.Name] = cur
+					m.addTenant(cur, sp.Name)
+				} else {
+					delete(m.placedGPU, sp.Name)
+					if sp.Placed() && sp.Terminated() {
 						m.removeTenant(sp.Spec.GPUID, sp.Name)
-					} else {
-						m.addTenant(sp.Spec.GPUID, sp.Name)
 					}
 				}
 				if sp.Placed() && !sp.Terminated() && sp.Status.BoundPod == "" && !m.binding[sp.Name] {
 					m.binding[sp.Name] = true
-					spCopy := sp
-					m.env.Go("devmgr-bind-"+sp.Name, func(bp *sim.Proc) {
-						defer delete(m.binding, spCopy.Name)
-						m.bind(bp, spCopy)
+					name := sp.Name
+					m.env.Go("devmgr-bind-"+name, func(bp *sim.Proc) {
+						defer delete(m.binding, name)
+						// Loop until the placement is stable: a sharePod
+						// requeued and re-placed while a bind was in flight
+						// would otherwise be swallowed — the watch event
+						// arrives while the binding flag is still set, and
+						// the stale bind exits on its placement-changed
+						// guard with nobody left to bind the new placement.
+						for {
+							cur, err := SharePods(m.srv).Get(name)
+							if err != nil || cur.Terminated() || !cur.Placed() || cur.Status.BoundPod != "" {
+								return
+							}
+							m.bind(bp, cur)
+						}
 					})
 				}
 			}
@@ -150,13 +255,14 @@ func (m *DevMgr) Start() {
 	// Only bound pods (stamped with LabelSharePod) matter here; the filter
 	// runs server-side, so holder pods and unrelated cluster pods never
 	// reach this loop.
-	podQ := m.srv.WatchFiltered("Pod", apiserver.WatchOptions{
+	podR := m.srv.NewReflector("Pod", apiserver.WatchOptions{
 		Selector: labels.HasKey(LabelSharePod),
 		Replay:   true,
 	})
+	m.reflectors = append(m.reflectors, podR)
 	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr-pods", func(p *sim.Proc) {
 		for {
-			ev, ok := podQ.Get(p)
+			ev, ok := podR.Get(p)
 			if !ok {
 				return
 			}
@@ -165,6 +271,25 @@ func (m *DevMgr) Start() {
 			}
 			pod := ev.Object.(*api.Pod)
 			m.reflectPodStatus(pod.Labels[LabelSharePod], pod)
+		}
+	}))
+	// Holder-pod stream: a holder that dies (killed container, evicted node)
+	// while its vGPU still exists triggers recovery.
+	holderR := m.srv.NewReflector("Pod", apiserver.WatchOptions{
+		Selector: labels.HasKey(LabelVGPUHolder),
+		Replay:   true,
+	})
+	m.reflectors = append(m.reflectors, holderR)
+	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr-holders", func(p *sim.Proc) {
+		for {
+			ev, ok := holderR.Get(p)
+			if !ok {
+				return
+			}
+			pod := ev.Object.(*api.Pod)
+			if ev.Type == store.Deleted || pod.Terminated() {
+				m.onHolderDown(pod)
+			}
 		}
 	}))
 }
@@ -194,6 +319,156 @@ func (m *DevMgr) Stop() {
 	for _, p := range m.procs {
 		p.Kill(nil)
 	}
+	for _, r := range m.reflectors {
+		r.Stop()
+	}
+}
+
+// onHolderDown reacts to a dead holder pod. Expected teardowns (the vGPU
+// object is gone, or the pod is a stale incarnation) are ignored; anything
+// else starts a recovery proc for the vGPU.
+func (m *DevMgr) onHolderDown(pod *api.Pod) {
+	gpuID := pod.Labels[LabelVGPUHolder]
+	if gpuID == "" || m.recovering[gpuID] {
+		return
+	}
+	v, err := VGPUs(m.srv).Get(gpuID)
+	if err != nil || v.Status.HolderPod != pod.Name {
+		return
+	}
+	m.recovering[gpuID] = true
+	// Single-flight with binds: ensureVGPU waits on this event instead of
+	// racing a fresh acquisition against the recovery.
+	ev := sim.NewEvent(m.env)
+	m.creating[gpuID] = ev
+	deadHolder := pod.Name
+	m.procs = append(m.procs, m.env.Go("devmgr-recover-"+gpuID, func(p *sim.Proc) {
+		defer func() {
+			delete(m.recovering, gpuID)
+			if m.creating[gpuID] == ev {
+				delete(m.creating, gpuID)
+			}
+		}()
+		m.recoverVGPU(p, gpuID, deadHolder, ev)
+	}))
+}
+
+// recoverVGPU replaces a dead vGPU pod: the device's token manager is
+// suspended (queued acquires fail over to the frontends' reconnect loops),
+// a fresh holder incarnation is launched, and on success the manager
+// resumes — surviving tenants re-register and continue. If the replacement
+// reports a different physical device, or never comes up, the vGPU is
+// written off and its tenants requeued.
+func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Event) {
+	m.recoveries++
+	v, err := VGPUs(m.srv).Get(gpuID)
+	if err != nil {
+		done.Trigger(fmt.Errorf("%w: %s", errVGPULost, gpuID))
+		return
+	}
+	oldUUID := v.Status.UUID
+	var mgr *devlib.TokenManager
+	if b := m.backends[v.Spec.NodeName]; b != nil && oldUUID != "" {
+		mgr = b.Manager(oldUUID)
+		mgr.Suspend()
+	}
+	m.failUUIDWaiters(deadHolder)
+	m.holderGen[gpuID]++
+	holder := holderPodName(gpuID, m.holderGen[gpuID])
+	_, _ = VGPUs(m.srv).MutateStatus(gpuID, func(cur *VGPU) error {
+		cur.Status.Phase = VGPUCreating
+		cur.Status.HolderPod = holder
+		cur.Status.UUID = "" // stale binds must wait for the new backing
+		return nil
+	})
+	// Remove the corpse (KillPod leaves a Failed pod object; eviction has
+	// already deleted it) so the node's GPU is free for the replacement.
+	if err := apiserver.Pods(m.srv).Delete(deadHolder); err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: delete dead holder: %v", err))
+	}
+	replacement := &api.Pod{
+		ObjectMeta: api.ObjectMeta{
+			Name:   holder,
+			Labels: map[string]string{LabelVGPUHolder: gpuID},
+		},
+		Spec: api.PodSpec{
+			NodeName: v.Spec.NodeName,
+			Containers: []api.Container{{
+				Name:     "holder",
+				Image:    HolderImage,
+				Requests: api.ResourceList{api.ResourceGPU: 1},
+			}},
+		},
+	}
+	uuid := ""
+	if _, err := apiserver.Pods(m.srv).Create(replacement); err == nil || apiserver.IsExists(err) {
+		if val, ok := p.WaitTimeout(m.uuidReport(holder), m.cfg.RecoveryTimeout); ok {
+			uuid, _ = val.(string)
+		}
+	}
+	if mgr != nil {
+		mgr.Resume()
+	}
+	if uuid == "" {
+		// Node dead or no GPU free: write the vGPU off. Tenants requeue and
+		// Algorithm 1 re-places them wherever capacity lives now.
+		m.recoveryFails++
+		m.dropVGPU(gpuID, holder)
+		done.Trigger(fmt.Errorf("%w: %s", errVGPULost, gpuID))
+		return
+	}
+	_, _ = VGPUs(m.srv).MutateStatus(gpuID, func(cur *VGPU) error {
+		cur.Status.Phase = VGPUActive
+		cur.Status.UUID = uuid
+		return nil
+	})
+	if uuid != oldUUID && oldUUID != "" {
+		// The replacement pinned a different physical device; the tenants'
+		// containers are wired to the old UUID. Requeue them — their
+		// replacements bind against the new backing.
+		m.evictTenants(gpuID)
+	}
+	done.Trigger(uuid)
+}
+
+// dropVGPU writes a vGPU off: tenants are requeued (via bound-pod deletion
+// when one exists, directly otherwise), then the holder and the VGPU object
+// are removed.
+func (m *DevMgr) dropVGPU(gpuID, holder string) {
+	m.evictTenants(gpuID)
+	if err := apiserver.Pods(m.srv).Delete(holder); err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: delete holder: %v", err))
+	}
+	if err := VGPUs(m.srv).Delete(gpuID); err != nil && !apiserver.IsNotFound(err) {
+		panic(fmt.Sprintf("kubeshare-devmgr: delete vGPU: %v", err))
+	}
+	delete(m.idle, gpuID)
+	m.failUUIDWaiters(holder)
+}
+
+// evictTenants requeues every live tenant of a vGPU. Tenants with a bound
+// pod are requeued by deleting it (the scheduler's pod-deletion hook);
+// tenants still binding are requeued directly.
+func (m *DevMgr) evictTenants(gpuID string) {
+	names := make([]string, 0, len(m.tenants[gpuID]))
+	for name := range m.tenants[gpuID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sps := SharePods(m.srv)
+	for _, name := range names {
+		sp, err := sps.Get(name)
+		if err != nil || sp.Terminated() {
+			continue
+		}
+		if sp.Status.BoundPod != "" {
+			if err := apiserver.Pods(m.srv).Delete(sp.Status.BoundPod); err != nil && !apiserver.IsNotFound(err) {
+				panic(fmt.Sprintf("kubeshare-devmgr: evict tenant %s: %v", name, err))
+			}
+		} else {
+			RequeueSharePod(m.srv, name)
+		}
+	}
 }
 
 // bind realizes one scheduled sharePod: ensure its vGPU exists, then create
@@ -201,15 +476,30 @@ func (m *DevMgr) Stop() {
 func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 	uuid, err := m.ensureVGPU(p, sp.Spec.GPUID, sp.Spec.NodeName)
 	if err != nil {
-		m.failSharePod(sp.Name, fmt.Sprintf("vGPU %s: %v", sp.Spec.GPUID, err))
+		if errors.Is(err, errVGPULost) {
+			// The backing died mid-bind; requeue rather than fail — the
+			// request is fine, the device was not. Guard against the
+			// sharePod having already been re-placed elsewhere while the
+			// doomed acquisition ran: only the still-current placement is
+			// cleared.
+			if cur, gerr := SharePods(m.srv).Get(sp.Name); gerr == nil && cur.Spec.GPUID == sp.Spec.GPUID {
+				RequeueSharePod(m.srv, sp.Name)
+			}
+		} else {
+			m.failSharePod(sp.Name, fmt.Sprintf("vGPU %s: %v", sp.Spec.GPUID, err))
+		}
 		return
 	}
 	p.Sleep(m.cfg.OpLatency)
-	// The sharePod may have been deleted while the vGPU was created.
+	// The sharePod may have been deleted, requeued elsewhere, or already
+	// bound while the vGPU was created.
 	cur, err := SharePods(m.srv).Get(sp.Name)
 	if err != nil || cur.Terminated() {
 		m.reconcileVGPU(sp.Spec.GPUID)
 		return
+	}
+	if cur.Spec.GPUID != sp.Spec.GPUID || cur.Status.BoundPod != "" {
+		return // a newer watch event drives the current placement
 	}
 	spec := sp.Spec.Pod.Clone()
 	spec.NodeName = sp.Spec.NodeName // explicit binding: no kube-scheduler involvement
@@ -226,7 +516,7 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 	}
 	pod := &api.Pod{
 		ObjectMeta: api.ObjectMeta{
-			Name:   boundPodName(sp.Name),
+			Name:   boundPodName(sp.Name, cur.Status.Restarts),
 			Labels: map[string]string{LabelSharePod: sp.Name},
 			Annotations: map[string]string{
 				AnnGPURequest: formatFloat(sp.Spec.GPURequest),
@@ -267,7 +557,14 @@ func (m *DevMgr) ensureVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 	}
 	ev := sim.NewEvent(m.env)
 	m.creating[gpuID] = ev
-	defer delete(m.creating, gpuID)
+	// Delete only our own event: onHolderDown may have replaced it with a
+	// recovery's single-flight event while createVGPU was blocked, and
+	// deleting that would let a fresh acquisition race the recovery.
+	defer func() {
+		if m.creating[gpuID] == ev {
+			delete(m.creating, gpuID)
+		}
+	}()
 	uuid, err := m.createVGPU(p, gpuID, node)
 	if err != nil {
 		ev.Trigger(err)
@@ -281,7 +578,7 @@ func (m *DevMgr) ensureVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 // holder pod requesting one GPU on the target node, wait for it to run, and
 // read the UUID it reports from its environment.
 func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
-	holder := holderPodName(gpuID)
+	holder := holderPodName(gpuID, 0)
 	vgpu := &VGPU{
 		ObjectMeta: api.ObjectMeta{Name: gpuID},
 		Spec:       VGPUSpec{GPUID: gpuID, NodeName: node},
@@ -308,6 +605,11 @@ func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 		return "", err
 	}
 	v := p.Wait(m.uuidReport(holder))
+	if err, ok := v.(error); ok {
+		// The holder died before reporting (killed, evicted, node crash) and
+		// recovery or teardown wrote it off under us.
+		return "", err
+	}
 	uuid, ok := v.(string)
 	if !ok || uuid == "" {
 		return "", fmt.Errorf("holder pod %s reported no device", holder)
@@ -392,7 +694,9 @@ func (m *DevMgr) reconcileVGPU(gpuID string) {
 		m.markVGPU(gpuID, VGPUIdle)
 		return
 	case Hybrid:
-		if len(m.idle) < m.cfg.IdleReserve {
+		// m.idle[gpuID]: this vGPU already counts toward the reserve —
+		// re-reconciling an idle device must be a no-op, not a release.
+		if m.idle[gpuID] || len(m.idle) < m.cfg.IdleReserve {
 			m.markVGPU(gpuID, VGPUIdle)
 			return
 		}

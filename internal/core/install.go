@@ -121,6 +121,8 @@ func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 			return f
 		})
 	}
+	// vGPU recovery needs to suspend/resume the dying pod's token manager.
+	ks.DevMgr.SetBackends(ks.Backends)
 
 	return ks, nil
 }

@@ -93,6 +93,9 @@ func BuildPoolWithFactor(srv *apiserver.Server, newID func() string, memFactor f
 		}
 	}
 	for _, node := range apiserver.Nodes(srv).List() {
+		if !node.Status.Ready {
+			continue // no new vGPUs on NotReady nodes; existing ones drain via eviction
+		}
 		total := int(node.Status.Allocatable[api.ResourceGPU])
 		free := total - nativeGPU[node.Name] - vgpuPerNode[node.Name]
 		if free > 0 {
@@ -116,8 +119,22 @@ func RequestOf(sp *SharePod) Request {
 	}
 }
 
-// holderPodName names the native pod pinning a vGPU's physical GPU.
-func holderPodName(gpuID string) string { return fmt.Sprintf("vgpu-%s-holder", gpuID) }
+// holderPodName names the native pod pinning a vGPU's physical GPU. gen is
+// the holder incarnation: 0 for the original, >0 for replacements created by
+// vGPU recovery (the old name may still exist while the corpse is cleaned
+// up, so each incarnation gets a fresh name).
+func holderPodName(gpuID string, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("vgpu-%s-holder", gpuID)
+	}
+	return fmt.Sprintf("vgpu-%s-holder-r%d", gpuID, gen)
+}
 
-// boundPodName names the pod realizing a sharePod.
-func boundPodName(spName string) string { return fmt.Sprintf("sharepod-%s", spName) }
+// boundPodName names the pod realizing a sharePod, versioned by the
+// sharePod's restart count for the same reason as holder incarnations.
+func boundPodName(spName string, restarts int) string {
+	if restarts == 0 {
+		return fmt.Sprintf("sharepod-%s", spName)
+	}
+	return fmt.Sprintf("sharepod-%s-r%d", spName, restarts)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/store"
 	"kubeshare/internal/sim"
@@ -46,8 +47,13 @@ type Scheduler struct {
 	nextID int
 	proc   *sim.Proc
 
+	reflectors []*apiserver.Reflector
+	watchProcs []*sim.Proc
+
 	// decisions counts Algorithm 1 invocations (observability/tests).
 	decisions int64
+	// requeues counts bound-pod-loss recoveries (observability/tests).
+	requeues int64
 }
 
 // NewScheduler creates KubeShare-Sched; Start launches it.
@@ -67,22 +73,41 @@ func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Sch
 // Decisions returns the number of scheduling decisions made so far.
 func (s *Scheduler) Decisions() int64 { return s.decisions }
 
+// Requeues returns the number of bound-pod-loss recoveries performed.
+func (s *Scheduler) Requeues() int64 { return s.requeues }
+
+// VerifySnapshot cross-checks the incremental snapshot against a full
+// relist: the pool it materializes must be exactly what BuildPoolWithFactor
+// constructs from the API server right now. Call at drained instants (the
+// watch procs idle); chaos soaks use it to prove the snapshot stayed exact
+// across watch drops, resumes and relists.
+func (s *Scheduler) VerifySnapshot() error {
+	return DiffPools(s.snap.NewPool(nil), BuildPoolWithFactor(s.srv, nil, s.cfg.MemOvercommitFactor))
+}
+
 // Start launches the watch and scheduling loops. Every watched kind replays
 // so the snapshot converges to the full cluster state before (and between)
-// decisions.
+// decisions. The streams run through reflectors, so a dropped watch resumes
+// from its last revision (or relists on a compacted gap) and the snapshot
+// stays exact across connection loss.
 func (s *Scheduler) Start() {
 	for _, kind := range []string{KindSharePod, "Pod", KindVGPU, "Node"} {
-		q := s.srv.Watch(kind, true)
-		s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
+		r := s.srv.NewReflector(kind, apiserver.WatchOptions{Replay: true})
+		s.reflectors = append(s.reflectors, r)
+		isPod := kind == "Pod"
+		s.watchProcs = append(s.watchProcs, s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
 			for {
-				ev, ok := q.Get(p)
+				ev, ok := r.Get(p)
 				if !ok {
 					return
 				}
 				s.snap.Apply(ev)
+				if isPod && ev.Type == store.Deleted {
+					s.onPodDeleted(ev.Object.(*api.Pod))
+				}
 				s.kick()
 			}
-		})
+		}))
 	}
 	s.proc = s.env.Go("kubeshare-sched", s.loop)
 }
@@ -92,6 +117,35 @@ func (s *Scheduler) Stop() {
 	if s.proc != nil {
 		s.proc.Kill(nil)
 	}
+	for _, p := range s.watchProcs {
+		p.Kill(nil)
+	}
+	for _, r := range s.reflectors {
+		r.Stop()
+	}
+}
+
+// onPodDeleted requeues a sharePod whose bound pod vanished while the
+// sharePod itself is still live — the recovery edge behind node eviction,
+// kubelet restart and vGPU loss. The placement is cleared through the spec
+// and the phase reset through the status subresource, so Algorithm 1
+// re-places the work wherever capacity lives now; Restarts versions the
+// next bound pod's name past the dying one's.
+func (s *Scheduler) onPodDeleted(pod *api.Pod) {
+	spName := pod.Labels[LabelSharePod]
+	if spName == "" {
+		return
+	}
+	sp, err := SharePods(s.srv).Get(spName)
+	if err != nil || sp.Status.BoundPod != pod.Name {
+		return // gone, or the deletion is a stale predecessor's
+	}
+	updated := RequeueSharePod(s.srv, spName)
+	if updated == nil {
+		return
+	}
+	s.requeues++
+	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
 }
 
 func (s *Scheduler) kick() {

@@ -14,6 +14,7 @@ import (
 
 	"kubeshare/internal/devlib"
 	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
 )
 
 // Kind names of the custom resources KubeShare adds to the API server.
@@ -81,6 +82,11 @@ type SharePodStatus struct {
 	BoundPod string
 	// UUID is the physical GPU backing the assigned vGPU.
 	UUID string
+	// Restarts counts recovery requeues: each time the bound pod vanished
+	// under a live sharePod (node eviction, vGPU loss) the scheduler cleared
+	// the placement and incremented this. It also versions the bound pod
+	// name, so a replacement never collides with its dying predecessor.
+	Restarts int
 	// ScheduledTime is when KubeShare-Sched assigned the GPUID;
 	// RunningTime/FinishTime track the bound pod.
 	ScheduledTime time.Duration
@@ -126,6 +132,41 @@ func (s *SharePod) Terminated() bool {
 
 // Placed reports whether a vGPU has been assigned.
 func (s *SharePod) Placed() bool { return s.Spec.GPUID != "" }
+
+// RequeueSharePod is the shared recovery edge: it clears a live, placed
+// sharePod's placement and resets it to Pending with Restarts incremented,
+// so Algorithm 1 re-places the work against current cluster state. Both
+// KubeShare-Sched (bound pod deleted under a live sharePod) and DevMgr
+// (vGPU lost with no bound pod to delete) funnel through it. The writes
+// cannot race with a placement in flight — every writer runs in the same
+// cooperative scheduler and performs its read-decide-write without
+// yielding. Returns the updated object, or nil when the sharePod is gone,
+// terminal, or already unplaced.
+func RequeueSharePod(srv *apiserver.Server, name string) *SharePod {
+	sps := SharePods(srv)
+	sp, err := sps.Get(name)
+	if err != nil || sp.Terminated() || !sp.Placed() {
+		return nil
+	}
+	if _, err := sps.Mutate(name, func(cur *SharePod) error {
+		cur.Spec.GPUID = ""
+		cur.Spec.NodeName = ""
+		return nil
+	}); err != nil {
+		return nil
+	}
+	updated, err := sps.MutateStatus(name, func(cur *SharePod) error {
+		cur.Status.Phase = SharePodPending
+		cur.Status.BoundPod = ""
+		cur.Status.UUID = ""
+		cur.Status.Restarts++
+		return nil
+	})
+	if err != nil {
+		return nil
+	}
+	return updated
+}
 
 // ValidateSharePod is the admission validator for the SharePod kind.
 func ValidateSharePod(o api.Object) error {

@@ -2,11 +2,20 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/controller"
 	"kubeshare/internal/sim"
+)
+
+// Replacement backoff for failed replicas: the first failure is replaced
+// after replaceBackoffBase, doubling per consecutive failure round up to
+// replaceBackoffCap. A set whose replicas all come up Ready resets.
+const (
+	replaceBackoffBase = 250 * time.Millisecond
+	replaceBackoffCap  = 8 * time.Second
 )
 
 // KindSharePodSet is the replica-controller custom resource over sharePods.
@@ -49,17 +58,21 @@ func SharePodSets(srv *apiserver.Server) apiserver.Client[*SharePodSet] {
 // sharePods.
 const setOwnerPrefix = KindSharePodSet + "/"
 
-// SharePodSetManager reconciles SharePodSet objects.
+// SharePodSetManager reconciles SharePodSet objects. Failed replicas are
+// garbage-collected and replaced with capped exponential backoff, so a
+// crash-looping template cannot hammer the scheduler.
 type SharePodSetManager struct {
 	env    *sim.Env
 	srv    *apiserver.Server
 	runner *controller.Runner
 	serial int
+	// replaceFails counts consecutive failed-replica rounds per set.
+	replaceFails map[string]int
 }
 
 // NewSharePodSetManager creates the manager; Start launches its watches.
 func NewSharePodSetManager(env *sim.Env, srv *apiserver.Server) *SharePodSetManager {
-	m := &SharePodSetManager{env: env, srv: srv}
+	m := &SharePodSetManager{env: env, srv: srv, replaceFails: make(map[string]int)}
 	m.runner = controller.NewRunner(env, "sharepodset", 0, m.reconcile)
 	srv.RegisterValidator(KindSharePodSet, func(o api.Object) error {
 		set := o.(*SharePodSet)
@@ -118,6 +131,7 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 	}
 	sps := SharePods(m.srv)
 	var owned []*SharePod
+	var failed []*SharePod
 	live := 0
 	ready := 0
 	for _, sp := range sps.List() {
@@ -131,6 +145,24 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 		if sp.Status.Phase == SharePodRunning {
 			ready++
 		}
+		if sp.Status.Phase == SharePodFailed {
+			failed = append(failed, sp)
+		}
+	}
+	if len(failed) > 0 {
+		// GC the corpses now; defer the replacements one backoff round so a
+		// template that fails on contact cannot spin the control plane.
+		for _, sp := range failed {
+			if err := sps.Delete(sp.Name); err != nil && !apiserver.IsNotFound(err) {
+				return err
+			}
+		}
+		m.replaceFails[name]++
+		m.runner.EnqueueAfter(name, replaceDelay(m.replaceFails[name]))
+		return nil
+	}
+	if ready >= set.Replicas {
+		delete(m.replaceFails, name)
 	}
 	for live < set.Replicas {
 		m.serial++
@@ -164,6 +196,19 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 		}
 	}
 	return nil
+}
+
+// replaceDelay is the replacement backoff after the n-th consecutive
+// failed-replica round.
+func replaceDelay(n int) time.Duration {
+	d := replaceBackoffBase
+	for i := 1; i < n && d < replaceBackoffCap; i++ {
+		d *= 2
+	}
+	if d > replaceBackoffCap {
+		d = replaceBackoffCap
+	}
+	return d
 }
 
 func (m *SharePodSetManager) cleanupOrphans(owner string) {

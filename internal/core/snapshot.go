@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"kubeshare/internal/kube/api"
@@ -37,6 +38,9 @@ type Snapshot struct {
 	vgpuPerNode map[string]int
 	// nodeAlloc is each node's allocatable physical GPU count.
 	nodeAlloc map[string]int
+	// nodeReady mirrors node readiness; NotReady nodes contribute no free
+	// physical GPUs (matching BuildPool).
+	nodeReady map[string]bool
 	// podGPU tracks native (non-KubeShare) GPU pods: pod name → contribution.
 	podGPU map[string]podGPURef
 	// nativeGPU sums podGPU per node.
@@ -77,6 +81,7 @@ func NewSnapshot(memFactor float64) *Snapshot {
 		vgpuObj:     make(map[string]bool),
 		vgpuPerNode: make(map[string]int),
 		nodeAlloc:   make(map[string]int),
+		nodeReady:   make(map[string]bool),
 		podGPU:      make(map[string]podGPURef),
 		nativeGPU:   make(map[string]int),
 	}
@@ -203,9 +208,11 @@ func (s *Snapshot) applyPod(pod *api.Pod, deleted bool) {
 func (s *Snapshot) applyNode(node *api.Node, deleted bool) {
 	if deleted {
 		delete(s.nodeAlloc, node.Name)
+		delete(s.nodeReady, node.Name)
 		return
 	}
 	s.nodeAlloc[node.Name] = int(node.Status.Allocatable[api.ResourceGPU])
+	s.nodeReady[node.Name] = node.Status.Ready
 }
 
 // Pending returns the unplaced, non-terminated sharePods (unsorted; callers
@@ -261,9 +268,67 @@ func (s *Snapshot) NewPool(newID func() string) *Pool {
 		pool.Devices = append(pool.Devices, s.devices[id].deviceState(s.memFactor).Clone())
 	}
 	for node, alloc := range s.nodeAlloc {
+		if !s.nodeReady[node] {
+			continue
+		}
 		if free := alloc - s.nativeGPU[node] - s.vgpuPerNode[node]; free > 0 {
 			pool.FreePhysical[node] = free
 		}
 	}
 	return pool
+}
+
+// DiffPools compares two Algorithm 1 pools and returns a description of the
+// first divergence, or nil when they are equivalent. It backs the
+// snapshot-vs-rebuild invariant: a pool materialized from the scheduler's
+// incremental snapshot must be exactly the pool a full relist would build,
+// including across watch drops, resumes and relists.
+func DiffPools(got, want *Pool) error {
+	if len(got.Devices) != len(want.Devices) {
+		return fmt.Errorf("device count %d, want %d", len(got.Devices), len(want.Devices))
+	}
+	const eps = 1e-9
+	for i, g := range got.Devices {
+		w := want.Devices[i]
+		if g.ID != w.ID || g.NodeName != w.NodeName {
+			return fmt.Errorf("device %d: %s@%s, want %s@%s", i, g.ID, g.NodeName, w.ID, w.NodeName)
+		}
+		if g.Idle != w.Idle {
+			return fmt.Errorf("device %s: idle=%v, want %v", g.ID, g.Idle, w.Idle)
+		}
+		if diff := g.Util - w.Util; diff > eps || diff < -eps {
+			return fmt.Errorf("device %s: util %v, want %v", g.ID, g.Util, w.Util)
+		}
+		if diff := g.Mem - w.Mem; diff > eps || diff < -eps {
+			return fmt.Errorf("device %s: mem %v, want %v", g.ID, g.Mem, w.Mem)
+		}
+		if g.MemCapacity != w.MemCapacity {
+			return fmt.Errorf("device %s: memCapacity %v, want %v", g.ID, g.MemCapacity, w.MemCapacity)
+		}
+		if g.Excl != w.Excl {
+			return fmt.Errorf("device %s: excl %q, want %q", g.ID, g.Excl, w.Excl)
+		}
+		if len(g.Aff) != len(w.Aff) || len(g.Anti) != len(w.Anti) {
+			return fmt.Errorf("device %s: label sets differ", g.ID)
+		}
+		for k := range w.Aff {
+			if !g.Aff[k] {
+				return fmt.Errorf("device %s: missing aff %q", g.ID, k)
+			}
+		}
+		for k := range w.Anti {
+			if !g.Anti[k] {
+				return fmt.Errorf("device %s: missing anti %q", g.ID, k)
+			}
+		}
+	}
+	if len(got.FreePhysical) != len(want.FreePhysical) {
+		return fmt.Errorf("freePhysical %v, want %v", got.FreePhysical, want.FreePhysical)
+	}
+	for node, n := range want.FreePhysical {
+		if got.FreePhysical[node] != n {
+			return fmt.Errorf("freePhysical[%s] = %d, want %d", node, got.FreePhysical[node], n)
+		}
+	}
+	return nil
 }

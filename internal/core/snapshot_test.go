@@ -41,51 +41,8 @@ func newSnapRig(memFactor float64) (*apiserver.Server, *Snapshot, func()) {
 // rebuilt one field by field (both emit devices sorted by ID).
 func requirePoolsEqual(t *testing.T, got, want *Pool) {
 	t.Helper()
-	if len(got.Devices) != len(want.Devices) {
-		t.Fatalf("device count %d, want %d", len(got.Devices), len(want.Devices))
-	}
-	for i, g := range got.Devices {
-		w := want.Devices[i]
-		if g.ID != w.ID || g.NodeName != w.NodeName {
-			t.Fatalf("device %d: %s@%s, want %s@%s", i, g.ID, g.NodeName, w.ID, w.NodeName)
-		}
-		if g.Idle != w.Idle {
-			t.Fatalf("device %s: idle=%v, want %v", g.ID, g.Idle, w.Idle)
-		}
-		const eps = 1e-9
-		if diff := g.Util - w.Util; diff > eps || diff < -eps {
-			t.Fatalf("device %s: util %v, want %v", g.ID, g.Util, w.Util)
-		}
-		if diff := g.Mem - w.Mem; diff > eps || diff < -eps {
-			t.Fatalf("device %s: mem %v, want %v", g.ID, g.Mem, w.Mem)
-		}
-		if g.MemCapacity != w.MemCapacity {
-			t.Fatalf("device %s: memCapacity %v, want %v", g.ID, g.MemCapacity, w.MemCapacity)
-		}
-		if g.Excl != w.Excl {
-			t.Fatalf("device %s: excl %q, want %q", g.ID, g.Excl, w.Excl)
-		}
-		if len(g.Aff) != len(w.Aff) || len(g.Anti) != len(w.Anti) {
-			t.Fatalf("device %s: label sets differ", g.ID)
-		}
-		for k := range w.Aff {
-			if !g.Aff[k] {
-				t.Fatalf("device %s: missing aff %q", g.ID, k)
-			}
-		}
-		for k := range w.Anti {
-			if !g.Anti[k] {
-				t.Fatalf("device %s: missing anti %q", g.ID, k)
-			}
-		}
-	}
-	if len(got.FreePhysical) != len(want.FreePhysical) {
-		t.Fatalf("freePhysical %v, want %v", got.FreePhysical, want.FreePhysical)
-	}
-	for node, n := range want.FreePhysical {
-		if got.FreePhysical[node] != n {
-			t.Fatalf("freePhysical[%s] = %d, want %d", node, got.FreePhysical[node], n)
-		}
+	if err := DiffPools(got, want); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -27,6 +27,11 @@ var ErrClosed = errors.New("cuda: API handle closed")
 // condition so errors.Is works across layers.
 var ErrOutOfMemory = gpusim.ErrOutOfMemory
 
+// ErrDeviceFault mirrors CUDA_ERROR_ECC_UNCORRECTABLE-class Xid failures: the
+// device faulted under this context, and every further operation fails until
+// the handle is torn down and reopened on a healthy device.
+var ErrDeviceFault = gpusim.ErrDeviceFault
+
 // DeviceInfo describes the device visible through an API handle.
 type DeviceInfo struct {
 	UUID        string
@@ -141,8 +146,7 @@ func (d *Driver) LaunchKernel(p *sim.Proc, work time.Duration) error {
 	if d.closed {
 		return ErrClosed
 	}
-	d.ctx.Launch(p, work)
-	return nil
+	return d.ctx.Launch(p, work)
 }
 
 // LaunchKernelAsync implements API.
@@ -160,11 +164,14 @@ func (d *Driver) Synchronize(p *sim.Proc) error {
 	if d.closed {
 		return ErrClosed
 	}
+	var firstErr error
 	for _, ev := range d.pending {
-		p.Wait(ev)
+		if err, _ := p.Wait(ev).(error); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	d.pending = nil
-	return nil
+	return firstErr
 }
 
 // MemUsed implements API.

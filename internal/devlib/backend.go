@@ -11,12 +11,19 @@
 package devlib
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
 )
+
+// ErrManagerDown is returned by token operations while the device's token
+// manager is suspended — the vGPU pod hosting it died and its replacement
+// has not come up yet. Frontends treat it as transient and reconnect with
+// bounded backoff.
+var ErrManagerDown = errors.New("devlib: token manager down")
 
 // Config parameterizes the device library. Zero values take defaults.
 type Config struct {
@@ -126,6 +133,16 @@ func (b *Backend) Manager(uuid string) *TokenManager {
 // Config returns the backend's (defaulted) configuration.
 func (b *Backend) Config() Config { return b.cfg }
 
+// Managers returns a snapshot of the instantiated token managers by device
+// UUID, for fault injection and leak-checking invariants.
+func (b *Backend) Managers() map[string]*TokenManager {
+	out := make(map[string]*TokenManager, len(b.managers))
+	for uuid, m := range b.managers {
+		out[uuid] = m
+	}
+	return out
+}
+
 // client is the backend's view of one container on the device.
 type client struct {
 	id       string
@@ -157,6 +174,8 @@ type TokenManager struct {
 	// method value directly would allocate a closure per (re)arm.
 	retryFn  func()
 	expireFn func()
+	// down marks the manager suspended (its vGPU pod died); see Suspend.
+	down bool
 }
 
 // NewTokenManager creates a manager for one device.
@@ -175,6 +194,9 @@ func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
 // Register adds a container with its resource shares. request and limit are
 // fractions in (0,1]; limit is clamped to at least request.
 func (m *TokenManager) Register(id string, request, limit float64) error {
+	if m.down {
+		return ErrManagerDown
+	}
 	if _, ok := m.clients[id]; ok {
 		return fmt.Errorf("devlib: client %q already registered on %s", id, m.uuid)
 	}
@@ -215,6 +237,37 @@ func (m *TokenManager) Unregister(id string) {
 		m.reclaim()
 	}
 }
+
+// Suspend models the death of the vGPU pod hosting this manager: every
+// queued acquire fails with ErrManagerDown, the held token is invalidated,
+// timers stop, and registrations are dropped (a restarted daemon has no
+// memory of its clients — surviving frontends re-register on reconnect).
+// Usage windows die with the registrations; the paper's daemon keeps them
+// in process memory, so a restart forgets usage history too.
+func (m *TokenManager) Suspend() {
+	if m.down {
+		return
+	}
+	m.down = true
+	m.expiry.Stop()
+	m.retry.Stop()
+	m.holder = nil
+	m.tokSeq++ // invalidate Release of any token granted before the crash
+	for _, c := range m.queue {
+		ev := c.queued
+		c.queued = nil
+		ev.Trigger(ErrManagerDown)
+	}
+	m.queue = nil
+	m.clients = make(map[string]*client)
+}
+
+// Resume brings a suspended manager back (the replacement vGPU pod is
+// serving). Clients must Register again before acquiring.
+func (m *TokenManager) Resume() { m.down = false }
+
+// Down reports whether the manager is suspended.
+func (m *TokenManager) Down() bool { return m.down }
 
 // Waiting returns the number of clients with a pending acquire — the
 // frontend uses it to release the token work-conservingly the moment a
@@ -285,9 +338,12 @@ func (m *TokenManager) UsageRate(id string) float64 {
 // Acquire blocks p until id is granted the token and returns it. A client
 // holding a still-valid token gets it back immediately.
 func (m *TokenManager) Acquire(p *sim.Proc, id string) (Token, error) {
+	if m.down {
+		return Token{}, ErrManagerDown
+	}
 	c, ok := m.clients[id]
 	if !ok {
-		return Token{}, fmt.Errorf("devlib: acquire by unregistered client %q", id)
+		return Token{}, fmt.Errorf("devlib: acquire by unregistered client %q: %w", id, ErrManagerDown)
 	}
 	if m.holder == c {
 		return Token{ExpiresAt: m.grant + m.cfg.Quota, seq: m.tokSeq}, nil
@@ -309,6 +365,9 @@ func (m *TokenManager) Acquire(p *sim.Proc, id string) (Token, error) {
 	m.queue = append(m.queue, c)
 	m.trySchedule() // may grant synchronously, clearing c.queued
 	v := p.Wait(ev)
+	if err, ok := v.(error); ok {
+		return Token{}, err // the manager was suspended while we waited
+	}
 	return v.(Token), nil
 }
 

@@ -1,11 +1,21 @@
 package devlib
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"kubeshare/internal/cuda"
 	"kubeshare/internal/sim"
+)
+
+// Reconnect bounds: a frontend whose token manager goes down (vGPU pod
+// crash) retries with capped exponential backoff while DevMgr replaces the
+// daemon, then surfaces ErrManagerDown if the outage outlives the budget.
+const (
+	reconnectBase     = 20 * time.Millisecond
+	reconnectCap      = time.Second
+	reconnectAttempts = 32
 )
 
 // Share is a container's vGPU resource specification, the values from the
@@ -91,7 +101,10 @@ func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share)
 	if err := share.Validate(); err != nil {
 		return nil, err
 	}
-	if err := mgr.Register(clientID, share.Request, share.EffectiveLimit()); err != nil {
+	// A container may start while the device's daemon is down (vGPU pod
+	// being replaced mid-recovery): tolerate it — the first compute call's
+	// reconnect loop registers once the daemon is back.
+	if err := mgr.Register(clientID, share.Request, share.EffectiveLimit()); err != nil && !errors.Is(err, ErrManagerDown) {
 		return nil, err
 	}
 	total := base.Device().MemoryBytes
@@ -190,6 +203,44 @@ func (f *Frontend) MemcpyDtoH(p *sim.Proc, n int64) error {
 	return f.base.MemcpyDtoH(p, n)
 }
 
+// acquireToken obtains a valid token, riding out token-manager outages: on
+// ErrManagerDown it sleeps with capped exponential backoff, re-registers
+// with the (replacement) manager once it is serving again, and retries —
+// up to reconnectAttempts before surfacing the error to the application.
+func (f *Frontend) acquireToken(p *sim.Proc) error {
+	delay := reconnectBase
+	for attempt := 0; ; attempt++ {
+		tok, err := f.mgr.Acquire(p, f.clientID)
+		if err == nil {
+			f.token = tok
+			// Token handoff cost: IPC plus pipeline warm-up before the first
+			// kernel of this hold can start.
+			p.Sleep(f.cfg.Handoff)
+			if f.virtual {
+				// Over-commit mode: bring the working set back onto the
+				// device (it may have been swapped out while another tenant
+				// held the token), paying the transfer time.
+				return f.mgr.EnsureResident(p, f.clientID)
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrManagerDown) || attempt >= reconnectAttempts {
+			return err
+		}
+		p.Sleep(delay)
+		if delay < reconnectCap {
+			delay *= 2
+		}
+		if f.closed {
+			return cuda.ErrClosed // torn down while waiting out the outage
+		}
+		if !f.mgr.Down() && !f.mgr.Registered(f.clientID) {
+			// The replacement daemon is serving and has no memory of us.
+			_ = f.mgr.Register(f.clientID, f.share.Request, f.share.EffectiveLimit())
+		}
+	}
+}
+
 // LaunchKernel blocks until the container holds a valid token, then
 // executes the kernel. After completion the token is voluntarily released
 // if no further kernel is launched within the inactivity grace.
@@ -199,21 +250,8 @@ func (f *Frontend) LaunchKernel(p *sim.Proc, work time.Duration) error {
 	}
 	f.releaseTmr.Stop()
 	if !f.token.Valid(p.Env().Now()) {
-		tok, err := f.mgr.Acquire(p, f.clientID)
-		if err != nil {
+		if err := f.acquireToken(p); err != nil {
 			return err
-		}
-		f.token = tok
-		// Token handoff cost: IPC plus pipeline warm-up before the first
-		// kernel of this hold can start.
-		p.Sleep(f.cfg.Handoff)
-		if f.virtual {
-			// Over-commit mode: bring the working set back onto the device
-			// (it may have been swapped out while another tenant held the
-			// token), paying the transfer time.
-			if err := f.mgr.EnsureResident(p, f.clientID); err != nil {
-				return err
-			}
 		}
 	}
 	if err := f.base.LaunchKernel(p, work); err != nil {
@@ -243,16 +281,8 @@ func (f *Frontend) LaunchKernelAsync(p *sim.Proc, work time.Duration) (*sim.Even
 	}
 	f.releaseTmr.Stop()
 	if !f.token.Valid(p.Env().Now()) {
-		tok, err := f.mgr.Acquire(p, f.clientID)
-		if err != nil {
+		if err := f.acquireToken(p); err != nil {
 			return nil, err
-		}
-		f.token = tok
-		p.Sleep(f.cfg.Handoff)
-		if f.virtual {
-			if err := f.mgr.EnsureResident(p, f.clientID); err != nil {
-				return nil, err
-			}
 		}
 	}
 	return f.base.LaunchKernelAsync(p, work)

@@ -257,6 +257,43 @@ func TestFig13Crossover(t *testing.T) {
 	}
 }
 
+func TestFig14AvailabilitySurvivesFaults(t *testing.T) {
+	cfg := Fig14Config{Nodes: 2, Jobs: 12, JobDuration: 10 * time.Second,
+		Intensities: []float64{0, 1}}
+	tb, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, faulted := tb.Rows[0], tb.Rows[1]
+	if cell(t, control[1]) != 0 {
+		t.Fatalf("control row delivered faults: %s", control[1])
+	}
+	if cell(t, faulted[1]) == 0 {
+		t.Fatal("faulted row delivered no faults")
+	}
+	// The fault-free control completes everything; under faults recovery
+	// must keep the vast majority alive (a device fault poisoning an active
+	// context legitimately kills that job — it is terminal, not wedged).
+	if cell(t, control[4]) != 1 {
+		t.Fatalf("control availability %s, want 1", control[4])
+	}
+	if a := cell(t, faulted[4]); a < 0.75 {
+		t.Fatalf("faulted availability %.3f, want >= 0.75", a)
+	}
+	// Faults cost time, never work: the faulted makespan dominates.
+	if cell(t, faulted[9]) < cell(t, control[9]) {
+		t.Fatalf("faulted makespan %s shorter than control %s", faulted[9], control[9])
+	}
+	// Determinism: the same config reproduces the table byte for byte.
+	again, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() != again.String() {
+		t.Fatalf("fig14 not deterministic:\n--- first ---\n%s\n--- second ---\n%s", tb, again)
+	}
+}
+
 func TestTable1FragmentationContrast(t *testing.T) {
 	tb, err := Table1(Table1Config{})
 	if err != nil {

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kubeshare/internal/chaos"
+	"kubeshare/internal/metrics"
+)
+
+// Fig14Config drives the availability-under-faults experiment (an extension
+// beyond the paper: the original evaluation assumes a healthy cluster).
+type Fig14Config struct {
+	Seed        int64
+	Nodes       int
+	GPUsPerNode int
+	Jobs        int
+	JobDuration time.Duration
+	// Intensities are fault-rate multipliers over the chaos soak's baseline
+	// schedule; 0 is the fault-free control row. The workload is identical
+	// across rows (same seed), so the rows isolate the effect of faults.
+	Intensities []float64
+}
+
+func (c Fig14Config) withDefaults() Fig14Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 2
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 32
+	}
+	if c.JobDuration == 0 {
+		c.JobDuration = 20 * time.Second
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0, 0.5, 1, 2}
+	}
+	return c
+}
+
+// Fig14 measures service availability as fault intensity rises: each row
+// runs the same seeded serving workload under a scaled chaos schedule (node
+// crashes, vGPU holder kills, device faults, watch drops) and reports how
+// many jobs completed, how much recovery machinery fired, and how long the
+// cluster took to converge. Every row must also pass the full quiescence
+// invariants — a leaked device share or wedged sharePod fails the
+// experiment, not just a table cell.
+func Fig14(cfg Fig14Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("Figure 14: availability under injected faults",
+		"intensity", "faults", "succeeded", "failed", "availability",
+		"restarts", "requeues", "vgpu_recoveries", "watch_resumes", "quiesce_s")
+	results, err := runIndexed(len(cfg.Intensities), func(i int) (chaos.SoakResult, error) {
+		intensity := cfg.Intensities[i]
+		scfg := chaos.SoakConfig{
+			Seed:        cfg.Seed,
+			Nodes:       cfg.Nodes,
+			GPUsPerNode: cfg.GPUsPerNode,
+			Jobs:        cfg.Jobs,
+			JobDuration: cfg.JobDuration,
+		}
+		if intensity == 0 {
+			scfg.NoFaults = true
+		} else {
+			base := chaos.SoakConfig{}.WithDefaults().Faults
+			scfg.Faults = chaos.Config{
+				NodeCrashMean:    scaleMean(base.NodeCrashMean, intensity),
+				NodeOutageMean:   base.NodeOutageMean,
+				HolderKillMean:   scaleMean(base.HolderKillMean, intensity),
+				DeviceFaultMean:  scaleMean(base.DeviceFaultMean, intensity),
+				DeviceOutageMean: base.DeviceOutageMean,
+				WatchDropMean:    scaleMean(base.WatchDropMean, intensity),
+			}
+		}
+		res, err := chaos.Soak(scfg)
+		if err != nil {
+			return res, err
+		}
+		for _, v := range res.Violations {
+			err = fmt.Errorf("intensity %v: invariant violated: %w", intensity, v)
+			break
+		}
+		return res, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		total := res.Succeeded + res.Failed
+		availability := 0.0
+		if total > 0 {
+			availability = float64(res.Succeeded) / float64(total)
+		}
+		tb.AddRow(cfg.Intensities[i], res.Faults.Total(), res.Succeeded, res.Failed,
+			availability, res.Restarts, int(res.Requeues), int(res.Recoveries),
+			res.Resumes, res.Elapsed.Seconds())
+	}
+	return tb, nil
+}
+
+// scaleMean divides a baseline mean interval by the intensity multiplier:
+// intensity 2 fires faults twice as often.
+func scaleMean(mean time.Duration, intensity float64) time.Duration {
+	return time.Duration(float64(mean) / intensity)
+}

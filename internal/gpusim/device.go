@@ -25,6 +25,12 @@ import (
 // memory (or, through the device library, a container's memory share).
 var ErrOutOfMemory = errors.New("gpusim: out of device memory")
 
+// ErrDeviceFault is the Xid-style uncorrectable device error: it kills the
+// kernels in flight and poisons every open context. Poisoned contexts fail
+// all further operations and must be closed; the device accepts new
+// contexts again after ClearFault (the driver-level device reset).
+var ErrDeviceFault = errors.New("gpusim: device fault (Xid)")
+
 // DefaultMemoryBytes matches the paper's 16 GB V100s.
 const DefaultMemoryBytes = 16 << 30
 
@@ -39,6 +45,7 @@ type Device struct {
 	memCap   int64
 	memUsed  int64
 	copyBW   int64
+	faulted  bool
 	contexts map[*Context]bool
 
 	active     []*kernel
@@ -195,6 +202,37 @@ func (d *Device) launchInto(ctx *Context, work time.Duration, done *sim.Event) {
 	d.reschedule()
 }
 
+// InjectFault raises an Xid-style fault: every resident kernel completes
+// with ErrDeviceFault, every open context is poisoned, and new launches and
+// allocations fail until ClearFault. Memory accounting is left to the
+// owners — poisoned contexts release their memory when closed, exactly as
+// a real process cleans up after a device error.
+func (d *Device) InjectFault() {
+	d.update()
+	for _, k := range d.active {
+		k.done.Trigger(ErrDeviceFault)
+		k.done = nil
+		k.ctx = nil
+		d.freeKernels = append(d.freeKernels, k)
+	}
+	for i := range d.active {
+		d.active[i] = nil
+	}
+	d.active = d.active[:0]
+	d.completion.Stop()
+	d.faulted = true
+	for ctx := range d.contexts {
+		ctx.faulted = true
+	}
+}
+
+// ClearFault resets the device after a fault. Contexts poisoned by the
+// fault stay poisoned — their owners must close them and open fresh ones.
+func (d *Device) ClearFault() { d.faulted = false }
+
+// Faulted reports whether the device is currently in the faulted state.
+func (d *Device) Faulted() bool { return d.faulted }
+
 // BusyTime returns the accumulated device-busy time up to the current
 // instant.
 func (d *Device) BusyTime() time.Duration {
@@ -226,9 +264,13 @@ type Context struct {
 	devTime time.Duration
 	// syncEv is the reusable completion event for synchronous Launch; it
 	// never escapes the Launch call, so one event serves every kernel.
-	syncEv *sim.Event
-	closed bool
+	syncEv  *sim.Event
+	closed  bool
+	faulted bool
 }
+
+// Faulted reports whether this context was poisoned by a device fault.
+func (c *Context) Faulted() bool { return c.faulted }
 
 // Owner returns the principal that opened the context.
 func (c *Context) Owner() string { return c.owner }
@@ -250,6 +292,9 @@ func (c *Context) DeviceTime() time.Duration {
 func (c *Context) Alloc(n int64) error {
 	if c.closed {
 		return errors.New("gpusim: context closed")
+	}
+	if c.faulted || c.dev.faulted {
+		return ErrDeviceFault
 	}
 	if n < 0 {
 		return errors.New("gpusim: negative allocation")
@@ -273,23 +318,32 @@ func (c *Context) Free(n int64) error {
 }
 
 // LaunchAsync submits a kernel of the given exclusive-device duration and
-// returns its completion event.
+// returns its completion event. The event's value is nil on success or the
+// error (context closed, device fault) that killed the kernel.
 func (c *Context) LaunchAsync(work time.Duration) *sim.Event {
-	if c.closed {
+	if c.closed || c.faulted || c.dev.faulted {
 		ev := sim.NewEvent(c.dev.env)
-		ev.Trigger(errors.New("gpusim: context closed"))
+		if c.closed {
+			ev.Trigger(errors.New("gpusim: context closed"))
+		} else {
+			ev.Trigger(ErrDeviceFault)
+		}
 		return ev
 	}
 	return c.dev.launch(c, work)
 }
 
-// Launch submits a kernel and parks p until it completes. The completion
-// event is cached on the context and reused (a launch on an open context is
-// the serving hot path), so steady-state synchronous kernels allocate
-// nothing.
-func (c *Context) Launch(p *sim.Proc, work time.Duration) {
+// Launch submits a kernel and parks p until it completes, returning nil or
+// the error that killed the kernel (a device fault mid-flight). The
+// completion event is cached on the context and reused (a launch on an open
+// context is the serving hot path), so steady-state synchronous kernels
+// allocate nothing.
+func (c *Context) Launch(p *sim.Proc, work time.Duration) error {
 	if c.closed {
-		return // matches waiting on LaunchAsync's already-failed event
+		return nil // matches the legacy silent no-op on closed contexts
+	}
+	if c.faulted || c.dev.faulted {
+		return ErrDeviceFault
 	}
 	ev := c.syncEv
 	if ev == nil {
@@ -299,7 +353,10 @@ func (c *Context) Launch(p *sim.Proc, work time.Duration) {
 		ev.Reset()
 	}
 	c.dev.launchInto(c, work, ev)
-	p.Wait(ev)
+	if err, _ := p.Wait(ev).(error); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Close releases the context's memory and detaches it from the device.

@@ -236,6 +236,10 @@ type NodeStatus struct {
 	Capacity    ResourceList
 	Allocatable ResourceList
 	Ready       bool
+	// HeartbeatTime is the sim instant of the kubelet's last lease renewal;
+	// the node-lifecycle controller marks the node NotReady when it goes
+	// stale.
+	HeartbeatTime time.Duration
 }
 
 // Node represents a worker machine.

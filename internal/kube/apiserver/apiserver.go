@@ -38,6 +38,7 @@ type Server struct {
 	env        *sim.Env
 	store      *store.Store
 	validators map[string][]func(api.Object) error
+	reflectors []*Reflector
 }
 
 // New returns a server over a fresh store.
@@ -133,6 +134,23 @@ func (s *Server) WatchFiltered(kind string, opts WatchOptions) *sim.Queue[store.
 		store.WatchOptions{Name: opts.Name, Selector: opts.Selector}, opts.Replay)
 }
 
+// WatchResume re-subscribes to a kind after a watch drop, replaying every
+// matching event that committed after fromRev from the server's bounded
+// event history. Returns ErrGone (see IsGone) when fromRev has been
+// compacted — the caller must relist and watch fresh.
+func (s *Server) WatchResume(kind string, opts WatchOptions, fromRev int64) (*sim.Queue[store.Event], error) {
+	return s.store.WatchFilteredFrom(kind+"/",
+		store.WatchOptions{Name: opts.Name, Selector: opts.Selector}, fromRev)
+}
+
+// Revision returns the store-wide revision of the last mutation — the
+// resume point a fresh watch should record.
+func (s *Server) Revision() int64 { return s.store.Revision() }
+
+// SetWatchHistoryCap bounds the resumable-watch event history (tests use a
+// small cap to force the relist-on-gap path).
+func (s *Server) SetWatchHistoryCap(n int) { s.store.SetHistoryCap(n) }
+
 // StopWatch cancels a watch.
 func (s *Server) StopWatch(q *sim.Queue[store.Event]) { s.store.StopWatch(q) }
 
@@ -144,6 +162,9 @@ func IsConflict(err error) bool { return errors.Is(err, store.ErrConflict) }
 
 // IsExists reports whether err is an already-exists error.
 func IsExists(err error) bool { return errors.Is(err, store.ErrExists) }
+
+// IsGone reports whether err marks a compacted (unresumable) watch revision.
+func IsGone(err error) bool { return errors.Is(err, store.ErrGone) }
 
 // Client is a typed view of the server for one object kind.
 type Client[T api.Object] struct {

@@ -1,0 +1,180 @@
+package apiserver
+
+import (
+	"sort"
+
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/store"
+	"kubeshare/internal/sim"
+)
+
+// Reflector is a watch subscription that survives stream drops. It wraps a
+// filtered watch and tracks the last revision the consumer observed; when
+// the underlying stream closes, the next Get transparently re-subscribes
+// with WatchResume so the consumer misses nothing. When the resume point
+// has been compacted out of the server's history (410 Gone), the reflector
+// relists the filtered state and synthesizes the difference against what
+// the consumer has already seen — Added for new objects, Modified for
+// survivors, Deleted for vanished ones — so consumer caches built purely
+// from events stay correct across arbitrarily long disconnects.
+//
+// Consumers call Get in a loop exactly as with sim.Queue: it returns
+// (event, true), parking the proc while the stream is idle, and
+// (zero, false) only after Stop.
+type Reflector struct {
+	srv  *Server
+	kind string
+	opts WatchOptions
+
+	q       *sim.Queue[store.Event]
+	lastRV  int64
+	known   map[string]api.Object // last state delivered per name
+	backlog []store.Event         // synthesized relist events awaiting delivery
+	stopped bool
+
+	resumes int
+	relists int
+}
+
+// NewReflector subscribes to a kind with server-side filtering and drop
+// resilience. With opts.Replay the current matching objects are delivered
+// first as Added events, exactly like WatchFiltered.
+func (s *Server) NewReflector(kind string, opts WatchOptions) *Reflector {
+	r := &Reflector{srv: s, kind: kind, opts: opts, known: make(map[string]api.Object)}
+	r.q = s.WatchFiltered(kind, opts)
+	// The watch is registered and the replay snapshot buffered in the same
+	// instant, so the current revision is exactly the resume point: every
+	// later mutation either lands in the queue or is recoverable from
+	// history past this revision.
+	r.lastRV = s.Revision()
+	s.reflectors = append(s.reflectors, r)
+	return r
+}
+
+// Kind returns the watched kind (chaos targets reflectors by kind).
+func (r *Reflector) Kind() string { return r.kind }
+
+// Stats returns how many times the stream was resumed from history and how
+// many times a compacted gap forced a relist.
+func (r *Reflector) Stats() (resumes, relists int) { return r.resumes, r.relists }
+
+// Get returns the next event, reconnecting as needed. ok is false only
+// after Stop.
+func (r *Reflector) Get(p *sim.Proc) (store.Event, bool) {
+	for {
+		if len(r.backlog) > 0 {
+			ev := r.backlog[0]
+			r.backlog[0] = store.Event{}
+			r.backlog = r.backlog[1:]
+			r.observe(ev)
+			return ev, true
+		}
+		if ev, ok := r.q.Get(p); ok {
+			r.observe(ev)
+			return ev, true
+		}
+		if r.stopped {
+			return store.Event{}, false
+		}
+		r.reconnect()
+	}
+}
+
+// observe advances the resume cursor and the known-object cache.
+func (r *Reflector) observe(ev store.Event) {
+	if ev.Rev > r.lastRV {
+		r.lastRV = ev.Rev
+	}
+	name := ev.Object.GetMeta().Name
+	if ev.Type == store.Deleted {
+		delete(r.known, name)
+	} else {
+		r.known[name] = ev.Object
+	}
+}
+
+// reconnect re-establishes the subscription after a drop: resume from the
+// last observed revision when the history still covers it, else relist and
+// synthesize the diff into the backlog.
+func (r *Reflector) reconnect() {
+	q, err := r.srv.WatchResume(r.kind, r.opts, r.lastRV)
+	if err == nil {
+		r.resumes++
+		r.q = q
+		return
+	}
+	// 410 Gone: the gap is unrecoverable from history. Subscribe fresh,
+	// snapshot the revision, and diff the filtered list against the
+	// consumer's view. Registration, revision and list happen without a
+	// yield, so the diff is atomic with the new subscription.
+	r.relists++
+	r.q = r.srv.WatchFiltered(r.kind, WatchOptions{Name: r.opts.Name, Selector: r.opts.Selector})
+	r.lastRV = r.srv.Revision()
+	cur := make(map[string]api.Object)
+	for _, obj := range r.srv.ListSelector(r.kind, r.opts.Selector) {
+		if r.opts.Name != "" && obj.GetMeta().Name != r.opts.Name {
+			continue
+		}
+		cur[obj.GetMeta().Name] = obj
+	}
+	upserts := make([]string, 0, len(cur))
+	for name := range cur {
+		upserts = append(upserts, name)
+	}
+	sort.Strings(upserts)
+	var gone []string
+	for name := range r.known {
+		if _, ok := cur[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range upserts {
+		typ := store.Added
+		if _, seen := r.known[name]; seen {
+			typ = store.Modified
+		}
+		r.backlog = append(r.backlog, store.Event{Type: typ, Object: cur[name], Rev: cur[name].GetMeta().ResourceVersion})
+	}
+	for _, name := range gone {
+		// The consumer owns the copy it was delivered; hand it a fresh one.
+		r.backlog = append(r.backlog, store.Event{Type: store.Deleted, Object: r.known[name].DeepCopyObject(), Rev: r.lastRV})
+	}
+}
+
+// Drop severs the current stream without stopping the reflector — the
+// fault chaos injects. Events already in flight drain; the next Get after
+// the drain reconnects.
+func (r *Reflector) Drop() {
+	if r.stopped {
+		return
+	}
+	r.srv.StopWatch(r.q)
+}
+
+// Stop ends the subscription permanently; pending Gets return ok=false.
+func (r *Reflector) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.srv.StopWatch(r.q)
+	for i, other := range r.srv.reflectors {
+		if other == r {
+			r.srv.reflectors = append(r.srv.reflectors[:i], r.srv.reflectors[i+1:]...)
+			break
+		}
+	}
+}
+
+// Reflectors returns the live reflectors, optionally narrowed to one kind
+// ("" matches all). Chaos uses this to pick watch-drop targets.
+func (s *Server) Reflectors(kind string) []*Reflector {
+	var out []*Reflector
+	for _, r := range s.reflectors {
+		if kind == "" || r.kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}

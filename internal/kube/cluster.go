@@ -37,6 +37,9 @@ type Config struct {
 	StartLatency     time.Duration
 	ImagePullLatency time.Duration
 	SyncLatency      time.Duration
+	// Failure-detection knobs; zero values take the component defaults.
+	HeartbeatInterval time.Duration
+	NodeLifecycle     controller.NodeLifecycleConfig
 }
 
 // DefaultConfig mirrors the paper's testbed: n nodes of 4 V100s each.
@@ -58,13 +61,14 @@ type Node struct {
 
 // Cluster is a fully wired control plane plus worker nodes.
 type Cluster struct {
-	Env        *sim.Env
-	API        *apiserver.Server
-	Scheduler  *scheduler.Scheduler
-	RCManager  *controller.ReplicationManager
-	Images     *runtime.ImageRegistry
-	Nodes      []*Node
-	nodeByName map[string]*Node
+	Env           *sim.Env
+	API           *apiserver.Server
+	Scheduler     *scheduler.Scheduler
+	RCManager     *controller.ReplicationManager
+	NodeLifecycle *controller.NodeLifecycle
+	Images        *runtime.ImageRegistry
+	Nodes         []*Node
+	nodeByName    map[string]*Node
 }
 
 // NewCluster builds and starts a cluster inside env. All components begin
@@ -83,6 +87,8 @@ func NewCluster(env *sim.Env, cfg Config) (*Cluster, error) {
 	c.Scheduler.Start()
 	c.RCManager = controller.NewReplicationManager(env, c.API)
 	c.RCManager.Start()
+	c.NodeLifecycle = controller.NewNodeLifecycle(env, c.API, cfg.NodeLifecycle)
+	c.NodeLifecycle.Start()
 	for _, nc := range cfg.Nodes {
 		var gpus []*gpusim.Device
 		for i := 0; i < nc.GPUs; i++ {
@@ -100,11 +106,12 @@ func NewCluster(env *sim.Env, cfg Config) (*Cluster, error) {
 			}
 		}
 		kl := kubelet.New(env, c.API, devmgr, rt, kubelet.Config{
-			NodeName:         nc.Name,
-			Capacity:         nc.Capacity,
-			Labels:           nc.Labels,
-			ImagePullLatency: cfg.ImagePullLatency,
-			SyncLatency:      cfg.SyncLatency,
+			NodeName:          nc.Name,
+			Capacity:          nc.Capacity,
+			Labels:            nc.Labels,
+			ImagePullLatency:  cfg.ImagePullLatency,
+			SyncLatency:       cfg.SyncLatency,
+			HeartbeatInterval: cfg.HeartbeatInterval,
 		})
 		if err := kl.Start(); err != nil {
 			return nil, err

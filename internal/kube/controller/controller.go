@@ -7,6 +7,7 @@ package controller
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"time"
 
@@ -14,37 +15,56 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/sim"
+	"kubeshare/internal/simrand"
 )
 
 // Reconcile processes one work-queue key. Returning an error requeues the
 // key after the runner's backoff.
 type Reconcile func(p *sim.Proc, key string) error
 
+// DefaultBackoffCap bounds the per-key retry delay.
+const DefaultBackoffCap = 5 * time.Second
+
 // Runner is a single-worker reconciliation loop over a deduplicated work
-// queue.
+// queue. Failing keys are retried with capped exponential backoff and
+// deterministic jitter (seeded from the runner name, so identical runs
+// replay identically); a successful reconcile resets the key's backoff.
 type Runner struct {
-	name    string
-	env     *sim.Env
-	queue   *sim.Queue[string]
-	queued  map[string]bool
-	backoff time.Duration
-	fn      Reconcile
-	proc    *sim.Proc
+	name       string
+	env        *sim.Env
+	queue      *sim.Queue[string]
+	queued     map[string]bool
+	base       time.Duration
+	backoffCap time.Duration
+	failures   map[string]int
+	rng        *simrand.Source
+	fn         Reconcile
+	proc       *sim.Proc
 }
 
 // NewRunner creates a runner; keys enqueued while already pending are
-// coalesced. backoff defaults to 100ms.
+// coalesced. backoff is the base retry delay (default 100ms), doubled per
+// consecutive failure up to DefaultBackoffCap.
 func NewRunner(env *sim.Env, name string, backoff time.Duration, fn Reconcile) *Runner {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	cap := DefaultBackoffCap
+	if backoff > cap {
+		cap = backoff
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
 	return &Runner{
-		name:    name,
-		env:     env,
-		queue:   sim.NewQueue[string](env),
-		queued:  make(map[string]bool),
-		backoff: backoff,
-		fn:      fn,
+		name:       name,
+		env:        env,
+		queue:      sim.NewQueue[string](env),
+		queued:     make(map[string]bool),
+		base:       backoff,
+		backoffCap: cap,
+		failures:   make(map[string]int),
+		rng:        simrand.New(int64(h.Sum64())),
+		fn:         fn,
 	}
 }
 
@@ -55,6 +75,30 @@ func (r *Runner) Enqueue(key string) {
 	}
 	r.queued[key] = true
 	r.queue.Put(key)
+}
+
+// EnqueueAfter schedules an Enqueue of key after d of virtual time — for
+// reconcilers that defer work (replacement backoff) without failing the key.
+func (r *Runner) EnqueueAfter(key string, d time.Duration) {
+	r.env.After(d, func() { r.Enqueue(key) })
+}
+
+// Failures returns the key's consecutive-failure count (for tests and
+// introspection).
+func (r *Runner) Failures(key string) int { return r.failures[key] }
+
+// retryDelay computes the capped exponential backoff for the n-th
+// consecutive failure, jittered up into [d, 1.5d) so synchronized failures
+// de-correlate while staying deterministic per runner.
+func (r *Runner) retryDelay(n int) time.Duration {
+	d := r.base
+	for i := 1; i < n && d < r.backoffCap; i++ {
+		d *= 2
+	}
+	if d > r.backoffCap {
+		d = r.backoffCap
+	}
+	return d + time.Duration(r.rng.Float64()*float64(d/2))
 }
 
 // Start launches the worker loop.
@@ -68,7 +112,10 @@ func (r *Runner) Start() {
 			delete(r.queued, key)
 			if err := r.fn(p, key); err != nil {
 				key := key
-				r.env.After(r.backoff, func() { r.Enqueue(key) })
+				r.failures[key]++
+				r.env.After(r.retryDelay(r.failures[key]), func() { r.Enqueue(key) })
+			} else if r.failures[key] != 0 {
+				delete(r.failures, key)
 			}
 		}
 	})

@@ -30,25 +30,31 @@ type Config struct {
 	ImagePullLatency time.Duration
 	// SyncLatency models the kubelet's reaction time to a newly bound pod.
 	SyncLatency time.Duration
+	// HeartbeatInterval is the node-lease renewal period; the lifecycle
+	// controller declares the node NotReady when renewals stop.
+	HeartbeatInterval time.Duration
 }
 
 // Default latencies, tuned so that whole-pod creation lands in the paper's
 // "less than a few seconds" regime (Figure 10 dashed line).
 const (
-	DefaultImagePullLatency = 250 * time.Millisecond
-	DefaultSyncLatency      = 50 * time.Millisecond
+	DefaultImagePullLatency  = 250 * time.Millisecond
+	DefaultSyncLatency       = 50 * time.Millisecond
+	DefaultHeartbeatInterval = time.Second
 )
 
 // Kubelet is one node's agent.
 type Kubelet struct {
-	env     *sim.Env
-	srv     *apiserver.Server
-	cfg     Config
-	devmgr  *deviceplugin.Manager
-	runtime *runtime.Runtime
-	workers map[string]*podWorker // pod name → worker
-	watchQ  *sim.Queue[store.Event]
-	proc    *sim.Proc
+	env       *sim.Env
+	srv       *apiserver.Server
+	cfg       Config
+	devmgr    *deviceplugin.Manager
+	runtime   *runtime.Runtime
+	workers   map[string]*podWorker // pod name → worker
+	reflector *apiserver.Reflector
+	proc      *sim.Proc
+	hbProc    *sim.Proc
+	crashed   bool
 }
 
 // podWorker tracks one pod's containers on the node.
@@ -57,6 +63,7 @@ type podWorker struct {
 	handles  []*runtime.Handle
 	proc     *sim.Proc
 	stopping bool
+	released bool
 }
 
 // New creates a kubelet. Call Start to register the node and begin syncing.
@@ -66,6 +73,9 @@ func New(env *sim.Env, srv *apiserver.Server, devmgr *deviceplugin.Manager, rt *
 	}
 	if cfg.SyncLatency == 0 {
 		cfg.SyncLatency = DefaultSyncLatency
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
 	if cfg.Capacity == nil {
 		cfg.Capacity = api.ResourceList{api.ResourceCPU: 36000, api.ResourceMemory: 244 << 30}
@@ -97,17 +107,41 @@ func (k *Kubelet) Start() error {
 	node := &api.Node{
 		ObjectMeta: api.ObjectMeta{Name: k.cfg.NodeName, Labels: k.cfg.Labels},
 		Status: api.NodeStatus{
-			Capacity:    capacity,
-			Allocatable: capacity.Clone(),
-			Ready:       true,
+			Capacity:      capacity,
+			Allocatable:   capacity.Clone(),
+			Ready:         true,
+			HeartbeatTime: k.env.Now(),
 		},
 	}
 	if _, err := apiserver.Nodes(k.srv).Create(node); err != nil {
 		return fmt.Errorf("kubelet %s: register node: %w", k.cfg.NodeName, err)
 	}
-	k.watchQ = k.srv.Watch("Pod", true)
-	k.proc = k.env.Go("kubelet-"+k.cfg.NodeName, k.syncLoop)
+	k.startLoops()
 	return nil
+}
+
+// startLoops launches the watch-driven sync loop and the heartbeat loop.
+func (k *Kubelet) startLoops() {
+	k.reflector = k.srv.NewReflector("Pod", apiserver.WatchOptions{Replay: true})
+	k.proc = k.env.Go("kubelet-"+k.cfg.NodeName, k.syncLoop)
+	k.hbProc = k.env.GoDaemon("kubelet-hb-"+k.cfg.NodeName, k.heartbeatLoop)
+}
+
+// heartbeatLoop renews the node lease. A heartbeat also re-asserts Ready,
+// so a node the lifecycle controller declared dead recovers as soon as its
+// kubelet resumes renewing.
+func (k *Kubelet) heartbeatLoop(p *sim.Proc) {
+	for {
+		p.Sleep(k.cfg.HeartbeatInterval)
+		_, err := apiserver.Nodes(k.srv).MutateStatus(k.cfg.NodeName, func(n *api.Node) error {
+			n.Status.HeartbeatTime = k.env.Now()
+			n.Status.Ready = true
+			return nil
+		})
+		if err != nil && !apiserver.IsNotFound(err) {
+			panic(fmt.Sprintf("kubelet %s: heartbeat: %v", k.cfg.NodeName, err))
+		}
+	}
 }
 
 // Stop terminates the sync loop and kills every container on the node.
@@ -115,14 +149,90 @@ func (k *Kubelet) Stop() {
 	if k.proc != nil {
 		k.proc.Kill(nil)
 	}
+	if k.hbProc != nil {
+		k.hbProc.Kill(nil)
+	}
+	if k.reflector != nil {
+		k.reflector.Stop()
+	}
 	for name, w := range k.workers {
 		k.teardown(name, w)
 	}
 }
 
+// Crash models an abrupt node failure: every loop and container dies on the
+// spot and no status is reported — the control plane must notice via the
+// stale heartbeat. Device-plugin state is local, so shares held by the dead
+// containers are released (a rebooted node starts with free devices).
+func (k *Kubelet) Crash() {
+	if k.crashed {
+		return
+	}
+	k.crashed = true
+	k.Stop()
+	k.proc, k.hbProc, k.reflector = nil, nil, nil
+	k.workers = make(map[string]*podWorker)
+}
+
+// Restart brings a crashed node back. Containers did not survive the
+// reboot, so any pod object still claiming to run here is deleted (the
+// controllers that own those pods reschedule or replace them), then the
+// loops start fresh and heartbeats resume.
+func (k *Kubelet) Restart() error {
+	if !k.crashed {
+		return fmt.Errorf("kubelet %s: restart without crash", k.cfg.NodeName)
+	}
+	k.crashed = false
+	pods := apiserver.Pods(k.srv)
+	for _, pod := range pods.List() {
+		if pod.Spec.NodeName == k.cfg.NodeName && !pod.Terminated() {
+			if err := pods.Delete(pod.Name); err != nil && !apiserver.IsNotFound(err) {
+				return fmt.Errorf("kubelet %s: restart cleanup: %w", k.cfg.NodeName, err)
+			}
+		}
+	}
+	_, err := apiserver.Nodes(k.srv).MutateStatus(k.cfg.NodeName, func(n *api.Node) error {
+		n.Status.Ready = true
+		n.Status.HeartbeatTime = k.env.Now()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("kubelet %s: restart: %w", k.cfg.NodeName, err)
+	}
+	k.startLoops()
+	return nil
+}
+
+// Crashed reports whether the node is currently down.
+func (k *Kubelet) Crashed() bool { return k.crashed }
+
+// KillPod kills a pod's containers in place (a daemon dying, not an API
+// deletion): the worker observes the exits and reports the pod Failed, so
+// watching controllers detect the death. Reports whether the pod was
+// running here.
+func (k *Kubelet) KillPod(name string) bool {
+	w, ok := k.workers[name]
+	if !ok {
+		return false
+	}
+	if len(w.handles) > 0 {
+		for _, h := range w.handles {
+			k.runtime.Stop(h)
+		}
+		return true
+	}
+	// Still in the admission phase: fail it directly.
+	if w.proc != nil && !w.proc.Finished() {
+		w.proc.Kill(nil)
+	}
+	k.release(w)
+	k.failPod(name, "killed")
+	return true
+}
+
 func (k *Kubelet) syncLoop(p *sim.Proc) {
 	for {
-		ev, ok := k.watchQ.Get(p)
+		ev, ok := k.reflector.Get(p)
 		if !ok {
 			return
 		}
@@ -171,7 +281,7 @@ func (k *Kubelet) admit(pod *api.Pod) {
 				resp, err := k.devmgr.Allocate(pod.UID, res, n)
 				if err != nil {
 					k.failPod(pod.Name, fmt.Sprintf("device allocation: %v", err))
-					k.devmgr.Free(pod.UID)
+					k.release(w)
 					return
 				}
 				for key, v := range resp.Env {
@@ -187,7 +297,7 @@ func (k *Kubelet) admit(pod *api.Pod) {
 				for _, started := range w.handles {
 					k.runtime.Stop(started)
 				}
-				k.devmgr.Free(pod.UID)
+				k.release(w)
 				return
 			}
 			w.handles = append(w.handles, h)
@@ -207,7 +317,7 @@ func (k *Kubelet) admit(pod *api.Pod) {
 				firstErr = err
 			}
 		}
-		k.devmgr.Free(pod.UID)
+		k.release(w)
 		if w.stopping {
 			return // pod object already deleted; no status to report
 		}
@@ -223,18 +333,32 @@ func (k *Kubelet) admit(pod *api.Pod) {
 
 // teardown stops a pod's containers and releases its devices. It is invoked
 // on pod deletion or kubelet shutdown; the worker proc observes stopping
-// and skips status reporting.
+// and skips status reporting. Idempotent: a teardown racing a second
+// invocation (pod delete during shutdown) neither double-stops nor
+// double-frees.
 func (k *Kubelet) teardown(name string, w *podWorker) {
-	w.stopping = true
-	for _, h := range w.handles {
-		k.runtime.Stop(h)
+	if !w.stopping {
+		w.stopping = true
+		for _, h := range w.handles {
+			k.runtime.Stop(h)
+		}
+		if len(w.handles) == 0 && w.proc != nil && !w.proc.Finished() {
+			// Worker still in the admission phase: kill it directly.
+			w.proc.Kill(nil)
+		}
 	}
-	if len(w.handles) == 0 && w.proc != nil && !w.proc.Finished() {
-		// Worker still in the admission phase: kill it directly.
-		w.proc.Kill(nil)
-	}
-	k.devmgr.Free(w.pod.UID)
+	k.release(w)
 	delete(k.workers, name)
+}
+
+// release frees the pod's device shares exactly once, no matter how many
+// paths (worker exit, teardown, crash, kill) reach it.
+func (k *Kubelet) release(w *podWorker) {
+	if w.released {
+		return
+	}
+	w.released = true
+	k.devmgr.Free(w.pod.UID)
 }
 
 func (k *Kubelet) setPhase(name string, phase api.PodPhase, msg string, extra func(*api.Pod)) {

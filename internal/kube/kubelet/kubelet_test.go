@@ -219,6 +219,134 @@ func TestMultiContainerPodWaitsForAll(t *testing.T) {
 	}
 }
 
+func TestAllocationFailureReleasesGrantedDevices(t *testing.T) {
+	// A pod whose second container cannot be allocated must release the
+	// devices already granted to its first — otherwise a partially admitted
+	// pod pins GPUs forever.
+	env, srv, kl, images := rig(t, 2)
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		ctx.Proc.Sleep(time.Second)
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "partial"},
+			Spec: api.PodSpec{
+				NodeName: "n0",
+				Containers: []api.Container{
+					{Name: "a", Image: "app", Requests: api.ResourceList{api.ResourceGPU: 1}},
+					{Name: "b", Image: "app", Requests: api.ResourceList{api.ResourceGPU: 2}},
+				},
+			},
+		}
+		apiserver.Pods(srv).Create(pod)
+		p.Sleep(time.Second)
+		// Both GPUs must be free again: a follow-up pod wanting the whole
+		// node admits cleanly.
+		apiserver.Pods(srv).Create(boundPod("next", api.ResourceList{api.ResourceGPU: 2}))
+	})
+	env.Run()
+	pod, _ := apiserver.Pods(srv).Get("partial")
+	if pod.Status.Phase != api.PodFailed {
+		t.Fatalf("partial pod phase = %s, want Failed", pod.Status.Phase)
+	}
+	next, _ := apiserver.Pods(srv).Get("next")
+	if next.Status.Phase != api.PodSucceeded {
+		t.Fatalf("next pod phase = %s (%s); granted devices leaked by the failed admission",
+			next.Status.Phase, next.Status.Message)
+	}
+	if got := kl.DeviceManager().Capacity()[api.ResourceGPU]; got != 2 {
+		t.Fatalf("capacity corrupted: %d", got)
+	}
+}
+
+func TestContainerStartFailureStopsStartedSiblings(t *testing.T) {
+	// When a later container fails to start, the already started siblings
+	// must be stopped and the pod's devices freed.
+	env, srv, _, images := rig(t, 1)
+	siblingRan := false
+	images.Register("hang", func(ctx *runtime.Ctx) error {
+		siblingRan = true
+		ctx.Proc.Sleep(time.Hour)
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		pod := &api.Pod{
+			ObjectMeta: api.ObjectMeta{Name: "halfstart"},
+			Spec: api.PodSpec{
+				NodeName: "n0",
+				Containers: []api.Container{
+					{Name: "a", Image: "hang", Requests: api.ResourceList{api.ResourceGPU: 1}},
+					{Name: "b", Image: "no-such-image"},
+				},
+			},
+		}
+		apiserver.Pods(srv).Create(pod)
+		p.Sleep(2 * time.Second)
+		apiserver.Pods(srv).Create(boundPod("next", api.ResourceList{api.ResourceGPU: 1}))
+	})
+	images.Register("app", func(ctx *runtime.Ctx) error { return nil })
+	env.RunUntil(time.Minute)
+	pod, _ := apiserver.Pods(srv).Get("halfstart")
+	if pod.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s, want Failed", pod.Status.Phase)
+	}
+	// The sibling was stopped inside its start window — its entrypoint must
+	// never have run (a leaked container would enter it 50ms later and hang).
+	if siblingRan {
+		t.Fatal("started sibling container kept running after start failure")
+	}
+	next, _ := apiserver.Pods(srv).Get("next")
+	if next.Status.Phase != api.PodSucceeded {
+		t.Fatalf("next pod phase = %s; device not freed after start failure", next.Status.Phase)
+	}
+}
+
+func TestNodeFlapDoesNotDoubleSchedule(t *testing.T) {
+	// A transient NotReady (flap) with the kubelet alive must not disturb a
+	// running pod, and a crash/restart cycle must not re-admit the stale pod:
+	// the restart deletes it and the container runs exactly once.
+	env, srv, kl, images := rig(t, 0)
+	runs := 0
+	images.Register("app", func(ctx *runtime.Ctx) error {
+		runs++
+		ctx.Proc.Sleep(time.Hour)
+		return nil
+	})
+	env.Go("t", func(p *sim.Proc) {
+		apiserver.Pods(srv).Create(boundPod("p1", nil))
+		p.Sleep(2 * time.Second)
+		// Flap: someone marks the node NotReady; the next heartbeat
+		// re-asserts Ready and nothing is rescheduled.
+		apiserver.Nodes(srv).MutateStatus("n0", func(n *api.Node) error {
+			n.Status.Ready = false
+			return nil
+		})
+		p.Sleep(3 * time.Second)
+		if n, _ := apiserver.Nodes(srv).Get("n0"); !n.Status.Ready {
+			t.Error("heartbeat did not re-assert Ready after the flap")
+		}
+		if runs != 1 {
+			t.Errorf("container ran %d times after flap, want 1", runs)
+		}
+		// Hard flap: crash and restart. The stale pod object is deleted on
+		// restart, and the replayed watch must not re-admit it.
+		kl.Crash()
+		p.Sleep(time.Second)
+		if err := kl.Restart(); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+	})
+	env.RunUntil(time.Minute)
+	if _, err := apiserver.Pods(srv).Get("p1"); !apiserver.IsNotFound(err) {
+		t.Fatal("stale pod object survived the node restart")
+	}
+	if runs != 1 {
+		t.Fatalf("container ran %d times across the flap, want exactly 1", runs)
+	}
+}
+
 func TestKubeletStopKillsEverything(t *testing.T) {
 	env, srv, kl, images := rig(t, 0)
 	images.Register("app", func(ctx *runtime.Ctx) error {

@@ -31,10 +31,12 @@ const DefaultBindLatency = 10 * time.Millisecond
 
 // Scheduler is the cluster's pod scheduler.
 type Scheduler struct {
-	env  *sim.Env
-	srv  *apiserver.Server
-	cfg  Config
-	proc *sim.Proc
+	env        *sim.Env
+	srv        *apiserver.Server
+	cfg        Config
+	proc       *sim.Proc
+	reflectors []*apiserver.Reflector
+	watchProcs []*sim.Proc
 
 	nodes map[string]*api.Node
 	pods  map[string]*api.Pod
@@ -101,13 +103,15 @@ func (s *Scheduler) nodeCommitted(node string) api.ResourceList {
 	return rl
 }
 
-// Start launches the watch and scheduling loops.
+// Start launches the watch and scheduling loops. The streams run through
+// reflectors, so the incremental caches stay exact across watch drops.
 func (s *Scheduler) Start() {
-	podQ := s.srv.Watch("Pod", true)
-	nodeQ := s.srv.Watch("Node", true)
-	s.env.Go("kube-scheduler-watch-pods", func(p *sim.Proc) {
+	podR := s.srv.NewReflector("Pod", apiserver.WatchOptions{Replay: true})
+	nodeR := s.srv.NewReflector("Node", apiserver.WatchOptions{Replay: true})
+	s.reflectors = append(s.reflectors, podR, nodeR)
+	s.watchProcs = append(s.watchProcs, s.env.Go("kube-scheduler-watch-pods", func(p *sim.Proc) {
 		for {
-			ev, ok := podQ.Get(p)
+			ev, ok := podR.Get(p)
 			if !ok {
 				return
 			}
@@ -119,10 +123,10 @@ func (s *Scheduler) Start() {
 			}
 			s.kick()
 		}
-	})
-	s.env.Go("kube-scheduler-watch-nodes", func(p *sim.Proc) {
+	}))
+	s.watchProcs = append(s.watchProcs, s.env.Go("kube-scheduler-watch-nodes", func(p *sim.Proc) {
 		for {
-			ev, ok := nodeQ.Get(p)
+			ev, ok := nodeR.Get(p)
 			if !ok {
 				return
 			}
@@ -134,8 +138,21 @@ func (s *Scheduler) Start() {
 			}
 			s.kick()
 		}
-	})
+	}))
 	s.proc = s.env.Go("kube-scheduler", s.loop)
+}
+
+// Stop terminates the scheduler's loops and reflectors.
+func (s *Scheduler) Stop() {
+	if s.proc != nil {
+		s.proc.Kill(nil)
+	}
+	for _, p := range s.watchProcs {
+		p.Kill(nil)
+	}
+	for _, r := range s.reflectors {
+		r.Stop()
+	}
 }
 
 // kick nudges the scheduling loop (coalesced: at most one pending wakeup).

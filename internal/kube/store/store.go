@@ -30,7 +30,15 @@ var (
 	// ErrConflict is returned by Update when the caller's ResourceVersion is
 	// stale (optimistic-concurrency failure).
 	ErrConflict = errors.New("store: resource version conflict")
+	// ErrGone is returned by WatchFilteredFrom when the requested revision
+	// has been compacted out of the event history; the subscriber must
+	// relist and start a fresh watch (the 410 Gone of the kube watch
+	// protocol).
+	ErrGone = errors.New("store: requested revision compacted")
 )
+
+// DefaultHistoryCap bounds the event history kept for resumable watches.
+const DefaultHistoryCap = 4096
 
 // EventType classifies watch events.
 type EventType string
@@ -43,10 +51,14 @@ const (
 )
 
 // Event is one watch notification. Object is a deep copy owned by the
-// receiver; for Deleted events it is the last stored state.
+// receiver; for Deleted events it is the last stored state. Rev is the
+// store-wide revision the mutation committed at — for Added/Modified it
+// equals the object's ResourceVersion; for Deleted it is the revision the
+// deletion consumed (the object copy keeps its pre-delete version).
 type Event struct {
 	Type   EventType
 	Object api.Object
+	Rev    int64
 }
 
 // WatchOptions narrows a watch subscription server-side. The zero value
@@ -154,15 +166,59 @@ type Store struct {
 	// are matched by string prefix against every mutation.
 	global  []*watcher
 	nextUID int64
+
+	// history is the bounded mutation log backing resumable watches. Live
+	// entries are history[histHead:]; the head advances instead of
+	// shifting, with an amortized compaction once the dead prefix
+	// dominates. Entries own their Object copies.
+	history    []Event
+	histHead   int
+	histCap    int
+	compactRev int64 // revision of the newest event dropped from history
 }
 
 // New returns an empty store.
 func New(env *sim.Env) *Store {
-	return &Store{env: env, kinds: make(map[string]*bucket)}
+	return &Store{env: env, kinds: make(map[string]*bucket), histCap: DefaultHistoryCap}
 }
 
 // Revision returns the store-wide revision of the last mutation.
 func (s *Store) Revision() int64 { return s.rev }
+
+// SetHistoryCap bounds the resumable-watch event history to n entries
+// (default DefaultHistoryCap). Shrinking compacts immediately; resumes from
+// before the compaction point return ErrGone. n <= 0 disables history, so
+// every resume relists.
+func (s *Store) SetHistoryCap(n int) {
+	s.histCap = n
+	s.trimHistory()
+}
+
+// record appends a mutation to the history, taking ownership of ev.Object.
+func (s *Store) record(ev Event) {
+	if s.histCap <= 0 {
+		s.compactRev = ev.Rev
+		return
+	}
+	s.history = append(s.history, ev)
+	s.trimHistory()
+}
+
+func (s *Store) trimHistory() {
+	for len(s.history)-s.histHead > s.histCap && s.histHead < len(s.history) {
+		s.compactRev = s.history[s.histHead].Rev
+		s.history[s.histHead] = Event{}
+		s.histHead++
+	}
+	if s.histHead > len(s.history)/2 && s.histHead > 64 {
+		live := copy(s.history, s.history[s.histHead:])
+		for i := live; i < len(s.history); i++ {
+			s.history[i] = Event{}
+		}
+		s.history = s.history[:live]
+		s.histHead = 0
+	}
+}
 
 func (s *Store) bucketOf(kind string) *bucket {
 	b, ok := s.kinds[kind]
@@ -201,7 +257,7 @@ func (s *Store) Create(obj api.Object) (api.Object, error) {
 	b.objs[name] = stored
 	b.dirty = true
 	b.indexLabels(name, meta.Labels)
-	s.notify(b, Event{Added, stored.DeepCopyObject()})
+	s.notify(b, Event{Added, stored.DeepCopyObject(), s.rev})
 	return stored.DeepCopyObject(), nil
 }
 
@@ -256,7 +312,7 @@ func (s *Store) update(obj api.Object, statusOnly bool) (api.Object, error) {
 	b.unindexLabels(name, curMeta.Labels)
 	b.objs[name] = stored
 	b.indexLabels(name, meta.Labels)
-	s.notify(b, Event{Modified, stored.DeepCopyObject()})
+	s.notify(b, Event{Modified, stored.DeepCopyObject(), s.rev})
 	return stored.DeepCopyObject(), nil
 }
 
@@ -271,7 +327,7 @@ func (s *Store) Delete(kind, name string) error {
 	b.dirty = true
 	b.unindexLabels(name, cur.GetMeta().Labels)
 	s.rev++
-	s.notify(b, Event{Deleted, cur.DeepCopyObject()})
+	s.notify(b, Event{Deleted, cur.DeepCopyObject(), s.rev})
 	return nil
 }
 
@@ -449,7 +505,7 @@ func (s *Store) WatchFiltered(prefix string, opts WatchOptions, replay bool) *si
 	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
 	if replay {
 		for _, obj := range s.replaySet(prefix, opts) {
-			w.queue.Put(Event{Added, obj})
+			w.queue.Put(Event{Added, obj, obj.GetMeta().ResourceVersion})
 		}
 	}
 	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
@@ -459,6 +515,36 @@ func (s *Store) WatchFiltered(prefix string, opts WatchOptions, replay bool) *si
 		s.global = append(s.global, w)
 	}
 	return w.queue
+}
+
+// WatchFilteredFrom resumes a dropped watch: it subscribes like
+// WatchFiltered but first replays, from the event history, every matching
+// mutation that committed after fromRev — so a subscriber that recorded the
+// last revision it saw misses nothing across a disconnect. When fromRev
+// predates the compaction horizon the gap is unrecoverable and ErrGone is
+// returned; the subscriber must relist and start fresh.
+func (s *Store) WatchFilteredFrom(prefix string, opts WatchOptions, fromRev int64) (*sim.Queue[Event], error) {
+	if fromRev < s.compactRev {
+		return nil, fmt.Errorf("%w: from %d, compacted through %d", ErrGone, fromRev, s.compactRev)
+	}
+	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
+	for _, ev := range s.history[s.histHead:] {
+		if ev.Rev <= fromRev {
+			continue
+		}
+		meta := ev.Object.GetMeta()
+		if !strings.HasPrefix(api.Key(ev.Object), prefix) || !opts.matches(meta.Name, meta.Labels) {
+			continue
+		}
+		w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject(), ev.Rev})
+	}
+	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
+		b := s.bucketOf(kind)
+		b.watchers = append(b.watchers, w)
+	} else {
+		s.global = append(s.global, w)
+	}
+	return w.queue, nil
 }
 
 // replaySet lists the objects a filtered watch replays, using the indexes
@@ -510,21 +596,23 @@ func (s *Store) StopWatch(q *sim.Queue[Event]) {
 }
 
 // notify fans an event out to the kind's watchers and any generic-prefix
-// watchers. Each subscriber gets its own copy so mutation never leaks
-// between consumers.
+// watchers, then records it into the resumable history (which takes
+// ownership of ev.Object). Each subscriber gets its own copy so mutation
+// never leaks between consumers.
 func (s *Store) notify(b *bucket, ev Event) {
 	meta := ev.Object.GetMeta()
 	for _, w := range b.watchers {
 		if w.opts.matches(meta.Name, meta.Labels) {
-			w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject()})
+			w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject(), ev.Rev})
 		}
 	}
 	if len(s.global) > 0 {
 		key := api.Key(ev.Object)
 		for _, w := range s.global {
 			if strings.HasPrefix(key, w.prefix) && w.opts.matches(meta.Name, meta.Labels) {
-				w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject()})
+				w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject(), ev.Rev})
 			}
 		}
 	}
+	s.record(ev)
 }

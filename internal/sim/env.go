@@ -83,6 +83,7 @@ type Env struct {
 	heap          []entry
 	heapCancelled int // cancelled entries still buried in the heap
 	pending       int // live (non-cancelled) scheduled events
+	daemonPending int // the subset of pending that wakes daemon procs
 	seq           uint64
 	items         []item   // slot-addressed event payloads
 	freeSlots     []uint32 // recycled item slots
@@ -168,6 +169,9 @@ func (env *Env) enqueue(t time.Duration, proc *Proc, fn func()) (uint32, uint32)
 	}
 	env.seq++
 	env.pending++
+	if proc != nil && proc.daemon {
+		env.daemonPending++
+	}
 	e := entry{t: t, seq: env.seq, slot: slot}
 	switch {
 	case t == env.now:
@@ -202,6 +206,9 @@ func (env *Env) demoteHead() {
 func (env *Env) cancelItem(it *item) {
 	it.cancelled = true
 	env.pending--
+	if it.proc != nil && it.proc.daemon {
+		env.daemonPending--
+	}
 	if it.inHeap {
 		env.heapCancelled++
 		if env.heapCancelled >= 32 && env.heapCancelled*2 > len(env.heap) {
@@ -377,11 +384,25 @@ func (env *Env) popFrom(src int) entry {
 // direct coroutine switch with no Go-scheduler round trip, which is the
 // difference between ~100ns and ~650ns per virtual context switch.
 func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return env.spawn(name, fn, false)
+}
+
+// GoDaemon is Go for periodic background loops (heartbeats, lifecycle
+// sweeps) that must not keep Run alive: the proc's wakeups fire normally
+// while non-daemon work is pending, but a queue holding only daemon wakeups
+// counts as quiescent. Daemons parked on queues or events behave exactly
+// like normal procs — the flag only affects scheduled wakeups (Sleep).
+func (env *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return env.spawn(name, fn, true)
+}
+
+func (env *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	env.nextPID++
 	p := &Proc{
 		env:    env,
 		id:     env.nextPID,
 		name:   name,
+		daemon: daemon,
 		doneEv: NewEvent(env),
 	}
 	env.live++
@@ -460,6 +481,9 @@ func (env *Env) Step() bool {
 		// callback reports inactive.
 		env.recycleSlot(e.slot)
 		env.pending--
+		if proc != nil && proc.daemon {
+			env.daemonPending--
+		}
 		if e.t > env.now {
 			env.now = e.t
 		}
@@ -472,12 +496,16 @@ func (env *Env) Step() bool {
 	}
 }
 
-// Run executes events until the queue is empty. Procs blocked forever (for
-// example servers waiting on request queues) do not keep Run alive; like
-// SimPy, the simulation ends when no future event exists.
+// Run executes events until no non-daemon event remains. Procs blocked
+// forever (for example servers waiting on request queues) do not keep Run
+// alive; like SimPy, the simulation ends when no future event exists.
+// Daemon procs (GoDaemon) — periodic background loops like node heartbeats
+// — likewise do not keep Run alive: their wakeups still fire in time order
+// while real work is pending, but once only daemon wakeups remain the
+// simulation is quiescent and Run returns.
 func (env *Env) Run() {
 	env.running = true
-	for env.Step() {
+	for env.pending > env.daemonPending && env.Step() {
 	}
 	env.running = false
 }

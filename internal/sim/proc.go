@@ -34,6 +34,7 @@ type Proc struct {
 	yield    func(struct{}) bool
 	finished bool
 	killed   bool
+	daemon   bool
 	killErr  error
 	doneEv   *Event
 	// pending tracks scheduled items that would wake this proc from its
