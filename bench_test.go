@@ -166,6 +166,31 @@ func BenchmarkFig9Utilization(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9Obs runs the KubeShare arm of the Figure 9 workload with the
+// observability spine on and off — the instrumentation-overhead check. Both
+// sub-benchmarks run identical simulations; the only difference is whether
+// every layer's spans, events and metrics are being recorded. The recorded
+// overhead budget is ≤5% wall-clock (see BENCH_obs.json / bench_obs.sh).
+func BenchmarkFig9Obs(b *testing.B) {
+	cfg := experiments.Fig9Config{Fig8Config: fig8Scale, FreqFactor: 2.5}
+	for _, arm := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig9Sharing(cfg, arm.disable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("workload completed no jobs")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig10PodCreation regenerates Figure 10: pod creation latency for
 // native pods, sharePods without vGPU creation, and with vGPU creation.
 func BenchmarkFig10PodCreation(b *testing.B) {

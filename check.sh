@@ -6,10 +6,13 @@
 set -ex
 go build ./...
 go vet ./...
+# Determinism vet: simulation code must not read the wall clock, print to
+# stdout, or use the global RNG (see tools/detvet).
+go run ./tools/detvet ./internal
 go test ./...
 go test -race ./internal/kube/... ./internal/core/...
 go test -race ./internal/sim/... ./internal/devlib/...
-GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden' ./internal/experiments/
+GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden|TestTraceDeterminismGolden' ./internal/experiments/
 # Chaos soak under the race detector: the multi-seed recovery suite (node
 # crashes, holder kills, device faults, watch drops) must satisfy every
 # quiescence invariant; failures print the seed to reproduce. The plain
@@ -18,3 +21,6 @@ GOMAXPROCS=4 go test -race ./internal/chaos/
 # Smoke the kernel micro-benchmarks so a regression that only breaks bench
 # setup (not the unit tests) is caught here.
 go test ./internal/sim/ -run xxx -bench BenchmarkSimKernel -benchtime 1x
+# Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
+# workload); ./bench_obs.sh measures it properly into BENCH_obs.json.
+go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

@@ -4,21 +4,31 @@
 // Usage:
 //
 //	kubeshare-sim [-scale quick|full] [-csv] [-seed N] [experiment ...]
+//	kubeshare-sim [-seed N] trace [key]
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14, or "all" (the default). Full scale matches the paper's
-// 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
+// fig12 fig13 fig14 latency, or "all" (the default). Full scale matches the
+// paper's 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
 // cluster and workloads for fast iteration.
+//
+// The trace subcommand runs a small seeded workload with the observability
+// spine on and prints one object's causal span chain — submission through
+// scheduling, binding, holder readiness, kubelet sync, token grant and first
+// kernel launch — followed by the events involving it. The default key is
+// SharePod/job-000; pass any trace key (e.g. "VGPU/vgpu-0001") to follow a
+// different chain, or "all" for the complete span log.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"kubeshare/internal/experiments"
 	"kubeshare/internal/metrics"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/workload"
 )
 
@@ -80,6 +90,55 @@ func replayTrace(path, system string) error {
 	return nil
 }
 
+// runTrace executes a small seeded KubeShare workload with telemetry on and
+// prints the causal span chain for one trace key, the events involving that
+// object, and the final metrics snapshot.
+func runTrace(key string, seed int64) error {
+	jobs := workload.Generate(workload.GeneratorConfig{
+		Jobs: 8, MeanInterArrival: 2 * time.Second,
+		DemandMean: 0.35, DemandVar: 1,
+		JobDuration: 10 * time.Second, Seed: seed,
+	})
+	res, err := experiments.RunSharing(experiments.SharingConfig{
+		System: experiments.KubeShare, Nodes: 1, GPUsPerNode: 2,
+		Jobs: jobs, ExportTelemetry: true,
+	})
+	if err != nil {
+		return err
+	}
+	spans := res.Spans
+	if key != "all" {
+		spans = obs.Chain(res.Spans, key)
+		if len(spans) == 0 {
+			keys := map[string]bool{}
+			for _, s := range res.Spans {
+				keys[s.Key] = true
+			}
+			names := make([]string, 0, len(keys))
+			for k := range keys {
+				names = append(names, k)
+			}
+			return fmt.Errorf("no spans for key %q; known keys: %s", key, strings.Join(names, " "))
+		}
+	}
+	fmt.Printf("--- causal chain: %s (seed %d) ---\n", key, seed)
+	obs.FormatSpans(os.Stdout, spans)
+	// Events name the concrete objects (pods, vGPUs), not the trace key, so
+	// match on the bare object name embedded in the key.
+	_, bare, _ := strings.Cut(key, "/")
+	var evs []obs.EventRecord
+	for _, e := range res.Events {
+		if key == "all" || strings.Contains(e.Name, bare) || strings.Contains(e.Message, bare) {
+			evs = append(evs, e)
+		}
+	}
+	fmt.Printf("--- events ---\n")
+	obs.FormatEvents(os.Stdout, evs)
+	fmt.Printf("--- metrics ---\n")
+	res.Obs.Format(os.Stdout)
+	return nil
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -98,6 +157,18 @@ func main() {
 	}
 	if *replay != "" {
 		if err := replayTrace(*replay, *system); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "trace" {
+		key := "SharePod/job-000"
+		if len(args) > 1 {
+			key = args[1]
+		}
+		if err := runTrace(key, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -226,6 +297,16 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.Nodes, cfg.GPUsPerNode = 1, 4
 		}
 		return experiments.Fig13(cfg)
+	case "latency":
+		cfg := experiments.LatencyConfig{Fig9Config: experiments.Fig9Config{Fig8Config: fig8}}
+		if !full {
+			cfg.FreqFactor = 2.5
+		}
+		res, err := experiments.Latency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table, nil
 	case "fig14":
 		cfg := experiments.Fig14Config{Seed: seed}
 		if !full {
@@ -235,5 +316,5 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 		}
 		return experiments.Fig14(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig14)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig14, latency)")
 }

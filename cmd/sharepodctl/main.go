@@ -250,10 +250,11 @@ func get(s *kubeshare.Sim, kind string) {
 				pod.Spec.Requests()[kubeshare.ResourceGPU])
 		}
 	case "usage":
+		usage := s.Stats().Usage
 		fmt.Printf("%-16s %-10s %-10s %s\n", "NAME", "PHASE", "GPUID", "USAGE")
 		for _, sp := range s.SharePods().List() {
 			fmt.Printf("%-16s %-10s %-10s %.3f\n",
-				sp.Name, sp.Status.Phase, sp.Spec.GPUID, s.UsageRate(sp.Name))
+				sp.Name, sp.Status.Phase, sp.Spec.GPUID, usage[sp.Name])
 		}
 	case "vgpus":
 		fmt.Printf("%-12s %-9s %-8s %s\n", "GPUID", "PHASE", "NODE", "UUID")

@@ -57,10 +57,18 @@ func main() {
 		submit("alice", 0.6, 0.8)
 		submit("bob", 0.4, 0.6)
 		for _, name := range []string{"alice", "bob"} {
-			sp, err := s.WaitSharePod(p, name)
-			if err != nil {
-				log.Fatal(err)
+			// Name-filtered watch: parks until the sharePod terminates
+			// without waking on unrelated cluster churn.
+			q := s.Watch(kubeshare.KindSharePod, kubeshare.WatchOptions{Name: name, Replay: true})
+			var sp *kubeshare.SharePod
+			for sp == nil || !sp.Terminated() {
+				ev, ok := q.Get(p)
+				if !ok {
+					log.Fatalf("watch closed waiting for %s", name)
+				}
+				sp = ev.Object.(*kubeshare.SharePod)
 			}
+			s.StopWatch(q)
 			fmt.Printf("%-6s %-10s gpuid=%-10s uuid=%s  wall=%v\n",
 				name, sp.Status.Phase, sp.Spec.GPUID, sp.Status.UUID,
 				(sp.Status.FinishTime - sp.Status.RunningTime).Round(time.Millisecond))

@@ -19,6 +19,7 @@ import (
 	"kubeshare/internal/core"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/simrand"
 )
@@ -72,17 +73,21 @@ func (s Stats) String() string {
 
 // Injector drives one fault schedule against a cluster.
 type Injector struct {
-	env   *sim.Env
-	c     *kube.Cluster
-	cfg   Config
-	rng   *simrand.Source
-	stats Stats
-	start time.Duration
+	env      *sim.Env
+	c        *kube.Cluster
+	cfg      Config
+	rng      *simrand.Source
+	stats    Stats
+	start    time.Duration
+	recorder *obs.Recorder
 }
 
 // New creates an injector for the cluster. Call Start to begin injecting.
 func New(c *kube.Cluster, cfg Config) *Injector {
-	return &Injector{env: c.Env, c: c, cfg: cfg, rng: simrand.New(cfg.Seed)}
+	return &Injector{
+		env: c.Env, c: c, cfg: cfg, rng: simrand.New(cfg.Seed),
+		recorder: c.Obs.EventSource("chaos"),
+	}
 }
 
 // Stats returns the faults delivered so far.
@@ -138,6 +143,8 @@ func (in *Injector) nodeLoop(p *sim.Proc, rng *simrand.Source) {
 		node := up[rng.Intn(len(up))]
 		node.Kubelet.Crash()
 		in.stats.NodeCrashes++
+		in.recorder.Eventf("Node", node.Name, obs.EventWarning, "NodeCrashed",
+			"kubelet and all containers killed")
 		outage := rng.ExpDuration(in.cfg.NodeOutageMean)
 		if outage < time.Second {
 			outage = time.Second
@@ -146,6 +153,8 @@ func (in *Injector) nodeLoop(p *sim.Proc, rng *simrand.Source) {
 		if err := node.Kubelet.Restart(); err != nil {
 			panic(fmt.Sprintf("chaos: restart %s: %v", node.Name, err))
 		}
+		in.recorder.Eventf("Node", node.Name, obs.EventNormal, "NodeRestarted",
+			"kubelet back after %v outage", outage)
 	}
 }
 
@@ -180,6 +189,8 @@ func (in *Injector) holderLoop(p *sim.Proc, rng *simrand.Source) {
 		pick := candidates[rng.Intn(len(candidates))]
 		if pick.node.Kubelet.KillPod(pick.pod) {
 			in.stats.HolderKills++
+			in.recorder.Eventf("Pod", pick.pod, obs.EventWarning, "HolderKilled",
+				"vGPU holder containers killed on %s", pick.node.Name)
 		}
 	}
 }
@@ -223,7 +234,10 @@ func (in *Injector) watchLoop(p *sim.Proc, rng *simrand.Source) {
 		if len(rs) == 0 {
 			continue
 		}
-		rs[rng.Intn(len(rs))].Drop()
+		r := rs[rng.Intn(len(rs))]
+		r.Drop()
 		in.stats.WatchDrops++
+		in.recorder.Eventf("Watch", r.Kind(), obs.EventWarning, "WatchDropped",
+			"reflector stream severed")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -101,10 +102,16 @@ type DevMgr struct {
 	reflectors []*apiserver.Reflector
 	procs      []*sim.Proc
 
-	// recoveries/recoveryFails count vGPU recovery attempts and write-offs
-	// (observability/tests).
-	recoveries    int64
-	recoveryFails int64
+	// Telemetry. Recovery counts live on the obs registry (atomics), so
+	// Recoveries() is safe to read while the controller runs; the rest
+	// no-op when obs is off.
+	tracer        *obs.Tracer
+	recorder      *obs.Recorder
+	vgpuCreates   *obs.Counter
+	recoveries    *obs.Counter
+	recoveryFails *obs.Counter
+	binds         *obs.Counter
+	bindHist      *obs.Histogram
 }
 
 // NewDevMgr creates KubeShare-DevMgr; Start launches it.
@@ -115,19 +122,27 @@ func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
 	if cfg.RecoveryTimeout == 0 {
 		cfg.RecoveryTimeout = 30 * time.Second
 	}
+	rt := srv.Obs()
 	return &DevMgr{
-		env:         env,
-		srv:         srv,
-		cfg:         cfg,
-		creating:    make(map[string]*sim.Event),
-		uuidReports: make(map[string]*sim.Event),
-		binding:     make(map[string]bool),
-		tenants:     make(map[string]map[string]bool),
-		idle:        make(map[string]bool),
-		placedGPU:   make(map[string]string),
-		holderGen:   make(map[string]int),
-		recovering:  make(map[string]bool),
-		backends:    make(map[string]*devlib.Backend),
+		env:           env,
+		srv:           srv,
+		cfg:           cfg,
+		creating:      make(map[string]*sim.Event),
+		uuidReports:   make(map[string]*sim.Event),
+		binding:       make(map[string]bool),
+		tenants:       make(map[string]map[string]bool),
+		idle:          make(map[string]bool),
+		placedGPU:     make(map[string]string),
+		holderGen:     make(map[string]int),
+		recovering:    make(map[string]bool),
+		backends:      make(map[string]*devlib.Backend),
+		tracer:        rt.Tracer(),
+		recorder:      rt.EventSource("kubeshare-devmgr"),
+		vgpuCreates:   rt.Counter("devmgr_vgpu_creates_total"),
+		recoveries:    rt.Counter("devmgr_vgpu_recoveries_total"),
+		recoveryFails: rt.Counter("devmgr_vgpu_recovery_fails_total"),
+		binds:         rt.Counter("devmgr_binds_total"),
+		bindHist:      rt.Histogram("devmgr_bind_seconds"),
 	}
 }
 
@@ -138,8 +153,12 @@ func (m *DevMgr) SetBackends(backends map[string]*devlib.Backend) {
 	m.backends = backends
 }
 
-// Recoveries returns (attempted, failed) vGPU recovery counts.
-func (m *DevMgr) Recoveries() (int64, int64) { return m.recoveries, m.recoveryFails }
+// Recoveries returns (attempted, failed) vGPU recovery counts. Both are
+// obs registry counters, safe to read concurrently with the controller
+// loops; they report zero when the cluster runs without observability.
+func (m *DevMgr) Recoveries() (int64, int64) {
+	return m.recoveries.Value(), m.recoveryFails.Value()
+}
 
 // TenantView returns a copy of the tenant cache (gpuID → sorted sharePod
 // names). Chaos soaks check it against the live placed sharePods: a
@@ -360,9 +379,11 @@ func (m *DevMgr) onHolderDown(pod *api.Pod) {
 // reports a different physical device, or never comes up, the vGPU is
 // written off and its tenants requeued.
 func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Event) {
-	m.recoveries++
+	m.recoveries.Inc()
+	span := m.tracer.Start("devmgr", "recover", KindVGPU+"/"+gpuID)
 	v, err := VGPUs(m.srv).Get(gpuID)
 	if err != nil {
+		span.EndNote("failed: vGPU gone")
 		done.Trigger(fmt.Errorf("%w: %s", errVGPULost, gpuID))
 		return
 	}
@@ -371,6 +392,8 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 	if b := m.backends[v.Spec.NodeName]; b != nil && oldUUID != "" {
 		mgr = b.Manager(oldUUID)
 		mgr.Suspend()
+		m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "TokenManagerSuspended",
+			"token manager %s suspended for recovery", oldUUID)
 	}
 	m.failUUIDWaiters(deadHolder)
 	m.holderGen[gpuID]++
@@ -388,8 +411,9 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 	}
 	replacement := &api.Pod{
 		ObjectMeta: api.ObjectMeta{
-			Name:   holder,
-			Labels: map[string]string{LabelVGPUHolder: gpuID},
+			Name:      holder,
+			Labels:    map[string]string{LabelVGPUHolder: gpuID},
+			OwnerName: KindVGPU + "/" + gpuID,
 		},
 		Spec: api.PodSpec{
 			NodeName: v.Spec.NodeName,
@@ -408,11 +432,16 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 	}
 	if mgr != nil {
 		mgr.Resume()
+		m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "TokenManagerResumed",
+			"token manager %s resumed", oldUUID)
 	}
 	if uuid == "" {
 		// Node dead or no GPU free: write the vGPU off. Tenants requeue and
 		// Algorithm 1 re-places them wherever capacity lives now.
-		m.recoveryFails++
+		m.recoveryFails.Inc()
+		m.recorder.Eventf(KindVGPU, gpuID, obs.EventWarning, "RecoveryFailed",
+			"no replacement holder came up; vGPU written off")
+		span.EndNote("failed: written off")
 		m.dropVGPU(gpuID, holder)
 		done.Trigger(fmt.Errorf("%w: %s", errVGPULost, gpuID))
 		return
@@ -428,6 +457,9 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 		// replacements bind against the new backing.
 		m.evictTenants(gpuID)
 	}
+	m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "Recovered",
+		"holder %s up on %s", holder, uuid)
+	span.EndNote("uuid=%s", uuid)
 	done.Trigger(uuid)
 }
 
@@ -474,8 +506,11 @@ func (m *DevMgr) evictTenants(gpuID string) {
 // bind realizes one scheduled sharePod: ensure its vGPU exists, then create
 // the bound pod with the explicit device binding.
 func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
+	span := m.tracer.Start("devmgr", "bind", KindSharePod+"/"+sp.Name)
+	bindStart := m.env.Now()
 	uuid, err := m.ensureVGPU(p, sp.Spec.GPUID, sp.Spec.NodeName)
 	if err != nil {
+		span.EndNote("failed: %v", err)
 		if errors.Is(err, errVGPULost) {
 			// The backing died mid-bind; requeue rather than fail — the
 			// request is fine, the device was not. Guard against the
@@ -490,15 +525,19 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 		}
 		return
 	}
+	m.tracer.Mark("devmgr", "holder-ready", KindSharePod+"/"+sp.Name,
+		"gpuid="+sp.Spec.GPUID+" uuid="+uuid)
 	p.Sleep(m.cfg.OpLatency)
 	// The sharePod may have been deleted, requeued elsewhere, or already
 	// bound while the vGPU was created.
 	cur, err := SharePods(m.srv).Get(sp.Name)
 	if err != nil || cur.Terminated() {
+		span.EndNote("abandoned: sharePod gone")
 		m.reconcileVGPU(sp.Spec.GPUID)
 		return
 	}
 	if cur.Spec.GPUID != sp.Spec.GPUID || cur.Status.BoundPod != "" {
+		span.EndNote("abandoned: stale placement")
 		return // a newer watch event drives the current placement
 	}
 	spec := sp.Spec.Pod.Clone()
@@ -529,6 +568,7 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 		Spec: spec,
 	}
 	if _, err := apiserver.Pods(m.srv).Create(pod); err != nil && !apiserver.IsExists(err) {
+		span.EndNote("failed: %v", err)
 		m.failSharePod(sp.Name, fmt.Sprintf("create bound pod: %v", err))
 		return
 	}
@@ -537,6 +577,9 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 		cur.Status.UUID = uuid
 	})
 	m.markVGPU(sp.Spec.GPUID, VGPUActive)
+	m.binds.Inc()
+	m.bindHist.ObserveDuration(m.env.Now() - bindStart)
+	span.EndNote("pod=%s uuid=%s", pod.Name, uuid)
 }
 
 // ensureVGPU returns the physical UUID behind gpuID, acquiring a GPU from
@@ -589,8 +632,9 @@ func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 	}
 	pod := &api.Pod{
 		ObjectMeta: api.ObjectMeta{
-			Name:   holder,
-			Labels: map[string]string{LabelVGPUHolder: gpuID},
+			Name:      holder,
+			Labels:    map[string]string{LabelVGPUHolder: gpuID},
+			OwnerName: KindVGPU + "/" + gpuID,
 		},
 		Spec: api.PodSpec{
 			NodeName: node,
@@ -622,6 +666,9 @@ func (m *DevMgr) createVGPU(p *sim.Proc, gpuID, node string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	m.vgpuCreates.Inc()
+	m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "Created",
+		"holder %s pinned %s on %s", holder, uuid, node)
 	return uuid, nil
 }
 

@@ -102,8 +102,10 @@ func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 	// Per-node device library backend + the LD_PRELOAD-equivalent hook:
 	// containers of bound pods load the vGPU frontend instead of the raw
 	// driver.
+	dcfg := cfg.Devlib
+	dcfg.Obs = c.Obs // backends share the cluster-wide telemetry runtime
 	for _, node := range c.Nodes {
-		backend := devlib.NewBackend(c.Env, cfg.Devlib)
+		backend := devlib.NewBackend(c.Env, dcfg)
 		ks.Backends[node.Name] = backend
 		node.Runtime.AddLibraryHook(func(pod *api.Pod, ctn api.Container, base cuda.API) cuda.API {
 			if pod.Labels[LabelSharePod] == "" || base == nil {
@@ -118,6 +120,10 @@ func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 			if err != nil {
 				panic(fmt.Sprintf("kubeshare: install frontend for %s: %v", pod.Name, err))
 			}
+			// Bound pods carry OwnerName "SharePod/<name>", so the
+			// frontend's token-grant / kernel-launch trace marks land on
+			// the owning sharePod's causal chain.
+			f.SetTraceKey(api.TraceKey(pod))
 			return f
 		})
 	}

@@ -8,6 +8,7 @@ import (
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -50,10 +51,16 @@ type Scheduler struct {
 	reflectors []*apiserver.Reflector
 	watchProcs []*sim.Proc
 
-	// decisions counts Algorithm 1 invocations (observability/tests).
-	decisions int64
-	// requeues counts bound-pod-loss recoveries (observability/tests).
-	requeues int64
+	// Telemetry. The decision/requeue counters live on the obs registry
+	// (atomics), so Decisions()/Requeues() are safe to read while the
+	// loop runs; the remaining handles no-op when obs is off.
+	tracer     *obs.Tracer
+	recorder   *obs.Recorder
+	decisions  *obs.Counter
+	requeues   *obs.Counter
+	noCapacity *obs.Counter
+	depth      *obs.Gauge
+	schedHist  *obs.Histogram
 }
 
 // NewScheduler creates KubeShare-Sched; Start launches it.
@@ -61,20 +68,32 @@ func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Sch
 	if cfg.CycleLatency == 0 {
 		cfg.CycleLatency = DefaultCycleLatency
 	}
+	rt := srv.Obs()
 	return &Scheduler{
-		env:  env,
-		srv:  srv,
-		cfg:  cfg,
-		snap: NewSnapshot(cfg.MemOvercommitFactor),
-		wake: sim.NewQueue[struct{}](env),
+		env:        env,
+		srv:        srv,
+		cfg:        cfg,
+		snap:       NewSnapshot(cfg.MemOvercommitFactor),
+		wake:       sim.NewQueue[struct{}](env),
+		tracer:     rt.Tracer(),
+		recorder:   rt.EventSource("kubeshare-sched"),
+		decisions:  rt.Counter("kubeshare_sched_decisions_total"),
+		requeues:   rt.Counter("kubeshare_sched_requeues_total"),
+		noCapacity: rt.Counter("kubeshare_sched_nocapacity_cycles_total"),
+		depth:      rt.Gauge("kubeshare_sched_pending_sharepods"),
+		schedHist:  rt.Histogram("kubeshare_sched_latency_seconds"),
 	}
 }
 
-// Decisions returns the number of scheduling decisions made so far.
-func (s *Scheduler) Decisions() int64 { return s.decisions }
+// Decisions returns the number of scheduling decisions made so far. The
+// count is an obs registry counter, safe to read concurrently with the
+// scheduling loop. When the cluster runs with observability disabled the
+// counter handle is a no-op and this reports zero.
+func (s *Scheduler) Decisions() int64 { return s.decisions.Value() }
 
-// Requeues returns the number of bound-pod-loss recoveries performed.
-func (s *Scheduler) Requeues() int64 { return s.requeues }
+// Requeues returns the number of bound-pod-loss recoveries performed
+// (same registry-counter semantics as Decisions).
+func (s *Scheduler) Requeues() int64 { return s.requeues.Value() }
 
 // VerifySnapshot cross-checks the incremental snapshot against a full
 // relist: the pool it materializes must be exactly what BuildPoolWithFactor
@@ -144,7 +163,10 @@ func (s *Scheduler) onPodDeleted(pod *api.Pod) {
 	if updated == nil {
 		return
 	}
-	s.requeues++
+	s.requeues.Inc()
+	s.tracer.Mark("kubeshare-sched", "requeue", api.Key(updated), "lost pod "+pod.Name)
+	s.recorder.Eventf(KindSharePod, spName, obs.EventWarning, "Requeued",
+		"bound pod %s lost; rescheduling", pod.Name)
 	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
 }
 
@@ -171,10 +193,12 @@ func (s *Scheduler) loop(p *sim.Proc) {
 // change.
 func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
 	pending := s.snap.Pending()
+	s.depth.Set(int64(len(pending)))
 	if len(pending) == 0 {
 		return false
 	}
 	sortByAge(pending)
+	cycleStart := s.env.Now()
 	p.Sleep(s.cfg.CycleLatency)
 	// The watch procs drained any deltas during the sleep; the snapshot is
 	// current as of now. Materializing the pool is O(devices), with residuals
@@ -191,17 +215,25 @@ func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
 			decide = Schedule
 		}
 		dec := decide(RequestOf(sp), pool)
-		s.decisions++
+		s.decisions.Inc()
 		switch dec.Outcome {
 		case Assigned, NewDevice:
+			// The decision span covers this cycle only; end-to-end
+			// submit-to-scheduled latency goes to the histogram.
+			s.tracer.Record("kubeshare-sched", "schedule", api.Key(sp),
+				fmt.Sprintf("gpuid=%s node=%s", dec.GPUID, dec.NodeName), cycleStart)
+			s.schedHist.ObserveDuration(s.env.Now() - sp.CreationTime)
 			s.applyPlacement(sp.Name, dec)
 			return true
 		case Rejected:
+			s.tracer.Record("kubeshare-sched", "reject", api.Key(sp), dec.Reason, cycleStart)
+			s.recorder.Eventf(KindSharePod, sp.Name, obs.EventWarning, "Unschedulable", "%s", dec.Reason)
 			s.applyRejection(sp.Name, dec.Reason)
 			return true
 		}
 		// NoCapacity: try the next pending sharePod this cycle.
 	}
+	s.noCapacity.Inc()
 	return false
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"kubeshare/internal/metrics"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	// SwapBandwidth is the host↔device transfer rate used for swapping
 	// (defaults to PCIe gen3 x16).
 	SwapBandwidth int64
+	// Obs is the telemetry runtime token managers record against (token
+	// grants, wait-latency histogram, throttle events). Nil disables
+	// instrumentation.
+	Obs *obs.Runtime
 }
 
 // Defaults (see Config).
@@ -176,15 +181,25 @@ type TokenManager struct {
 	expireFn func()
 	// down marks the manager suspended (its vGPU pod died); see Suspend.
 	down bool
+
+	// Telemetry handles (no-ops when Config.Obs is nil).
+	recorder  *obs.Recorder
+	grants    *obs.Counter
+	throttles *obs.Counter
+	waitHist  *obs.Histogram
 }
 
 // NewTokenManager creates a manager for one device.
 func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
 	m := &TokenManager{
-		env:     env,
-		uuid:    uuid,
-		cfg:     cfg.withDefaults(),
-		clients: make(map[string]*client),
+		env:       env,
+		uuid:      uuid,
+		cfg:       cfg.withDefaults(),
+		clients:   make(map[string]*client),
+		recorder:  cfg.Obs.EventSource("devlib"),
+		grants:    cfg.Obs.Counter("devlib_token_grants_total"),
+		throttles: cfg.Obs.Counter("devlib_throttle_retries_total"),
+		waitHist:  cfg.Obs.Histogram("devlib_token_wait_seconds"),
 	}
 	m.retryFn = m.trySchedule
 	m.expireFn = m.reclaim
@@ -433,12 +448,17 @@ func (m *TokenManager) trySchedule() {
 		// window has slid forward by one quota.
 		if !m.retry.Active() {
 			m.retry = m.env.After(m.cfg.Quota, m.retryFn)
+			m.throttles.Inc()
+			m.recorder.Eventf("GPU", m.uuid, obs.EventWarning, "Throttled",
+				"%d queued clients all at gpu_limit", len(m.queue))
 		}
 		return
 	}
 	m.queue = append(m.queue[:bestIdx], m.queue[bestIdx+1:]...)
 	m.tokSeq++
 	m.handoffs++
+	m.grants.Inc()
+	m.waitHist.ObserveDuration(now - best.enqueued)
 	m.holder = best
 	m.grant = now
 	tok := Token{ExpiresAt: now + m.cfg.Quota, seq: m.tokSeq}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kubeshare/internal/cuda"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -83,6 +84,13 @@ type Frontend struct {
 	releaseFn func()
 	closed    bool
 
+	// Trace milestones: the first token grant and first kernel launch are
+	// marked once onto the chain named by traceKey (see SetTraceKey).
+	tracer      *obs.Tracer
+	traceKey    string
+	markedGrant bool
+	markedFirst bool
+
 	// Virtual-memory mode (Config.MemOvercommit): allocations are tracked
 	// here instead of on the physical device, and residency is managed by
 	// the token manager's swap broker.
@@ -115,6 +123,7 @@ func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share)
 		share:    share,
 		memCap:   int64(share.Memory * float64(total)),
 		cfg:      mgr.cfg,
+		tracer:   mgr.cfg.Obs.Tracer(),
 	}
 	f.releaseFn = func() {
 		f.mgr.Release(f.clientID, f.token)
@@ -128,6 +137,12 @@ func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share)
 	}
 	return f, nil
 }
+
+// SetTraceKey names the causal-trace chain the frontend's milestones (first
+// token grant, first kernel launch) attach to — typically the owning
+// sharePod's "SharePod/<name>" key. Without a key the frontend records no
+// trace marks.
+func (f *Frontend) SetTraceKey(key string) { f.traceKey = key }
 
 // Share returns the container's resource specification.
 func (f *Frontend) Share() Share { return f.share }
@@ -213,6 +228,10 @@ func (f *Frontend) acquireToken(p *sim.Proc) error {
 		tok, err := f.mgr.Acquire(p, f.clientID)
 		if err == nil {
 			f.token = tok
+			if !f.markedGrant && f.traceKey != "" {
+				f.markedGrant = true
+				f.tracer.Mark("devlib", "token-grant", f.traceKey, f.clientID)
+			}
 			// Token handoff cost: IPC plus pipeline warm-up before the first
 			// kernel of this hold can start.
 			p.Sleep(f.cfg.Handoff)
@@ -254,6 +273,7 @@ func (f *Frontend) LaunchKernel(p *sim.Proc, work time.Duration) error {
 			return err
 		}
 	}
+	f.markFirstLaunch()
 	if err := f.base.LaunchKernel(p, work); err != nil {
 		return err
 	}
@@ -285,7 +305,19 @@ func (f *Frontend) LaunchKernelAsync(p *sim.Proc, work time.Duration) (*sim.Even
 			return nil, err
 		}
 	}
+	f.markFirstLaunch()
 	return f.base.LaunchKernelAsync(p, work)
+}
+
+// markFirstLaunch records the container's first kernel reaching the device
+// — the interposition boundary between the library and the GPU, so the mark
+// carries the "gpusim" component on the sharePod's chain.
+func (f *Frontend) markFirstLaunch() {
+	if f.markedFirst || f.traceKey == "" {
+		return
+	}
+	f.markedFirst = true
+	f.tracer.Mark("gpusim", "kernel-launch", f.traceKey, f.clientID)
 }
 
 // Synchronize drains the stream, then hands the token over (immediately if

@@ -34,7 +34,7 @@ func (c Fig11Config) withDefaults() Fig11Config {
 		c.Iterations = 200
 	}
 	if c.Now == nil {
-		c.Now = time.Now
+		c.Now = time.Now //det:allow — injectable; this micro-benchmark measures real CPU cost, not sim time
 	}
 	return c
 }

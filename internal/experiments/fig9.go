@@ -33,6 +33,32 @@ func (c Fig9Config) withDefaults() Fig9Config {
 	return c
 }
 
+// fig9Jobs generates the Figure 9 workload for an already-defaulted config.
+func fig9Jobs(cfg Fig9Config) []workload.Job {
+	return workload.Generate(workload.GeneratorConfig{
+		Jobs:             cfg.Jobs,
+		MeanInterArrival: time.Duration(float64(cfg.BaseInterArrival) / cfg.FreqFactor),
+		DemandMean:       cfg.DemandMean,
+		DemandVar:        cfg.DemandVar,
+		JobDuration:      cfg.JobDuration,
+		Seed:             cfg.Seed,
+	})
+}
+
+// Fig9Sharing runs only the KubeShare arm of the Figure 9 workload, with
+// the observability spine on or off — the two arms of the
+// instrumentation-overhead benchmark.
+func Fig9Sharing(cfg Fig9Config, disableObs bool) (SharingResult, error) {
+	cfg = cfg.withDefaults()
+	return RunSharing(SharingConfig{
+		System:      KubeShare,
+		Nodes:       cfg.Nodes,
+		GPUsPerNode: cfg.GPUsPerNode,
+		Jobs:        fig9Jobs(cfg),
+		DisableObs:  disableObs,
+	})
+}
+
 // Fig9Result carries both systems' sampled timelines plus the summary
 // table.
 type Fig9Result struct {
@@ -50,15 +76,7 @@ type Fig9Result struct {
 // GPUs, and finishes the workload sooner.
 func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	cfg = cfg.withDefaults()
-	gen := workload.GeneratorConfig{
-		Jobs:             cfg.Jobs,
-		MeanInterArrival: time.Duration(float64(cfg.BaseInterArrival) / cfg.FreqFactor),
-		DemandMean:       cfg.DemandMean,
-		DemandVar:        cfg.DemandVar,
-		JobDuration:      cfg.JobDuration,
-		Seed:             cfg.Seed,
-	}
-	jobs := workload.Generate(gen)
+	jobs := fig9Jobs(cfg)
 	out := &Fig9Result{
 		Util:     map[System]*metrics.Series{},
 		Active:   map[System]*metrics.Series{},

@@ -13,6 +13,7 @@ import (
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/workload"
 )
@@ -32,7 +33,13 @@ const (
 
 // newCluster builds a cluster with workload images registered.
 func newCluster(env *sim.Env, nodes, gpusPerNode int) (*kube.Cluster, error) {
-	cfg := kube.Config{}
+	return newClusterObs(env, nodes, gpusPerNode, false)
+}
+
+// newClusterObs is newCluster with an observability off-switch (the obs-off
+// arm of the instrumentation-overhead benchmark).
+func newClusterObs(env *sim.Env, nodes, gpusPerNode int, disableObs bool) (*kube.Cluster, error) {
+	cfg := kube.Config{DisableObs: disableObs}
 	for i := 0; i < nodes; i++ {
 		cfg.Nodes = append(cfg.Nodes, kube.NodeConfig{
 			Name: fmt.Sprintf("node-%d", i),
@@ -59,6 +66,13 @@ type SharingConfig struct {
 	Sample time.Duration
 	// Devlib overrides the device library configuration (zero = defaults).
 	Devlib core.Config
+	// DisableObs turns the telemetry runtime off for this run (the obs-off
+	// arm of the instrumentation-overhead benchmark).
+	DisableObs bool
+	// ExportTelemetry copies the run's metrics snapshot, span trace and
+	// event log into the result (they are dropped otherwise, so bulk
+	// sweeps do not retain every run's trace).
+	ExportTelemetry bool
 }
 
 // SharingResult is the outcome of one run.
@@ -74,13 +88,18 @@ type SharingResult struct {
 	Util *metrics.Series
 	// ActiveGPUs is the number of allocated GPUs over time (sampled).
 	ActiveGPUs *metrics.Series
+	// Obs, Spans and Events carry the run's telemetry when
+	// SharingConfig.ExportTelemetry was set.
+	Obs    obs.MetricsSnapshot
+	Spans  []obs.Span
+	Events []obs.EventRecord
 }
 
 // RunSharing executes a full workload run under the chosen system and
 // returns its throughput and utilization profile.
 func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	env := sim.NewEnv()
-	c, err := newCluster(env, cfg.Nodes, cfg.GPUsPerNode)
+	c, err := newClusterObs(env, cfg.Nodes, cfg.GPUsPerNode, cfg.DisableObs)
 	if err != nil {
 		return SharingResult{}, err
 	}
@@ -173,6 +192,11 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	res.Makespan = last
 	if last > 0 {
 		res.ThroughputPerMin = float64(res.Completed) / last.Minutes()
+	}
+	if cfg.ExportTelemetry {
+		res.Obs = c.Obs.Snapshot()
+		res.Spans = c.Obs.Tracer().Spans()
+		res.Events = c.Obs.Events()
 	}
 	return res, nil
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/obs"
+)
+
+// LatencyConfig drives the end-to-end latency experiment: the Fig 9
+// workload run under KubeShare with telemetry on, reporting percentiles
+// of the control-plane and device-library latency distributions the
+// observability spine records.
+type LatencyConfig struct {
+	Fig9Config
+}
+
+// LatencyResult carries the percentile table plus the raw histogram
+// snapshots for further analysis.
+type LatencyResult struct {
+	Table *metrics.Table
+	// Obs is the full registry snapshot of the run.
+	Obs obs.MetricsSnapshot
+}
+
+// latencyMetrics are the distributions the experiment reports, in table
+// order: from submission to scheduling decision, the DevMgr bind (vGPU
+// ensure + bound-pod creation), the kubelet pod sync, and the device
+// library's token-wait under sharing pressure.
+var latencyMetrics = []struct{ name, label string }{
+	{"kubeshare_sched_latency_seconds", "sched_latency"},
+	{"devmgr_bind_seconds", "bind"},
+	{"kubelet_pod_sync_seconds", "pod_sync"},
+	{"devlib_token_wait_seconds", "token_wait"},
+}
+
+// Latency runs the Fig 9 workload under KubeShare and tabulates p50/p90/p99
+// and the mean of each recorded latency distribution (seconds). The
+// scheduling-latency histogram measures submit-to-scheduled per sharePod;
+// the token-wait histogram measures every token acquire across all devices
+// — the grant-latency signal behind the paper's sharing guarantees.
+func Latency(cfg LatencyConfig) (*LatencyResult, error) {
+	c := cfg.Fig9Config.withDefaults()
+	jobs := fig9Jobs(c)
+	res, err := RunSharing(SharingConfig{
+		System:          KubeShare,
+		Nodes:           c.Nodes,
+		GPUsPerNode:     c.GPUsPerNode,
+		Jobs:            jobs,
+		ExportTelemetry: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("End-to-end latency percentiles (KubeShare, Fig 9 workload)",
+		"metric", "count", "mean_s", "p50_s", "p90_s", "p99_s")
+	for _, m := range latencyMetrics {
+		h, ok := res.Obs.Histogram(m.name)
+		if !ok {
+			h = obs.HistogramSnapshot{Name: m.name}
+		}
+		tb.AddRow(m.label, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+	}
+	return &LatencyResult{Table: tb, Obs: res.Obs}, nil
+}

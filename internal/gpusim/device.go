@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -55,6 +56,11 @@ type Device struct {
 	// freeKernels pools retired kernel structs; launch/retire churn is the
 	// hottest allocation site in cluster-scale experiments.
 	freeKernels []*kernel
+
+	// Telemetry (no-op handles when the cluster runs without obs).
+	recorder *obs.Recorder
+	launches *obs.Counter
+	faults   *obs.Counter
 }
 
 // kernel is a resident unit of GPU work.
@@ -70,6 +76,8 @@ type Config struct {
 	NodeName      string // part of the UUID derivation for uniqueness
 	MemoryBytes   int64  // defaults to DefaultMemoryBytes
 	CopyBandwidth int64  // defaults to DefaultCopyBandwidth
+	// Obs is the cluster telemetry runtime; nil disables device telemetry.
+	Obs *obs.Runtime
 }
 
 // NewDevice creates a device with a deterministic UUID derived from
@@ -90,6 +98,9 @@ func NewDevice(env *sim.Env, cfg Config) *Device {
 		memCap:   cfg.MemoryBytes,
 		copyBW:   cfg.CopyBandwidth,
 		contexts: make(map[*Context]bool),
+		recorder: cfg.Obs.EventSource("gpusim"),
+		launches: cfg.Obs.Counter("gpusim_kernel_launches_total"),
+		faults:   cfg.Obs.Counter("gpusim_device_faults_total"),
 	}
 }
 
@@ -183,6 +194,7 @@ func (d *Device) launch(ctx *Context, work time.Duration) *sim.Event {
 // synchronous path can reuse one event per context instead of allocating.
 func (d *Device) launchInto(ctx *Context, work time.Duration, done *sim.Event) {
 	d.update()
+	d.launches.Inc()
 	if work <= 0 {
 		done.Trigger(nil)
 		return
@@ -221,14 +233,23 @@ func (d *Device) InjectFault() {
 	d.active = d.active[:0]
 	d.completion.Stop()
 	d.faulted = true
+	poisoned := len(d.contexts)
 	for ctx := range d.contexts {
 		ctx.faulted = true
 	}
+	d.faults.Inc()
+	d.recorder.Eventf("GPU", d.uuid, obs.EventWarning, "DeviceFault",
+		"Xid fault: %d contexts poisoned", poisoned)
 }
 
 // ClearFault resets the device after a fault. Contexts poisoned by the
 // fault stay poisoned — their owners must close them and open fresh ones.
-func (d *Device) ClearFault() { d.faulted = false }
+func (d *Device) ClearFault() {
+	if d.faulted {
+		d.recorder.Eventf("GPU", d.uuid, obs.EventNormal, "DeviceFaultCleared", "device reset")
+	}
+	d.faulted = false
+}
 
 // Faulted reports whether the device is currently in the faulted state.
 func (d *Device) Faulted() bool { return d.faulted }

@@ -125,6 +125,18 @@ func Key(o Object) string { return o.Kind() + "/" + o.GetMeta().Name }
 // KeyOf builds a store key from a kind and name.
 func KeyOf(kind, name string) string { return kind + "/" + name }
 
+// TraceKey returns the causal-trace chain key for an object: the owner's
+// key for controller-created objects (OwnerName is already "Kind/Name"),
+// else the object's own key. This is what threads a controller-created
+// pod's scheduling and sync spans onto its owner's chain — a sharePod's
+// holder and bound pods trace under "SharePod/<name>".
+func TraceKey(o Object) string {
+	if owner := o.GetMeta().OwnerName; owner != "" {
+		return owner
+	}
+	return Key(o)
+}
+
 // --- Pod ---
 
 // PodPhase is the lifecycle phase of a pod.
@@ -279,6 +291,48 @@ func (n *Node) MatchesSelector(sel map[string]string) bool {
 		}
 	}
 	return true
+}
+
+// --- Event ---
+
+// KindEvent is the store kind of Event objects.
+const KindEvent = "Event"
+
+// Event records something notable happening to an object — the
+// Kubernetes Event resource. Events are persisted by the apiserver's
+// telemetry sink (one per distinct (involved object, reason, source,
+// type), deduplicated by bumping Count) and get the usual list/watch
+// semantics, so controllers and tests can observe them like any other
+// resource.
+type Event struct {
+	ObjectMeta
+	// InvolvedKind/InvolvedName identify the object the event is about.
+	InvolvedKind string
+	InvolvedName string
+	// Type is "Normal" or "Warning".
+	Type   string
+	Reason string
+	// Source is the reporting component, e.g. "kubelet/node-1".
+	Source  string
+	Message string
+	// Count is how many times this event occurred; FirstTime/LastTime
+	// bracket the occurrences in virtual time.
+	Count     int
+	FirstTime time.Duration
+	LastTime  time.Duration
+}
+
+// GetMeta implements Object.
+func (e *Event) GetMeta() *ObjectMeta { return &e.ObjectMeta }
+
+// Kind implements Object.
+func (e *Event) Kind() string { return KindEvent }
+
+// DeepCopyObject implements Object.
+func (e *Event) DeepCopyObject() Object {
+	out := *e
+	out.ObjectMeta = e.CloneMeta()
+	return &out
 }
 
 // --- ReplicationController ---

@@ -18,6 +18,7 @@ import (
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -39,19 +40,51 @@ type Server struct {
 	store      *store.Store
 	validators map[string][]func(api.Object) error
 	reflectors []*Reflector
+
+	// Telemetry: the cluster-wide obs runtime plus cached request
+	// counters. rt may be nil (observability off); the handles no-op.
+	rt         *obs.Runtime
+	reqWrites  *obs.Counter // create/update/delete mutations admitted
+	reqReads   *obs.Counter // get/list/count/scan calls served
+	reqWatches *obs.Counter // watch subscriptions opened (incl. resumes)
+	refResumes *obs.Counter // reflector resume-from-revision reconnects
+	refRelists *obs.Counter // reflector relist-on-gap reconnects
 }
 
-// New returns a server over a fresh store.
-func New(env *sim.Env) *Server {
-	return &Server{
+// New returns a server over a fresh store with its own enabled telemetry
+// runtime (components sharing the server share the runtime via Obs).
+func New(env *sim.Env) *Server { return NewWithObs(env, obs.New(env)) }
+
+// NewWithObs returns a server instrumented against rt. A nil rt disables
+// observability: every telemetry call site degrades to a no-op, which is
+// the obs-off arm of the instrumentation-overhead benchmark. A non-nil
+// rt gets the server installed as its event sink, persisting every
+// recorded event as an api.Event object with list/watch semantics.
+func NewWithObs(env *sim.Env, rt *obs.Runtime) *Server {
+	s := &Server{
 		env:        env,
 		store:      store.New(env),
 		validators: make(map[string][]func(api.Object) error),
+		rt:         rt,
+		reqWrites:  rt.Counter("apiserver_write_requests_total"),
+		reqReads:   rt.Counter("apiserver_read_requests_total"),
+		reqWatches: rt.Counter("apiserver_watches_total"),
+		refResumes: rt.Counter("apiserver_reflector_resumes_total"),
+		refRelists: rt.Counter("apiserver_reflector_relists_total"),
 	}
+	if rt != nil {
+		rt.SetEventSink(newEventSink(s))
+	}
+	return s
 }
 
 // Env returns the simulation environment.
 func (s *Server) Env() *sim.Env { return s.env }
+
+// Obs returns the telemetry runtime the server was built with (nil when
+// observability is off). Components constructed around the server pull
+// their instrumentation handles from here.
+func (s *Server) Obs() *obs.Runtime { return s.rt }
 
 // RegisterValidator adds an admission validator for a kind, run on Create
 // and Update. Registering custom-resource validators is how KubeShare
@@ -72,12 +105,21 @@ func (s *Server) validate(obj api.Object) error {
 	return nil
 }
 
-// Create validates and stores obj.
+// Create validates and stores obj. Every admitted create (other than
+// Events themselves) roots or extends the object's causal trace chain,
+// so a sharePod's life is traceable from the submit instant.
 func (s *Server) Create(obj api.Object) (api.Object, error) {
 	if err := s.validate(obj); err != nil {
 		return nil, err
 	}
-	return s.store.Create(obj)
+	out, err := s.store.Create(obj)
+	if err == nil {
+		s.reqWrites.Inc()
+		if out.Kind() != api.KindEvent {
+			s.rt.Tracer().Mark("apiserver", "create", api.Key(out), "")
+		}
+	}
+	return out, err
 }
 
 // Update validates and replaces obj (ErrConflict on stale version). For
@@ -87,6 +129,7 @@ func (s *Server) Update(obj api.Object) (api.Object, error) {
 	if err := s.validate(obj); err != nil {
 		return nil, err
 	}
+	s.reqWrites.Inc()
 	return s.store.Update(obj)
 }
 
@@ -96,33 +139,51 @@ func (s *Server) UpdateStatus(obj api.Object) (api.Object, error) {
 	if err := s.validate(obj); err != nil {
 		return nil, err
 	}
+	s.reqWrites.Inc()
 	return s.store.UpdateStatus(obj)
 }
 
 // Get fetches one object.
-func (s *Server) Get(kind, name string) (api.Object, error) { return s.store.Get(kind, name) }
+func (s *Server) Get(kind, name string) (api.Object, error) {
+	s.reqReads.Inc()
+	return s.store.Get(kind, name)
+}
 
 // Delete removes one object.
-func (s *Server) Delete(kind, name string) error { return s.store.Delete(kind, name) }
+func (s *Server) Delete(kind, name string) error {
+	s.reqWrites.Inc()
+	return s.store.Delete(kind, name)
+}
 
 // List returns all objects of a kind.
-func (s *Server) List(kind string) []api.Object { return s.store.List(kind + "/") }
+func (s *Server) List(kind string) []api.Object {
+	s.reqReads.Inc()
+	return s.store.List(kind + "/")
+}
 
 // ListSelector returns the kind's objects whose labels match sel, answered
 // from the store's label index.
 func (s *Server) ListSelector(kind string, sel labels.Selector) []api.Object {
+	s.reqReads.Inc()
 	return s.store.ListSelector(kind, sel)
 }
 
 // Count returns the number of objects of a kind without listing them.
-func (s *Server) Count(kind string) int { return s.store.Count(kind) }
+func (s *Server) Count(kind string) int {
+	s.reqReads.Inc()
+	return s.store.Count(kind)
+}
 
 // Scan iterates a kind's objects in name order without copying; see
 // store.Scan for the read-only contract fn must honor.
-func (s *Server) Scan(kind string, fn func(api.Object) bool) { s.store.Scan(kind, fn) }
+func (s *Server) Scan(kind string, fn func(api.Object) bool) {
+	s.reqReads.Inc()
+	s.store.Scan(kind, fn)
+}
 
 // Watch subscribes to a kind (list+watch when replay is true).
 func (s *Server) Watch(kind string, replay bool) *sim.Queue[store.Event] {
+	s.reqWatches.Inc()
 	return s.store.Watch(kind+"/", replay)
 }
 
@@ -130,6 +191,7 @@ func (s *Server) Watch(kind string, replay bool) *sim.Queue[store.Event] {
 // name and/or label selector; events the filter rejects are never
 // delivered to the subscriber.
 func (s *Server) WatchFiltered(kind string, opts WatchOptions) *sim.Queue[store.Event] {
+	s.reqWatches.Inc()
 	return s.store.WatchFiltered(kind+"/",
 		store.WatchOptions{Name: opts.Name, Selector: opts.Selector}, opts.Replay)
 }
@@ -139,6 +201,7 @@ func (s *Server) WatchFiltered(kind string, opts WatchOptions) *sim.Queue[store.
 // event history. Returns ErrGone (see IsGone) when fromRev has been
 // compacted — the caller must relist and watch fresh.
 func (s *Server) WatchResume(kind string, opts WatchOptions, fromRev int64) (*sim.Queue[store.Event], error) {
+	s.reqWatches.Inc()
 	return s.store.WatchFilteredFrom(kind+"/",
 		store.WatchOptions{Name: opts.Name, Selector: opts.Selector}, fromRev)
 }

@@ -100,6 +100,7 @@ func (r *Reflector) reconnect() {
 	q, err := r.srv.WatchResume(r.kind, r.opts, r.lastRV)
 	if err == nil {
 		r.resumes++
+		r.srv.refResumes.Inc()
 		r.q = q
 		return
 	}
@@ -108,6 +109,7 @@ func (r *Reflector) reconnect() {
 	// consumer's view. Registration, revision and list happen without a
 	// yield, so the diff is atomic with the new subscription.
 	r.relists++
+	r.srv.refRelists.Inc()
 	r.q = r.srv.WatchFiltered(r.kind, WatchOptions{Name: r.opts.Name, Selector: r.opts.Selector})
 	r.lastRV = r.srv.Revision()
 	cur := make(map[string]api.Object)

@@ -17,6 +17,7 @@ import (
 	"kubeshare/internal/kube/runtime"
 	"kubeshare/internal/kube/scheduler"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// Failure-detection knobs; zero values take the component defaults.
 	HeartbeatInterval time.Duration
 	NodeLifecycle     controller.NodeLifecycleConfig
+	// DisableObs turns the telemetry runtime off: no metrics, spans or
+	// events are recorded anywhere in the cluster (the obs-off arm of
+	// the instrumentation-overhead benchmark).
+	DisableObs bool
 }
 
 // DefaultConfig mirrors the paper's testbed: n nodes of 4 V100s each.
@@ -61,7 +66,10 @@ type Node struct {
 
 // Cluster is a fully wired control plane plus worker nodes.
 type Cluster struct {
-	Env           *sim.Env
+	Env *sim.Env
+	// Obs is the cluster-wide telemetry runtime every component is
+	// instrumented against; nil when Config.DisableObs was set.
+	Obs           *obs.Runtime
 	API           *apiserver.Server
 	Scheduler     *scheduler.Scheduler
 	RCManager     *controller.ReplicationManager
@@ -74,9 +82,14 @@ type Cluster struct {
 // NewCluster builds and starts a cluster inside env. All components begin
 // running at the current virtual instant.
 func NewCluster(env *sim.Env, cfg Config) (*Cluster, error) {
+	var rt *obs.Runtime
+	if !cfg.DisableObs {
+		rt = obs.New(env)
+	}
 	c := &Cluster{
 		Env:        env,
-		API:        apiserver.New(env),
+		Obs:        rt,
+		API:        apiserver.NewWithObs(env, rt),
 		Images:     runtime.NewImageRegistry(),
 		nodeByName: make(map[string]*Node),
 	}
@@ -96,6 +109,7 @@ func NewCluster(env *sim.Env, cfg Config) (*Cluster, error) {
 				Index:       i,
 				NodeName:    nc.Name,
 				MemoryBytes: nc.GPUMem,
+				Obs:         rt,
 			}))
 		}
 		rt := runtime.New(env, c.Images, gpus, runtime.Config{StartLatency: cfg.StartLatency})

@@ -14,6 +14,7 @@ import (
 	"kubeshare/internal/kube/deviceplugin"
 	"kubeshare/internal/kube/runtime"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -55,6 +56,13 @@ type Kubelet struct {
 	proc      *sim.Proc
 	hbProc    *sim.Proc
 	crashed   bool
+
+	// Telemetry (no-op handles when the cluster runs without obs).
+	tracer     *obs.Tracer
+	recorder   *obs.Recorder
+	syncs      *obs.Counter
+	allocFails *obs.Counter
+	syncHist   *obs.Histogram
 }
 
 // podWorker tracks one pod's containers on the node.
@@ -80,13 +88,19 @@ func New(env *sim.Env, srv *apiserver.Server, devmgr *deviceplugin.Manager, rt *
 	if cfg.Capacity == nil {
 		cfg.Capacity = api.ResourceList{api.ResourceCPU: 36000, api.ResourceMemory: 244 << 30}
 	}
+	o := srv.Obs()
 	return &Kubelet{
-		env:     env,
-		srv:     srv,
-		cfg:     cfg,
-		devmgr:  devmgr,
-		runtime: rt,
-		workers: make(map[string]*podWorker),
+		env:        env,
+		srv:        srv,
+		cfg:        cfg,
+		devmgr:     devmgr,
+		runtime:    rt,
+		workers:    make(map[string]*podWorker),
+		tracer:     o.Tracer(),
+		recorder:   o.EventSource("kubelet/" + cfg.NodeName),
+		syncs:      o.Counter("kubelet_pod_syncs_total"),
+		allocFails: o.Counter("kubelet_allocation_failures_total"),
+		syncHist:   o.Histogram("kubelet_pod_sync_seconds"),
 	}
 }
 
@@ -269,6 +283,11 @@ func (k *Kubelet) admit(pod *api.Pod) {
 	w := &podWorker{pod: pod}
 	k.workers[pod.Name] = w
 	w.proc = k.env.Go("pod-"+pod.Name, func(p *sim.Proc) {
+		// The sync span covers bind-observed to all-containers-running; it
+		// lands on the pod's causal chain (the owning sharePod's for
+		// KubeShare-managed pods).
+		span := k.tracer.Start("kubelet", "pod-sync", api.TraceKey(pod))
+		syncStart := k.env.Now()
 		p.Sleep(k.cfg.SyncLatency)
 		// Device plugin allocation phase: extended resources only; the
 		// kubelet picks instances, the plugin returns container settings.
@@ -280,8 +299,12 @@ func (k *Kubelet) admit(pod *api.Pod) {
 				}
 				resp, err := k.devmgr.Allocate(pod.UID, res, n)
 				if err != nil {
+					k.allocFails.Inc()
+					k.recorder.Eventf("Pod", pod.Name, obs.EventWarning, "FailedAllocation",
+						"device allocation of %s: %v", res, err)
 					k.failPod(pod.Name, fmt.Sprintf("device allocation: %v", err))
 					k.release(w)
+					span.EndNote("failed: device allocation")
 					return
 				}
 				for key, v := range resp.Env {
@@ -293,11 +316,14 @@ func (k *Kubelet) admit(pod *api.Pod) {
 		for _, c := range pod.Spec.Containers {
 			h, err := k.runtime.Start(pod, c, extraEnv)
 			if err != nil {
+				k.recorder.Eventf("Pod", pod.Name, obs.EventWarning, "FailedStart",
+					"start container %s: %v", c.Name, err)
 				k.failPod(pod.Name, fmt.Sprintf("start container %s: %v", c.Name, err))
 				for _, started := range w.handles {
 					k.runtime.Stop(started)
 				}
 				k.release(w)
+				span.EndNote("failed: container start")
 				return
 			}
 			w.handles = append(w.handles, h)
@@ -308,6 +334,11 @@ func (k *Kubelet) admit(pod *api.Pod) {
 		k.setPhase(pod.Name, api.PodRunning, "", func(pp *api.Pod) {
 			pp.Status.StartTime = k.env.Now()
 		})
+		k.syncs.Inc()
+		k.syncHist.ObserveDuration(k.env.Now() - syncStart)
+		k.recorder.Eventf("Pod", pod.Name, obs.EventNormal, "Started",
+			"pod running on %s", k.cfg.NodeName)
+		span.EndNote("pod=%s", pod.Name)
 		// Wait for all containers; first error decides the pod outcome.
 		// The worker entry stays in k.workers until the pod object is
 		// deleted, so stale watch snapshots can never re-admit the pod.

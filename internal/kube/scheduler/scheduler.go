@@ -16,6 +16,7 @@ import (
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -50,6 +51,12 @@ type Scheduler struct {
 	order     []*api.Pod
 	dirty     bool
 	wake      *sim.Queue[struct{}]
+
+	// Telemetry (no-op handles when the cluster runs without obs).
+	tracer   *obs.Tracer
+	binds    *obs.Counter
+	depth    *obs.Gauge
+	bindHist *obs.Histogram
 }
 
 // New creates a scheduler. Call Start to begin scheduling.
@@ -57,6 +64,7 @@ func New(env *sim.Env, srv *apiserver.Server, cfg Config) *Scheduler {
 	if cfg.BindLatency == 0 {
 		cfg.BindLatency = DefaultBindLatency
 	}
+	rt := srv.Obs()
 	return &Scheduler{
 		env:       env,
 		srv:       srv,
@@ -66,6 +74,10 @@ func New(env *sim.Env, srv *apiserver.Server, cfg Config) *Scheduler {
 		committed: make(map[string]api.ResourceList),
 		pending:   make(map[string]*api.Pod),
 		wake:      sim.NewQueue[struct{}](env),
+		tracer:    rt.Tracer(),
+		binds:     rt.Counter("scheduler_binds_total"),
+		depth:     rt.Gauge("scheduler_pending_pods"),
+		bindHist:  rt.Histogram("scheduler_bind_latency_seconds"),
 	}
 }
 
@@ -92,6 +104,7 @@ func (s *Scheduler) setPod(name string, pod *api.Pod) {
 		s.pending[name] = pod
 		s.dirty = true
 	}
+	s.depth.Set(int64(len(s.pending)))
 }
 
 func (s *Scheduler) nodeCommitted(node string) api.ResourceList {
@@ -271,4 +284,10 @@ func (s *Scheduler) scheduleOne(pod *api.Pod) {
 		return
 	}
 	s.setPod(pod.Name, updated)
+	s.binds.Inc()
+	// Bind latency is submit-to-bind; the span lands on the pod's causal
+	// chain (its owner's chain for controller-created pods, so sharePod
+	// holder/bound pods trace under their sharePod).
+	s.bindHist.ObserveDuration(s.env.Now() - pod.CreationTime)
+	s.tracer.Record("kube-scheduler", "bind", api.TraceKey(updated), "node="+node, pod.CreationTime)
 }

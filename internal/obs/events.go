@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event types, mirroring Kubernetes.
+const (
+	EventNormal  = "Normal"
+	EventWarning = "Warning"
+)
+
+// EventRecord is one emitted event: what happened (Reason/Message), to
+// which object (Kind/Name), reported by whom (Source), at what virtual
+// time. The runtime keeps an ordered in-memory log of every record; a
+// Sink (the apiserver, in a full cluster) additionally persists events
+// as first-class API objects with dedup counting.
+type EventRecord struct {
+	Time    time.Duration
+	Kind    string // involved object kind, e.g. "SharePod", "Node", "GPU"
+	Name    string // involved object name
+	Type    string // EventNormal or EventWarning
+	Reason  string // short CamelCase machine-readable cause
+	Source  string // emitting component, e.g. "kubelet/node-1"
+	Message string
+}
+
+// Sink receives every event as it is recorded. Implementations persist
+// them (the apiserver sink creates/updates api.Event objects).
+type Sink interface {
+	RecordEvent(EventRecord)
+}
+
+// SetEventSink installs the persistence sink. The in-memory log is kept
+// regardless, so telemetry consumers see events even without a cluster.
+func (r *Runtime) SetEventSink(s Sink) {
+	if r != nil {
+		r.sink = s
+	}
+}
+
+// Events returns a copy of the ordered event log.
+func (r *Runtime) Events() []EventRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]EventRecord, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Recorder emits events stamped with a fixed source component.
+type Recorder struct {
+	rt     *Runtime
+	source string
+}
+
+// EventSource returns a recorder that stamps events with source.
+func (r *Runtime) EventSource(source string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{rt: r, source: source}
+}
+
+// Eventf records an event about the object (kind, name).
+func (rec *Recorder) Eventf(kind, name, etype, reason, format string, args ...any) {
+	if rec == nil {
+		return
+	}
+	e := EventRecord{
+		Time: rec.rt.env.Now(),
+		Kind: kind, Name: name,
+		Type: etype, Reason: reason, Source: rec.source,
+		Message: fmt.Sprintf(format, args...),
+	}
+	rec.rt.events = append(rec.rt.events, e)
+	if rec.rt.sink != nil {
+		rec.rt.sink.RecordEvent(e)
+	}
+}
+
+// FormatEvents writes the event log as stable text, one line per event.
+func FormatEvents(w io.Writer, evs []EventRecord) {
+	for _, e := range evs {
+		fmt.Fprintf(w, "[%9.3fs] %-7s %-22s %s/%s (%s) %s\n",
+			e.Time.Seconds(), e.Type, e.Reason, e.Kind, e.Name, e.Source, e.Message)
+	}
+}

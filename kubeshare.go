@@ -28,6 +28,7 @@ import (
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/kube/runtime"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/workload"
 )
@@ -66,6 +67,21 @@ type (
 	WatchOptions = apiserver.WatchOptions
 	// Selector filters objects by labels (see SelectorFromMap / HasLabel).
 	Selector = labels.Selector
+	// Span is one operation in the causal trace (see Sim.Trace).
+	Span = obs.Span
+	// EventRecord is one recorded cluster event (see Sim.Events).
+	EventRecord = obs.EventRecord
+	// MetricsSnapshot is a point-in-time registry dump (see Sim.Metrics).
+	MetricsSnapshot = obs.MetricsSnapshot
+)
+
+// Trace helpers re-exported from the telemetry runtime.
+var (
+	// TraceChain filters spans down to one chain (e.g. "SharePod/hello").
+	TraceChain = obs.Chain
+	// FormatSpans and FormatEvents render deterministic text dumps.
+	FormatSpans  = obs.FormatSpans
+	FormatEvents = obs.FormatEvents
 )
 
 // Selector constructors for Sim.Watch / ListSelector filters.
@@ -111,6 +127,7 @@ type config struct {
 	ks          core.Config
 	extender    bool
 	noKubeShare bool
+	noObs       bool
 }
 
 // Option configures New.
@@ -155,6 +172,12 @@ func WithExtenderScheduler() Option { return func(c *config) { c.extender = true
 // (the native baseline).
 func WithoutKubeShare() Option { return func(c *config) { c.noKubeShare = true } }
 
+// WithoutObservability disables the telemetry runtime: no metrics, spans or
+// events are recorded anywhere in the cluster. Decisions/usage stats that
+// ride on the registry read as zero. This is the obs-off arm of the
+// instrumentation-overhead benchmark.
+func WithoutObservability() Option { return func(c *config) { c.noObs = true } }
+
 // Sim is a ready-to-use simulated cluster with KubeShare installed.
 type Sim struct {
 	// Env is the discrete-event environment; use Go/Run on the Sim for the
@@ -174,7 +197,7 @@ func New(opts ...Option) (*Sim, error) {
 		o(&cfg)
 	}
 	env := sim.NewEnv()
-	kc := kube.Config{}
+	kc := kube.Config{DisableObs: cfg.noObs}
 	for i := 0; i < cfg.nodes; i++ {
 		kc.Nodes = append(kc.Nodes, kube.NodeConfig{
 			Name:   fmt.Sprintf("node-%d", i),
@@ -345,37 +368,24 @@ func (s *Sim) usageRate(sp *SharePod) float64 {
 	return total
 }
 
-// UsageRate returns a running sharePod's current sliding-window GPU usage
-// share. It returns 0 for sharePods that are not running.
-//
-// Deprecated: use Stats().Usage[name] for the cluster-wide view.
-func (s *Sim) UsageRate(name string) float64 {
-	if s.KS == nil {
-		return 0
-	}
-	sp, err := s.SharePods().Get(name)
-	if err != nil {
-		return 0
-	}
-	return s.usageRate(sp)
-}
+// Metrics returns a point-in-time snapshot of every counter, gauge and
+// histogram in the cluster's telemetry registry, sorted by name. The
+// snapshot is empty when the Sim was built WithoutObservability.
+func (s *Sim) Metrics() MetricsSnapshot { return s.Cluster.Obs.Snapshot() }
 
-// WaitSharePod parks p until the named sharePod reaches a terminal phase
-// and returns it. The subscription is filtered by kind and name in the
-// store, so unrelated cluster events never wake the waiter.
-//
-// Deprecated: use Watch(KindSharePod, WatchOptions{Name: name, Replay:
-// true}) directly for non-blocking or multi-object variants.
-func (s *Sim) WaitSharePod(p *sim.Proc, name string) (*SharePod, error) {
-	q := s.Watch(KindSharePod, WatchOptions{Name: name, Replay: true})
-	defer s.StopWatch(q)
-	for {
-		ev, ok := q.Get(p)
-		if !ok {
-			return nil, fmt.Errorf("kubeshare: watch closed waiting for %s", name)
-		}
-		if sp, isSP := ev.Object.(*core.SharePod); isSP && sp.Terminated() {
-			return sp, nil
-		}
-	}
+// Trace returns a copy of every span recorded so far, in creation order.
+// Spans carry causal parent links within their chain key; filter one
+// object's chain with TraceChain(s.Trace(), "SharePod/<name>").
+func (s *Sim) Trace() []Span { return s.Cluster.Obs.Tracer().Spans() }
+
+// Events returns the ordered log of every cluster event recorded so far
+// (scheduling rejections, vGPU lifecycle, device faults, chaos, ...). The
+// same events are persisted as deduplicated api.Event objects, watchable
+// via Watch("Event", ...).
+func (s *Sim) Events() []EventRecord { return s.Cluster.Obs.Events() }
+
+// EventObjects returns the persisted api.Event objects (deduplicated by
+// involved object + reason, with occurrence counts), sorted by name.
+func (s *Sim) EventObjects() []*api.Event {
+	return apiserver.Events(s.Cluster.API).List()
 }

@@ -28,9 +28,18 @@ func TestFacadeQuickstart(t *testing.T) {
 			t.Errorf("create: %v", err)
 			return
 		}
-		got, err = s.WaitSharePod(p, "hello")
-		if err != nil {
-			t.Errorf("wait: %v", err)
+		q := s.Watch(KindSharePod, WatchOptions{Name: "hello", Replay: true})
+		defer s.StopWatch(q)
+		for {
+			ev, ok := q.Get(p)
+			if !ok {
+				t.Error("watch closed waiting for hello")
+				return
+			}
+			if sp := ev.Object.(*SharePod); sp.Terminated() {
+				got = sp
+				return
+			}
 		}
 	})
 	s.Run()
@@ -160,12 +169,13 @@ func TestFacadeUsageRate(t *testing.T) {
 		})
 	})
 	s.RunFor(30 * time.Second)
-	rate := s.UsageRate("spin")
+	usage := s.Stats().Usage
+	rate := usage["spin"]
 	if rate < 0.5 || rate > 0.65 {
 		t.Fatalf("usage rate %.3f, want ≈0.6 (throttled at limit)", rate)
 	}
-	if s.UsageRate("ghost") != 0 {
-		t.Fatal("unknown sharePod has nonzero usage")
+	if _, ok := usage["ghost"]; ok {
+		t.Fatal("unknown sharePod has usage entry")
 	}
 }
 
@@ -253,5 +263,125 @@ func TestFacadeStats(t *testing.T) {
 	// is reporting usage.
 	if len(st.Usage) != 0 {
 		t.Fatalf("usage reported for terminated sharePods: %v", st.Usage)
+	}
+}
+
+// TestFacadeTraceCausalChain drives one sharePod to completion and checks
+// that its life is reconstructable from Sim.Trace() as a single causally
+// linked chain crossing all six instrumented layers.
+func TestFacadeTraceCausalChain(t *testing.T) {
+	s, err := New(WithNodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("traced", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 100*time.Millisecond)
+	})
+	s.Go("main", func(p *sim.Proc) {
+		s.CreateSharePod(&SharePod{
+			ObjectMeta: ObjectMeta{Name: "traced"},
+			Spec: SharePodSpec{
+				GPURequest: 0.5, GPULimit: 1, GPUMem: 0.25,
+				Pod: PodSpec{Containers: []Container{{Name: "c", Image: "traced"}}},
+			},
+		})
+	})
+	s.Run()
+
+	chain := TraceChain(s.Trace(), "SharePod/traced")
+	want := []struct{ component, op string }{
+		{"apiserver", "create"},
+		{"kubeshare-sched", "schedule"},
+		{"devmgr", "bind"},
+		{"devmgr", "holder-ready"},
+		{"kubelet", "pod-sync"},
+		{"devlib", "token-grant"},
+		{"gpusim", "kernel-launch"},
+	}
+	var gotOps []string
+	for _, sp := range chain {
+		gotOps = append(gotOps, sp.Component+"/"+sp.Op)
+	}
+	idx := 0
+	for _, sp := range chain {
+		if idx < len(want) && sp.Component == want[idx].component && sp.Op == want[idx].op {
+			idx++
+		}
+	}
+	if idx != len(want) {
+		t.Fatalf("chain missing milestone %s/%s; got %v", want[idx].component, want[idx].op, gotOps)
+	}
+	// Every span after the root must be causally linked within the chain.
+	ids := map[int64]bool{}
+	for i, sp := range chain {
+		ids[sp.ID] = true
+		if i == 0 {
+			if sp.Parent != 0 {
+				t.Fatalf("root span has parent %d", sp.Parent)
+			}
+			continue
+		}
+		if !ids[sp.Parent] {
+			t.Fatalf("span #%d (%s/%s) parent #%d not in chain", sp.ID, sp.Component, sp.Op, sp.Parent)
+		}
+	}
+
+	// Metrics and events from the same run.
+	m := s.Metrics()
+	if m.Counter("kubeshare_sched_decisions_total") == 0 {
+		t.Fatal("no decisions counted")
+	}
+	if m.Counter("devmgr_vgpu_creates_total") != 1 {
+		t.Fatalf("vgpu creates = %d", m.Counter("devmgr_vgpu_creates_total"))
+	}
+	if h, ok := m.Histogram("kubeshare_sched_latency_seconds"); !ok || h.Count == 0 {
+		t.Fatal("scheduling-latency histogram empty")
+	}
+	found := false
+	for _, ev := range s.Events() {
+		if ev.Source == "kubelet/node-0" && ev.Reason == "Started" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no kubelet Started event in %d events", len(s.Events()))
+	}
+	// Events are also persisted as first-class objects.
+	if len(s.EventObjects()) == 0 {
+		t.Fatal("no api.Event objects persisted")
+	}
+}
+
+func TestFacadeWithoutObservability(t *testing.T) {
+	s, err := New(WithoutObservability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterImage("dark", func(ctx *ContainerCtx) error {
+		return ctx.CUDA.LaunchKernel(ctx.Proc, 50*time.Millisecond)
+	})
+	s.Go("main", func(p *sim.Proc) {
+		s.CreateSharePod(&SharePod{
+			ObjectMeta: ObjectMeta{Name: "dark"},
+			Spec: SharePodSpec{
+				GPURequest: 0.5, GPULimit: 1, GPUMem: 0.25,
+				Pod: PodSpec{Containers: []Container{{Name: "c", Image: "dark"}}},
+			},
+		})
+	})
+	s.Run()
+	sp, err := s.SharePods().Get("dark")
+	if err != nil || sp.Status.Phase != SharePodSucceeded {
+		t.Fatalf("sharePod = %+v err=%v", sp, err)
+	}
+	if n := len(s.Trace()); n != 0 {
+		t.Fatalf("obs-off run recorded %d spans", n)
+	}
+	if n := len(s.Events()); n != 0 {
+		t.Fatalf("obs-off run recorded %d events", n)
+	}
+	m := s.Metrics()
+	if len(m.Counters)+len(m.Gauges)+len(m.Histograms) != 0 {
+		t.Fatalf("obs-off run registered metrics: %+v", m)
 	}
 }

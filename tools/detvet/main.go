@@ -1,0 +1,163 @@
+// Command detvet enforces the repository's determinism rules on simulation
+// code: files under the given roots must not read the wall clock
+// (time.Now), print to stdout (fmt.Print*), or import the global random
+// number generator (math/rand). Every source of time and randomness must
+// flow through sim.Env and simrand so a seeded run is bit-reproducible.
+//
+// Usage:
+//
+//	go run ./tools/detvet ./internal
+//
+// Test files (_test.go) and testdata directories are skipped. The
+// internal/simrand package is exempt — it is the seeded wrapper the rule
+// funnels everyone else through. A line ending in a "//det:allow" comment
+// is exempt; use it for deliberately injectable wall-clock defaults that
+// only run off-simulation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// exemptDirs are package directories (slash-separated suffixes) the rules
+// do not apply to.
+var exemptDirs = []string{"internal/simrand"}
+
+// bannedImports are import paths simulation code must not use.
+var bannedImports = map[string]string{
+	"math/rand":    "use kubeshare/internal/simrand (seeded streams) instead",
+	"math/rand/v2": "use kubeshare/internal/simrand (seeded streams) instead",
+}
+
+// bannedSelectors maps package import path -> selector -> reason.
+var bannedSelectors = map[string]map[string]string{
+	"time": {
+		"Now": "use sim.Env.Now (virtual clock) instead",
+	},
+	"fmt": {
+		"Print":   "simulation code must not write to stdout; return data or use obs",
+		"Printf":  "simulation code must not write to stdout; return data or use obs",
+		"Println": "simulation code must not write to stdout; return data or use obs",
+	},
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detvet <dir> [dir ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				dir := filepath.ToSlash(path)
+				for _, ex := range exemptDirs {
+					if strings.HasSuffix(dir, ex) {
+						return filepath.SkipDir
+					}
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			bad += checkFile(path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "detvet: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile parses one file and reports its violations.
+func checkFile(path string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detvet: %v\n", err)
+		return 1
+	}
+
+	// Lines carrying a //det:allow comment are exempt.
+	allowed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "det:allow") {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	bad := 0
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", p.Filename, p.Line, p.Column, msg)
+		bad++
+	}
+
+	// localName maps the in-file identifier of each watched import to its
+	// import path ("time", "fmt"), honouring renamed imports.
+	localName := map[string]string{}
+	for _, imp := range f.Imports {
+		ip, _ := strconv.Unquote(imp.Path.Value)
+		if reason, banned := bannedImports[ip]; banned {
+			report(imp.Pos(), fmt.Sprintf("import %q forbidden: %s", ip, reason))
+		}
+		if _, watched := bannedSelectors[ip]; watched {
+			name := filepath.Base(ip)
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				localName[name] = ip
+			}
+		}
+	}
+	if len(localName) == 0 {
+		return bad
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Obj != nil { // Obj != nil means a local shadows the package name
+			return true
+		}
+		ip, watched := localName[ident.Name]
+		if !watched {
+			return true
+		}
+		if reason, banned := bannedSelectors[ip][sel.Sel.Name]; banned {
+			report(sel.Pos(), fmt.Sprintf("%s.%s forbidden: %s", ident.Name, sel.Sel.Name, reason))
+		}
+		return true
+	})
+	return bad
+}
