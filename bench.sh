@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# bench.sh — measure the simulation-substrate benchmarks and emit
-# BENCH_sim.json.
+# bench.sh — measure the simulation-substrate benchmarks plus the
+# observability-spine overhead and append one dated record to BENCH.json.
 #
 # Usage:
 #   ./bench.sh                 # measure the current tree only
@@ -16,12 +16,21 @@
 # back-to-back and the minimum over rounds is reported for both sides.
 # Allocation counts (allocs/op) are exact and machine-independent; prefer
 # them when judging the result.
+#
+# The obs_overhead section runs BenchmarkFig9Obs/on and /off (the identical
+# Figure 9 KubeShare workload with telemetry recording enabled vs disabled),
+# each arm in its own `go test` process so one arm's heap/GC state cannot
+# color the other. Budget: on/off - 1 <= 5%.
+#
+# BENCH.json accumulates every run as a dated record (oldest first);
+# tools/benchmerge does the JSON appending.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 COUNT="${COUNT:-3}"
+OBS_COUNT="${OBS_COUNT:-5}"
 BASELINE_REF="${BASELINE_REF:-}"
-OUT="${OUT:-BENCH_sim.json}"
+OUT="${OUT:-BENCH.json}"
 
 MICRO='BenchmarkTimerChurn|BenchmarkProcContextSwitch|BenchmarkQueueHandoff|BenchmarkManyProcs|BenchmarkSimKernel'
 FIGS='BenchmarkFig8aJobFrequency|BenchmarkFig9Utilization'
@@ -49,7 +58,9 @@ fi
 
 NEW_RAW="$(mktemp)"
 BASE_RAW="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW"; cleanup' EXIT
+OBS_RAW="$(mktemp)"
+RECORD="$(mktemp)"
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -59,6 +70,14 @@ for ((i = 1; i <= COUNT; i++)); do
   fi
   run_micro . >>"$NEW_RAW"
   run_figs . >>"$NEW_RAW"
+done
+
+for ((i = 1; i <= OBS_COUNT; i++)); do
+  echo "obs round $i/$OBS_COUNT..." >&2
+  for arm in on off; do
+    go test . -run xxx -bench "BenchmarkFig9Obs/$arm\$" -benchtime 3x 2>/dev/null |
+      grep '^BenchmarkFig9Obs' >>"$OBS_RAW"
+  done
 done
 
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
@@ -76,9 +95,19 @@ allocs_of() {
 
 BENCHES='BenchmarkTimerChurn BenchmarkProcContextSwitch BenchmarkQueueHandoff BenchmarkManyProcs BenchmarkSimKernelSameInstant BenchmarkSimKernelTimerStop BenchmarkSimKernelDeepHeap BenchmarkFig8aJobFrequency BenchmarkFig9Utilization'
 
+ON="$(min_ns "$OBS_RAW" 'BenchmarkFig9Obs/on')"
+OFF="$(min_ns "$OBS_RAW" 'BenchmarkFig9Obs/off')"
+if [ -z "$ON" ] || [ -z "$OFF" ]; then
+  echo "bench.sh: BenchmarkFig9Obs produced no output" >&2
+  exit 1
+fi
+OVERHEAD="$(awk -v on="$ON" -v off="$OFF" 'BEGIN { printf "%.4f", on / off - 1 }')"
+WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')"
+
 {
   echo '{'
-  echo '  "generated_by": "bench.sh",'
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
   echo "  \"go\": \"$(go version | awk '{print $3}')\","
   echo "  \"cpus\": $(nproc),"
   echo "  \"rounds\": $COUNT,"
@@ -109,7 +138,17 @@ BENCHES='BenchmarkTimerChurn BenchmarkProcContextSwitch BenchmarkQueueHandoff Be
     printf '}'
   done
   echo ''
+  echo '  },'
+  echo '  "obs_overhead": {'
+  echo '    "benchmark": "BenchmarkFig9Obs (Figure 9 KubeShare arm, quick scale, labeled metrics)",'
+  echo "    \"rounds\": $OBS_COUNT,"
+  echo "    \"on_ns\": $ON,"
+  echo "    \"off_ns\": $OFF,"
+  echo "    \"overhead\": $OVERHEAD,"
+  echo "    \"within_budget\": $WITHIN"
   echo '  }'
   echo '}'
-} >"$OUT"
-echo "wrote $OUT" >&2
+} >"$RECORD"
+
+go run ./tools/benchmerge -out "$OUT" <"$RECORD"
+echo "appended record to $OUT (obs overhead $(awk -v o="$OVERHEAD" 'BEGIN { printf "%.1f%%", o * 100 }'))" >&2

@@ -170,7 +170,7 @@ func BenchmarkFig9Utilization(b *testing.B) {
 // observability spine on and off — the instrumentation-overhead check. Both
 // sub-benchmarks run identical simulations; the only difference is whether
 // every layer's spans, events and metrics are being recorded. The recorded
-// overhead budget is ≤5% wall-clock (see BENCH_obs.json / bench_obs.sh).
+// overhead budget is ≤5% wall-clock (see the obs_overhead record in BENCH.json).
 func BenchmarkFig9Obs(b *testing.B) {
 	cfg := experiments.Fig9Config{Fig8Config: fig8Scale, FreqFactor: 2.5}
 	for _, arm := range []struct {

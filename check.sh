@@ -7,12 +7,21 @@ set -ex
 go build ./...
 go vet ./...
 # Determinism vet: simulation code must not read the wall clock, print to
-# stdout, or use the global RNG (see tools/detvet).
+# stdout, or use the global RNG; metric names must be kubeshare_-prefixed
+# snake_case with label keys from the bounded vocabulary (see tools/detvet).
 go run ./tools/detvet ./internal
 go test ./...
+# Telemetry export surface: the SLO alert engine and fairness auditor must
+# replay byte-identically at a fixed seed, and every `kubeshare-sim serve`
+# endpoint must answer over HTTP (httptest smoke in cmd/kubeshare-sim).
+go test -run 'TestAlertDeterminismGolden|TestAuditDeterminismGolden' ./internal/experiments/
+go test -run TestServeEndpoints ./cmd/kubeshare-sim/
 go test -race ./internal/kube/... ./internal/core/...
 go test -race ./internal/sim/... ./internal/devlib/...
 GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden|TestTraceDeterminismGolden' ./internal/experiments/
+# Labeled-family interning and the TSDB under the race detector: family
+# lookup is the one obs path exercised off the simulation goroutine.
+GOMAXPROCS=4 go test -race ./internal/obs/...
 # Chaos soak under the race detector: the multi-seed recovery suite (node
 # crashes, holder kills, device faults, watch drops) must satisfy every
 # quiescence invariant; failures print the seed to reproduce. The plain
@@ -22,5 +31,5 @@ GOMAXPROCS=4 go test -race ./internal/chaos/
 # setup (not the unit tests) is caught here.
 go test ./internal/sim/ -run xxx -bench BenchmarkSimKernel -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
-# workload); ./bench_obs.sh measures it properly into BENCH_obs.json.
+# workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

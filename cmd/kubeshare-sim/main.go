@@ -5,6 +5,8 @@
 //
 //	kubeshare-sim [-scale quick|full] [-csv] [-seed N] [experiment ...]
 //	kubeshare-sim [-seed N] trace [key]
+//	kubeshare-sim [-scale quick|full] [-seed N] serve [-addr HOST:PORT] [-speed X]
+//	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
 // fig12 fig13 fig14 latency, or "all" (the default). Full scale matches the
@@ -17,6 +19,15 @@
 // kernel launch — followed by the events involving it. The default key is
 // SharePod/job-000; pass any trace key (e.g. "VGPU/vgpu-0001") to follow a
 // different chain, or "all" for the complete span log.
+//
+// The serve subcommand replays the seeded Fig 9 sharing workload paced
+// against the wall clock and exports its telemetry over HTTP: a Prometheus
+// /metrics scrape endpoint, /series TSDB range queries, /alerts SLO states,
+// the /audit fairness report and NDJSON /trace and /events logs.
+//
+// The audit subcommand runs the per-tenant fairness audit and prints the
+// token-share accounting and per-GPU Jain-index tables; the output is
+// byte-identical across runs at the same seed.
 package main
 
 import (
@@ -163,18 +174,6 @@ func main() {
 		return
 	}
 
-	if args := flag.Args(); len(args) > 0 && args[0] == "trace" {
-		key := "SharePod/job-000"
-		if len(args) > 1 {
-			key = args[1]
-		}
-		if err := runTrace(key, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-
 	full := false
 	switch *scale {
 	case "quick":
@@ -183,6 +182,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		switch args[0] {
+		case "trace":
+			key := "SharePod/job-000"
+			if len(args) > 1 {
+				key = args[1]
+			}
+			if err := runTrace(key, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case "serve":
+			if err := runServe(args[1:], *seed, full); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case "audit":
+			if err := runAudit(*seed, full, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 
 	names := flag.Args()

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"kubeshare/internal/kube"
+	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/obs"
+)
+
+// Auditor is the per-tenant fairness accountant: each sampling window it
+// differences every tenant's granted-token time (the devlib hold counters)
+// against the wall of the window, compares the resulting compute share with
+// the tenant's configured gpu_request/gpu_limit, and condenses each GPU's
+// tenant ratios into Jain's fairness index. Results are exposed two ways:
+// live, as float gauges the scrape endpoint serves
+// (kubeshare_tenant_token_share_ratio, kubeshare_gpu_fairness_jain), and
+// post-hoc, as the deterministic tables behind `kubeshare-sim audit`.
+type Auditor struct {
+	pods     apiserver.Client[*SharePod]
+	holdVec  *obs.CounterVec
+	shareVec *obs.FloatGaugeVec
+	ratioVec *obs.FloatGaugeVec
+	jainVec  *obs.FloatGaugeVec
+	reqVec   *obs.FloatGaugeVec
+	limVec   *obs.FloatGaugeVec
+
+	prev    map[string]int64 // gpu+tenant -> hold ns at the last sample
+	last    time.Duration
+	windows []AuditWindow
+}
+
+// TenantShare is one tenant's accounting over one window on one GPU.
+type TenantShare struct {
+	GPU    string
+	Tenant string
+	// Share is the fraction of the window the tenant held the token.
+	Share float64
+	// Request and Limit are the sharePod's configured bounds.
+	Request float64
+	Limit   float64
+	// Ratio is Share/Request — 1.0 means the guarantee was exactly met.
+	// Tenants with no live sharePod report 1.0 (no outstanding demand).
+	Ratio float64
+	// Active reports whether the tenant's sharePod was live this window.
+	Active bool
+}
+
+// AuditWindow is one sampling interval's full accounting.
+type AuditWindow struct {
+	From, To time.Duration
+	Tenants  []TenantShare      // sorted by (GPU, Tenant)
+	Jain     map[string]float64 // per-GPU Jain index over active ratios
+}
+
+// NewAuditor builds an auditor over the cluster's telemetry runtime. With
+// observability disabled it still works structurally but sees no hold
+// counters, so every report is empty.
+func NewAuditor(c *kube.Cluster) *Auditor {
+	rt := c.Obs
+	return &Auditor{
+		pods:     SharePods(c.API),
+		holdVec:  rt.CounterVec("kubeshare_devlib_token_hold_ns_total", "gpu_uuid", "tenant"),
+		shareVec: rt.FloatGaugeVec("kubeshare_tenant_token_share", "gpu_uuid", "tenant"),
+		ratioVec: rt.FloatGaugeVec("kubeshare_tenant_token_share_ratio", "gpu_uuid", "tenant"),
+		jainVec:  rt.FloatGaugeVec("kubeshare_gpu_fairness_jain", "gpu_uuid"),
+		reqVec:   rt.FloatGaugeVec("kubeshare_tenant_gpu_request", "tenant"),
+		limVec:   rt.FloatGaugeVec("kubeshare_tenant_gpu_limit", "tenant"),
+		prev:     map[string]int64{},
+	}
+}
+
+// Sample closes the current window at virtual time now: hold-counter deltas
+// become shares and ratios, gauges are refreshed, and the window is
+// appended to the report. An in-flight token hold (shorter than one quota)
+// is attributed to the window in which it is reclaimed, which keeps the
+// accounting deterministic.
+func (a *Auditor) Sample(now time.Duration) {
+	interval := now - a.last
+	if interval <= 0 {
+		return
+	}
+	type spec struct {
+		req, lim float64
+		active   bool
+	}
+	specs := map[string]spec{}
+	a.pods.Scan(func(sp *SharePod) bool {
+		sh := sp.Spec.Share()
+		specs[sp.Name] = spec{sh.Request, sh.EffectiveLimit(), !sp.Terminated()}
+		a.reqVec.With(sp.Name).Set(sh.Request)
+		a.limVec.With(sp.Name).Set(sh.EffectiveLimit())
+		return true
+	})
+	win := AuditWindow{From: a.last, To: now, Jain: map[string]float64{}}
+	perGPU := map[string][]float64{}
+	a.holdVec.Each(func(labels []obs.Label, v int64) {
+		gpu, tenant := labels[0].Value, labels[1].Value
+		key := gpu + "\xff" + tenant
+		delta := v - a.prev[key]
+		a.prev[key] = v
+		share := float64(delta) / float64(interval)
+		sp := specs[tenant]
+		// Ratio semantics: an absent or finished sharePod has no demand, so
+		// its guarantee is vacuously met — without this, every completed
+		// tenant would read as permanently starved.
+		ratio := 1.0
+		if sp.active && sp.req > 0 {
+			ratio = share / sp.req
+			perGPU[gpu] = append(perGPU[gpu], ratio)
+		}
+		a.shareVec.With(gpu, tenant).Set(share)
+		a.ratioVec.With(gpu, tenant).Set(ratio)
+		win.Tenants = append(win.Tenants, TenantShare{
+			GPU: gpu, Tenant: tenant, Share: share,
+			Request: sp.req, Limit: sp.lim, Ratio: ratio, Active: sp.active,
+		})
+	})
+	// Each visits children in sorted-key order, but the 0xff separator does
+	// not sort like the report's (GPU, Tenant) columns; normalize.
+	sort.Slice(win.Tenants, func(i, j int) bool {
+		if win.Tenants[i].GPU != win.Tenants[j].GPU {
+			return win.Tenants[i].GPU < win.Tenants[j].GPU
+		}
+		return win.Tenants[i].Tenant < win.Tenants[j].Tenant
+	})
+	for gpu, xs := range perGPU {
+		j := jain(xs)
+		win.Jain[gpu] = j
+		a.jainVec.With(gpu).Set(j)
+	}
+	a.windows = append(a.windows, win)
+	a.last = now
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²) over the ratios; 1.0
+// is perfectly fair. An empty or all-zero set is vacuously fair.
+func jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Windows returns the accumulated per-interval accounting.
+func (a *Auditor) Windows() []AuditWindow { return a.windows }
+
+// Report condenses the audit into two deterministic tables: per-(GPU,
+// tenant) token accounting averaged over the tenant's active windows, and
+// per-GPU Jain statistics over windows with at least one active tenant.
+func (a *Auditor) Report() (shares, fairness *metrics.Table) {
+	type acc struct {
+		share, ratio, req, lim float64
+		n                      int
+	}
+	perTenant := map[[2]string]*acc{}
+	var tenantKeys [][2]string
+	type jacc struct {
+		sum, min, last float64
+		n              int
+	}
+	perGPU := map[string]*jacc{}
+	var gpuKeys []string
+	for _, w := range a.windows {
+		for _, t := range w.Tenants {
+			if !t.Active {
+				continue
+			}
+			k := [2]string{t.GPU, t.Tenant}
+			c, ok := perTenant[k]
+			if !ok {
+				c = &acc{}
+				perTenant[k] = c
+				tenantKeys = append(tenantKeys, k)
+			}
+			c.share += t.Share
+			c.ratio += t.Ratio
+			c.req, c.lim = t.Request, t.Limit
+			c.n++
+		}
+		for gpu, j := range w.Jain {
+			c, ok := perGPU[gpu]
+			if !ok {
+				c = &jacc{min: j}
+				perGPU[gpu] = c
+				gpuKeys = append(gpuKeys, gpu)
+			}
+			c.sum += j
+			if j < c.min {
+				c.min = j
+			}
+			c.last = j
+			c.n++
+		}
+	}
+	sort.Slice(tenantKeys, func(i, j int) bool {
+		if tenantKeys[i][0] != tenantKeys[j][0] {
+			return tenantKeys[i][0] < tenantKeys[j][0]
+		}
+		return tenantKeys[i][1] < tenantKeys[j][1]
+	})
+	sort.Strings(gpuKeys)
+	shares = metrics.NewTable("Per-tenant token accounting (active windows)",
+		"gpu_uuid", "tenant", "request", "limit", "mean_share", "mean_ratio", "windows")
+	for _, k := range tenantKeys {
+		c := perTenant[k]
+		shares.AddRow(k[0], k[1], c.req, c.lim,
+			c.share/float64(c.n), c.ratio/float64(c.n), c.n)
+	}
+	fairness = metrics.NewTable("Per-GPU fairness (Jain index over tenant share/request ratios)",
+		"gpu_uuid", "windows", "jain_mean", "jain_min", "jain_last")
+	for _, gpu := range gpuKeys {
+		c := perGPU[gpu]
+		fairness.AddRow(gpu, c.n, c.sum/float64(c.n), c.min, c.last)
+	}
+	return shares, fairness
+}

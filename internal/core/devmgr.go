@@ -138,11 +138,11 @@ func NewDevMgr(env *sim.Env, srv *apiserver.Server, cfg DevMgrConfig) *DevMgr {
 		backends:      make(map[string]*devlib.Backend),
 		tracer:        rt.Tracer(),
 		recorder:      rt.EventSource("kubeshare-devmgr"),
-		vgpuCreates:   rt.Counter("devmgr_vgpu_creates_total"),
-		recoveries:    rt.Counter("devmgr_vgpu_recoveries_total"),
-		recoveryFails: rt.Counter("devmgr_vgpu_recovery_fails_total"),
-		binds:         rt.Counter("devmgr_binds_total"),
-		bindHist:      rt.Histogram("devmgr_bind_seconds"),
+		vgpuCreates:   rt.Counter("kubeshare_devmgr_vgpu_creates_total"),
+		recoveries:    rt.Counter("kubeshare_devmgr_vgpu_recoveries_total"),
+		recoveryFails: rt.Counter("kubeshare_devmgr_vgpu_recovery_fails_total"),
+		binds:         rt.Counter("kubeshare_devmgr_binds_total"),
+		bindHist:      rt.Histogram("kubeshare_devmgr_bind_seconds"),
 	}
 }
 

@@ -151,12 +151,14 @@ func (b *Backend) Managers() map[string]*TokenManager {
 // client is the backend's view of one container on the device.
 type client struct {
 	id       string
+	tenant   string  // owning sharePod name; defaults to id until SetTenant
 	request  float64 // guaranteed minimum usage share (gpu_request)
 	limit    float64 // maximum usage share (gpu_limit)
 	window   *metrics.UsageWindow
 	queued   *sim.Event // pending acquire, nil when none
 	acquire  *sim.Event // cached acquire event, Reset and reused per Acquire
 	enqueued time.Duration
+	hold     *obs.Counter // cached kubeshare_devlib_token_hold_ns_total child
 }
 
 // TokenManager schedules one device's token among its registered clients.
@@ -182,11 +184,15 @@ type TokenManager struct {
 	// down marks the manager suspended (its vGPU pod died); see Suspend.
 	down bool
 
-	// Telemetry handles (no-ops when Config.Obs is nil).
+	// Telemetry handles (no-ops when Config.Obs is nil). grants/throttles/
+	// waitHist are this device's children of the gpu_uuid-labeled families;
+	// holdVec is kept as the family because its second label (tenant) varies
+	// per client.
 	recorder  *obs.Recorder
 	grants    *obs.Counter
 	throttles *obs.Counter
 	waitHist  *obs.Histogram
+	holdVec   *obs.CounterVec
 }
 
 // NewTokenManager creates a manager for one device.
@@ -197,9 +203,10 @@ func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
 		cfg:       cfg.withDefaults(),
 		clients:   make(map[string]*client),
 		recorder:  cfg.Obs.EventSource("devlib"),
-		grants:    cfg.Obs.Counter("devlib_token_grants_total"),
-		throttles: cfg.Obs.Counter("devlib_throttle_retries_total"),
-		waitHist:  cfg.Obs.Histogram("devlib_token_wait_seconds"),
+		grants:    cfg.Obs.CounterVec("kubeshare_devlib_token_grants_total", "gpu_uuid").With(uuid),
+		throttles: cfg.Obs.CounterVec("kubeshare_devlib_throttle_retries_total", "gpu_uuid").With(uuid),
+		waitHist:  cfg.Obs.HistogramVec("kubeshare_devlib_token_wait_seconds", "gpu_uuid").With(uuid),
+		holdVec:   cfg.Obs.CounterVec("kubeshare_devlib_token_hold_ns_total", "gpu_uuid", "tenant"),
 	}
 	m.retryFn = m.trySchedule
 	m.expireFn = m.reclaim
@@ -226,11 +233,26 @@ func (m *TokenManager) Register(id string, request, limit float64) error {
 	}
 	m.clients[id] = &client{
 		id:      id,
+		tenant:  id,
 		request: request,
 		limit:   limit,
 		window:  metrics.NewUsageWindow(m.cfg.Window),
 	}
 	return nil
+}
+
+// SetTenant attributes id's granted-token time to tenant (the owning
+// sharePod) in the kubeshare_devlib_token_hold_ns_total family. Frontends
+// call it right after Register — including after a reconnect re-register —
+// so the attribution survives manager suspend/resume. Unknown ids and empty
+// tenants are ignored.
+func (m *TokenManager) SetTenant(id, tenant string) {
+	c, ok := m.clients[id]
+	if !ok || tenant == "" || c.tenant == tenant {
+		return
+	}
+	c.tenant = tenant
+	c.hold = nil // re-fetched lazily under the new tenant label
 }
 
 // Unregister removes a container: pending acquires are abandoned and a held
@@ -400,6 +422,13 @@ func (m *TokenManager) reclaim() {
 	now := m.env.Now()
 	if m.holder != nil {
 		m.holder.window.AddSpan(m.grant, now)
+		// The hold child is fetched on first reclaim rather than at Register,
+		// so clients that never run a kernel leave no zero-valued series and
+		// the label reflects the tenant set by install time.
+		if m.holder.hold == nil {
+			m.holder.hold = m.holdVec.With(m.uuid, m.holder.tenant)
+		}
+		m.holder.hold.Add(int64(now - m.grant))
 		m.holder = nil
 	}
 	m.expiry.Stop()

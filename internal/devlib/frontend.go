@@ -3,6 +3,7 @@ package devlib
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"kubeshare/internal/cuda"
@@ -86,8 +87,12 @@ type Frontend struct {
 
 	// Trace milestones: the first token grant and first kernel launch are
 	// marked once onto the chain named by traceKey (see SetTraceKey).
+	// tenant is the owning sharePod name derived from the key; it labels the
+	// client's token-hold attribution and is re-applied on every re-register
+	// so it survives manager suspend/resume.
 	tracer      *obs.Tracer
 	traceKey    string
+	tenant      string
 	markedGrant bool
 	markedFirst bool
 
@@ -141,8 +146,13 @@ func NewFrontend(base cuda.API, mgr *TokenManager, clientID string, share Share)
 // SetTraceKey names the causal-trace chain the frontend's milestones (first
 // token grant, first kernel launch) attach to — typically the owning
 // sharePod's "SharePod/<name>" key. Without a key the frontend records no
-// trace marks.
-func (f *Frontend) SetTraceKey(key string) { f.traceKey = key }
+// trace marks. The sharePod name doubles as the tenant label on the
+// container's token-hold metrics.
+func (f *Frontend) SetTraceKey(key string) {
+	f.traceKey = key
+	f.tenant = strings.TrimPrefix(key, "SharePod/")
+	f.mgr.SetTenant(f.clientID, f.tenant)
+}
 
 // Share returns the container's resource specification.
 func (f *Frontend) Share() Share { return f.share }
@@ -256,6 +266,7 @@ func (f *Frontend) acquireToken(p *sim.Proc) error {
 		if !f.mgr.Down() && !f.mgr.Registered(f.clientID) {
 			// The replacement daemon is serving and has no memory of us.
 			_ = f.mgr.Register(f.clientID, f.share.Request, f.share.EffectiveLimit())
+			f.mgr.SetTenant(f.clientID, f.tenant)
 		}
 	}
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"time"
+
+	"kubeshare/internal/metrics"
+)
+
+// AuditConfig drives the fairness audit: the Fig 9 sharing workload under
+// KubeShare with the telemetry consumption layer attached.
+type AuditConfig struct {
+	Fig9Config
+	// Interval is the audit sampling window (defaults to Fig9's Sample).
+	Interval time.Duration
+}
+
+// AuditResult carries the auditor's deterministic report tables plus the
+// run's alert outcome.
+type AuditResult struct {
+	// Shares is the per-(GPU, tenant) token accounting table.
+	Shares *metrics.Table
+	// Fairness is the per-GPU Jain-index table.
+	Fairness *metrics.Table
+	// AlertsFired counts SLO (rule, child) pairs that fired at least once,
+	// measured by Warning events from the "slo" source.
+	AlertsFired int
+}
+
+// Audit runs the Fig 9 workload under KubeShare with the fairness auditor
+// sampling every Interval and returns the per-tenant accounting and
+// per-GPU Jain tables. The output is byte-identical across runs at the
+// same seed (golden-tested).
+func Audit(cfg AuditConfig) (*AuditResult, error) {
+	c := cfg.Fig9Config.withDefaults()
+	if cfg.Interval == 0 {
+		cfg.Interval = c.Sample
+	}
+	res, err := RunSharing(SharingConfig{
+		System:          KubeShare,
+		Nodes:           c.Nodes,
+		GPUsPerNode:     c.GPUsPerNode,
+		Jobs:            fig9Jobs(c),
+		Telemetry:       cfg.Interval,
+		ExportTelemetry: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shares, fairness := res.Telemetry.Auditor.Report()
+	out := &AuditResult{Shares: shares, Fairness: fairness}
+	for _, e := range res.Events {
+		if e.Source == "slo" && e.Type == "Warning" {
+			out.AlertsFired++
+		}
+	}
+	return out, nil
+}

@@ -73,6 +73,10 @@ type SharingConfig struct {
 	// event log into the result (they are dropped otherwise, so bulk
 	// sweeps do not retain every run's trace).
 	ExportTelemetry bool
+	// Telemetry, when nonzero, attaches the consumption layer (TSDB
+	// collector, fairness auditor, SLO alert engine) sampling at this
+	// interval; the result's Telemetry field carries it.
+	Telemetry time.Duration
 }
 
 // SharingResult is the outcome of one run.
@@ -93,6 +97,9 @@ type SharingResult struct {
 	Obs    obs.MetricsSnapshot
 	Spans  []obs.Span
 	Events []obs.EventRecord
+	// Telemetry is the attached consumption layer (TSDB, auditor, alerts)
+	// when SharingConfig.Telemetry was nonzero.
+	Telemetry *TelemetrySet
 }
 
 // RunSharing executes a full workload run under the chosen system and
@@ -133,6 +140,12 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	})
 
 	res := SharingResult{}
+	if cfg.Telemetry > 0 {
+		total := len(cfg.Jobs)
+		res.Telemetry = attachTelemetry(env, c, cfg.Telemetry, func() bool {
+			return terminatedCount(c, cfg.System) >= total
+		})
+	}
 	if cfg.Sample > 0 {
 		res.Util = &metrics.Series{Name: "util"}
 		res.ActiveGPUs = &metrics.Series{Name: "active"}

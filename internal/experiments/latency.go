@@ -27,9 +27,9 @@ type LatencyResult struct {
 // library's token-wait under sharing pressure.
 var latencyMetrics = []struct{ name, label string }{
 	{"kubeshare_sched_latency_seconds", "sched_latency"},
-	{"devmgr_bind_seconds", "bind"},
-	{"kubelet_pod_sync_seconds", "pod_sync"},
-	{"devlib_token_wait_seconds", "token_wait"},
+	{"kubeshare_devmgr_bind_seconds", "bind"},
+	{"kubeshare_kubelet_pod_sync_seconds", "pod_sync"},
+	{"kubeshare_devlib_token_wait_seconds", "token_wait"},
 }
 
 // Latency runs the Fig 9 workload under KubeShare and tabulates p50/p90/p99

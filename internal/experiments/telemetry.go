@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/obs"
+	"kubeshare/internal/obs/tsdb"
+	"kubeshare/internal/sim"
+)
+
+// DefaultTSDBCapacity bounds each retained series; at the default sampling
+// cadence this holds hours of history before compaction starts halving
+// resolution.
+const DefaultTSDBCapacity = 1024
+
+// TelemetrySet bundles the consumption layer attached to one run: the
+// time-series database, the fairness auditor and the SLO alert engine,
+// all driven by a single collector proc on the virtual clock.
+type TelemetrySet struct {
+	DB      *tsdb.DB
+	Auditor *core.Auditor
+	Alerts  *obs.AlertEngine
+}
+
+// attachTelemetry wires the consumption layer onto a cluster: a periodic
+// collector that (in order) refreshes per-GPU utilization gauges from
+// device busy windows, runs the fairness auditor, evaluates the SLO rules,
+// and finally scrapes the whole registry into the TSDB — so every gauge
+// set earlier in the tick is captured by the same tick. done (optional)
+// stops the collector so env.Run can drain.
+func attachTelemetry(env *sim.Env, c *kube.Cluster, interval time.Duration, done func() bool) *TelemetrySet {
+	ts := &TelemetrySet{
+		DB:      tsdb.NewDB(DefaultTSDBCapacity),
+		Auditor: core.NewAuditor(c),
+		Alerts:  obs.NewAlertEngine(c.Obs, obs.DefaultSLORules()),
+	}
+	gpus := c.AllGPUs()
+	utilVec := c.Obs.FloatGaugeVec("kubeshare_gpu_utilization_ratio", "gpu_uuid", "node")
+	util := make([]*obs.FloatGauge, len(gpus))
+	prev := make([]time.Duration, len(gpus))
+	for i, d := range gpus {
+		util[i] = utilVec.With(d.UUID(), d.Node())
+	}
+	lastT := time.Duration(0)
+	sampleUtil := func(now time.Duration) {
+		dt := now - lastT
+		if dt <= 0 {
+			return
+		}
+		for i, d := range gpus {
+			busy := d.BusyTime()
+			util[i].Set(float64(busy-prev[i]) / float64(dt))
+			prev[i] = busy
+		}
+		lastT = now
+	}
+	col := &tsdb.Collector{
+		DB:       ts.DB,
+		Registry: c.Obs.Registry(),
+		Interval: interval,
+		Samplers: []func(time.Duration){
+			sampleUtil,
+			ts.Auditor.Sample,
+			ts.Alerts.Evaluate,
+		},
+		Done: done,
+	}
+	col.Start(env)
+	return ts
+}

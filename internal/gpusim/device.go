@@ -43,6 +43,7 @@ type Device struct {
 	env      *sim.Env
 	index    int
 	uuid     string
+	node     string
 	memCap   int64
 	memUsed  int64
 	copyBW   int64
@@ -91,16 +92,20 @@ func NewDevice(env *sim.Env, cfg Config) *Device {
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d", cfg.NodeName, cfg.Index)
+	uuid := fmt.Sprintf("GPU-%016x", h.Sum64())
+	// Per-device children of the labeled families, fetched once so the
+	// kernel-launch hot path touches only a cached atomic.
 	return &Device{
 		env:      env,
 		index:    cfg.Index,
-		uuid:     fmt.Sprintf("GPU-%016x", h.Sum64()),
+		uuid:     uuid,
+		node:     cfg.NodeName,
 		memCap:   cfg.MemoryBytes,
 		copyBW:   cfg.CopyBandwidth,
 		contexts: make(map[*Context]bool),
 		recorder: cfg.Obs.EventSource("gpusim"),
-		launches: cfg.Obs.Counter("gpusim_kernel_launches_total"),
-		faults:   cfg.Obs.Counter("gpusim_device_faults_total"),
+		launches: cfg.Obs.CounterVec("kubeshare_gpu_kernel_launches_total", "gpu_uuid", "node").With(uuid, cfg.NodeName),
+		faults:   cfg.Obs.CounterVec("kubeshare_gpu_faults_total", "gpu_uuid", "node").With(uuid, cfg.NodeName),
 	}
 }
 
@@ -109,6 +114,9 @@ func (d *Device) UUID() string { return d.uuid }
 
 // Index returns the device's index on its node.
 func (d *Device) Index() int { return d.index }
+
+// Node returns the name of the node hosting the device.
+func (d *Device) Node() string { return d.node }
 
 // MemoryBytes returns the physical memory capacity.
 func (d *Device) MemoryBytes() int64 { return d.memCap }

@@ -66,11 +66,11 @@ func NewWithObs(env *sim.Env, rt *obs.Runtime) *Server {
 		store:      store.New(env),
 		validators: make(map[string][]func(api.Object) error),
 		rt:         rt,
-		reqWrites:  rt.Counter("apiserver_write_requests_total"),
-		reqReads:   rt.Counter("apiserver_read_requests_total"),
-		reqWatches: rt.Counter("apiserver_watches_total"),
-		refResumes: rt.Counter("apiserver_reflector_resumes_total"),
-		refRelists: rt.Counter("apiserver_reflector_relists_total"),
+		reqWrites:  rt.Counter("kubeshare_apiserver_write_requests_total"),
+		reqReads:   rt.Counter("kubeshare_apiserver_read_requests_total"),
+		reqWatches: rt.Counter("kubeshare_apiserver_watches_total"),
+		refResumes: rt.Counter("kubeshare_apiserver_reflector_resumes_total"),
+		refRelists: rt.Counter("kubeshare_apiserver_reflector_relists_total"),
 	}
 	if rt != nil {
 		rt.SetEventSink(newEventSink(s))

@@ -24,7 +24,19 @@ type eventSink struct {
 }
 
 func newEventSink(s *Server) *eventSink {
-	return &eventSink{srv: s, names: map[string]string{}}
+	k := &eventSink{srv: s, names: map[string]string{}}
+	// A sink recreated over a store that already holds events (an apiserver
+	// restart, or a chaos-recovered control plane) must keep deduplicating
+	// into the objects already there and must not reissue their names.
+	for _, e := range Events(s).List() {
+		key := e.InvolvedKind + "/" + e.InvolvedName + "/" + e.Reason + "/" + e.Source + "/" + e.Type
+		k.names[key] = e.Name
+		var n int
+		if _, err := fmt.Sscanf(e.Name, "evt-%d", &n); err == nil && n > k.seq {
+			k.seq = n
+		}
+	}
+	return k
 }
 
 // RecordEvent implements obs.Sink.

@@ -98,9 +98,9 @@ func New(env *sim.Env, srv *apiserver.Server, devmgr *deviceplugin.Manager, rt *
 		workers:    make(map[string]*podWorker),
 		tracer:     o.Tracer(),
 		recorder:   o.EventSource("kubelet/" + cfg.NodeName),
-		syncs:      o.Counter("kubelet_pod_syncs_total"),
-		allocFails: o.Counter("kubelet_allocation_failures_total"),
-		syncHist:   o.Histogram("kubelet_pod_sync_seconds"),
+		syncs:      o.CounterVec("kubeshare_kubelet_pod_syncs_total", "node").With(cfg.NodeName),
+		allocFails: o.CounterVec("kubeshare_kubelet_allocation_failures_total", "node").With(cfg.NodeName),
+		syncHist:   o.HistogramVec("kubeshare_kubelet_pod_sync_seconds", "node").With(cfg.NodeName),
 	}
 }
 

@@ -75,9 +75,9 @@ func New(env *sim.Env, srv *apiserver.Server, cfg Config) *Scheduler {
 		pending:   make(map[string]*api.Pod),
 		wake:      sim.NewQueue[struct{}](env),
 		tracer:    rt.Tracer(),
-		binds:     rt.Counter("scheduler_binds_total"),
-		depth:     rt.Gauge("scheduler_pending_pods"),
-		bindHist:  rt.Histogram("scheduler_bind_latency_seconds"),
+		binds:     rt.Counter("kubeshare_scheduler_binds_total"),
+		depth:     rt.Gauge("kubeshare_scheduler_pending_pods"),
+		bindHist:  rt.Histogram("kubeshare_scheduler_bind_latency_seconds"),
 	}
 }
 

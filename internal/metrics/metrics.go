@@ -5,124 +5,22 @@
 package metrics
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
+
+	"kubeshare/internal/obs/tsdb"
 )
 
-// Point is one sample of a time series, at virtual time T.
-type Point struct {
-	T time.Duration
-	V float64
-}
+// Point is one sample of a time series, at virtual time T. It is the tsdb
+// point type: the repository keeps exactly one time-series representation
+// (see internal/obs/tsdb).
+type Point = tsdb.Point
 
-// Series is an append-only time series. Samples must be appended in
-// nondecreasing time order (the recorder enforces this).
-type Series struct {
-	Name   string
-	Points []Point
-}
-
-// Add appends a sample. It panics when t is before the last sample, which
-// would indicate a harness bug (the DES clock never runs backwards).
-func (s *Series) Add(t time.Duration, v float64) {
-	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
-		panic(fmt.Sprintf("metrics: out-of-order sample on %q: %v < %v", s.Name, t, s.Points[n-1].T))
-	}
-	s.Points = append(s.Points, Point{t, v})
-}
-
-// Len returns the number of samples.
-func (s *Series) Len() int { return len(s.Points) }
-
-// Last returns the most recent sample value, or 0 for an empty series.
-func (s *Series) Last() float64 {
-	if len(s.Points) == 0 {
-		return 0
-	}
-	return s.Points[len(s.Points)-1].V
-}
-
-// Mean returns the unweighted mean of the sample values.
-func (s *Series) Mean() float64 {
-	if len(s.Points) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, p := range s.Points {
-		sum += p.V
-	}
-	return sum / float64(len(s.Points))
-}
-
-// Max returns the maximum sample value, or 0 for an empty series.
-func (s *Series) Max() float64 {
-	m := math.Inf(-1)
-	for _, p := range s.Points {
-		if p.V > m {
-			m = p.V
-		}
-	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
-}
-
-// TimeWeightedMean treats the series as a step function (each sample holds
-// until the next) and returns its average over [from, to].
-func (s *Series) TimeWeightedMean(from, to time.Duration) float64 {
-	if to <= from || len(s.Points) == 0 {
-		return 0
-	}
-	var acc float64
-	cur := 0.0
-	last := from
-	for _, p := range s.Points {
-		if p.T <= from {
-			cur = p.V
-			continue
-		}
-		if p.T >= to {
-			break
-		}
-		acc += cur * float64(p.T-last)
-		cur = p.V
-		last = p.T
-	}
-	acc += cur * float64(to-last)
-	return acc / float64(to-from)
-}
-
-// Downsample returns a copy of the series averaged into buckets of width w
-// (sample-count average per bucket), for compact printing of long timelines.
-func (s *Series) Downsample(w time.Duration) *Series {
-	out := &Series{Name: s.Name}
-	if w <= 0 || len(s.Points) == 0 {
-		out.Points = append(out.Points, s.Points...)
-		return out
-	}
-	var bucket time.Duration
-	sum, n := 0.0, 0
-	flush := func() {
-		if n > 0 {
-			out.Points = append(out.Points, Point{bucket, sum / float64(n)})
-		}
-		sum, n = 0, 0
-	}
-	for _, p := range s.Points {
-		b := p.T / w * w
-		if n > 0 && b != bucket {
-			flush()
-		}
-		bucket = b
-		sum += p.V
-		n++
-	}
-	flush()
-	return out
-}
+// Series is an append-only time series — an alias of the tsdb series, so
+// the experiment harness, charts and the telemetry database all share one
+// type. The zero value is unbounded; tsdb.NewSeries builds bounded ones.
+type Series = tsdb.Series
 
 // Recorder is a set of named series.
 type Recorder struct {

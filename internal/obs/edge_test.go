@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"kubeshare/internal/sim"
+)
+
+// TestQuantileBucketBoundaries pins the percentile interpolation exactly at
+// bucket edges, where off-by-one errors in the cumulative walk hide.
+func TestQuantileBucketBoundaries(t *testing.T) {
+	env := sim.NewEnv()
+
+	// An observation exactly on a bound lands in the bucket that bound
+	// closes (Prometheus `le` semantics), so a single observation at
+	// bounds[1] interpolates inside (bounds[0], bounds[1]].
+	h := New(env).Histogram("edge")
+	h.Observe(0.002) // == bounds[1]
+	s := h.snapshot("edge")
+	if got, want := s.Quantile(0.5), 0.0015; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 of one boundary observation = %v, want bucket midpoint %v", got, want)
+	}
+	if got, want := s.Quantile(1.0), 0.002; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p100 = %v, want the closing bound %v", got, want)
+	}
+
+	// With the mass split evenly across two adjacent buckets, the median
+	// target falls exactly on the cumulative boundary between them and must
+	// resolve to the shared bound — not to the far edge of either bucket.
+	h2 := New(env).Histogram("split")
+	for _, v := range []float64{0.0005, 0.001, 0.0015, 0.002} {
+		h2.Observe(v)
+	}
+	s2 := h2.snapshot("split")
+	if got := s2.Quantile(0.5); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("p50 at cumulative boundary = %v, want shared bound 0.001", got)
+	}
+	if got := s2.Quantile(0.75); math.Abs(got-0.0015) > 1e-12 {
+		t.Fatalf("p75 = %v, want midpoint of second bucket 0.0015", got)
+	}
+	if got := s2.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want the first bucket's lower edge 0", got)
+	}
+
+	// Empty buckets between populated ones are skipped, not interpolated
+	// across: with mass in buckets 0 and 5 only, everything above the first
+	// bucket's share resolves inside bucket 5.
+	h3 := New(env).Histogram("gap")
+	h3.Observe(0.0005) // bucket 0, le 0.001
+	h3.Observe(0.05)   // bucket 5, le 0.064
+	s3 := h3.snapshot("gap")
+	if got := s3.Quantile(0.5); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("p50 = %v, want first bucket's closing bound 0.001", got)
+	}
+	p99 := s3.Quantile(0.99)
+	if p99 <= 0.032 || p99 > 0.064 {
+		t.Fatalf("p99 = %v, want inside the (0.032, 0.064] bucket", p99)
+	}
+}
+
+// TestLabeledFamilyConcurrentLookup hammers family lookup and child updates
+// from many goroutines; run under -race (check.sh forces GOMAXPROCS=4) it
+// verifies the interning path is safe off the simulation goroutine, and the
+// final snapshot proves no increments were lost or double-interned.
+func TestLabeledFamilyConcurrentLookup(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	vec := rt.CounterVec("kubeshare_test_lookups_total", "gpu_uuid", "tenant")
+	gauges := rt.FloatGaugeVec("kubeshare_test_ratio", "gpu_uuid")
+	hists := rt.HistogramVec("kubeshare_test_wait_seconds", "gpu_uuid")
+
+	gpus := []string{"GPU-a", "GPU-b", "GPU-c"}
+	tenants := []string{"t0", "t1", "t2", "t3"}
+	const workers = 8
+	const perWorker = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g := gpus[(w+i)%len(gpus)]
+				tn := tenants[i%len(tenants)]
+				vec.With(g, tn).Inc()
+				gauges.With(g).Set(float64(i) / perWorker)
+				hists.With(g).Observe(float64(i%10) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := rt.Snapshot()
+	total := int64(0)
+	children := 0
+	for _, c := range snap.Counters {
+		if c.Name == "kubeshare_test_lookups_total" {
+			children++
+			total += c.Value
+		}
+	}
+	if want := len(gpus) * len(tenants); children != want {
+		t.Fatalf("interned %d children, want %d (duplicate or lost label sets)", children, want)
+	}
+	if want := int64(workers * perWorker); total != want {
+		t.Fatalf("summed count = %d, want %d", total, want)
+	}
+	if got, ok := snap.Histogram("kubeshare_test_wait_seconds"); !ok || got.Count != workers*perWorker {
+		t.Fatalf("merged histogram count = %+v", got)
+	}
+}

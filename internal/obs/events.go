@@ -18,13 +18,13 @@ const (
 // Sink (the apiserver, in a full cluster) additionally persists events
 // as first-class API objects with dedup counting.
 type EventRecord struct {
-	Time    time.Duration
-	Kind    string // involved object kind, e.g. "SharePod", "Node", "GPU"
-	Name    string // involved object name
-	Type    string // EventNormal or EventWarning
-	Reason  string // short CamelCase machine-readable cause
-	Source  string // emitting component, e.g. "kubelet/node-1"
-	Message string
+	Time    time.Duration `json:"time_ns"`
+	Kind    string        `json:"kind"`   // involved object kind, e.g. "SharePod", "Node", "GPU"
+	Name    string        `json:"name"`   // involved object name
+	Type    string        `json:"type"`   // EventNormal or EventWarning
+	Reason  string        `json:"reason"` // short CamelCase machine-readable cause
+	Source  string        `json:"source"` // emitting component, e.g. "kubelet/node-1"
+	Message string        `json:"message"`
 }
 
 // Sink receives every event as it is recorded. Implementations persist

@@ -8,7 +8,7 @@
 // The runtime is nil-tolerant end to end: a nil *Runtime hands out nil
 // handles, and every handle method no-ops on a nil receiver. Call sites
 // therefore instrument unconditionally; "observability off" is just a
-// nil runtime (the BENCH_obs.json A/B lever).
+// nil runtime (the BENCH.json obs_overhead A/B lever).
 //
 // Counters and gauges are atomics so accessors like
 // Scheduler.Decisions() are safe to read from outside the env goroutine
@@ -92,12 +92,19 @@ func (r *Runtime) Snapshot() MetricsSnapshot {
 
 // Registry owns the metric namespace. Handles are registered on first
 // use and cached by the instrumented components; registration takes a
-// lock, updates are lock-free atomics.
+// lock, updates are lock-free atomics. Flat metrics (no labels) live in
+// the maps here; labeled families (see labels.go) are interned per name
+// in the vec registries.
 type Registry struct {
 	mu     sync.Mutex
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+
+	ctrVecs   vecRegistry
+	gaugeVecs vecRegistry
+	floatVecs vecRegistry
+	histVecs  vecRegistry
 }
 
 func newRegistry() *Registry {
@@ -177,6 +184,25 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.n.Load()
+}
+
+// FloatGauge is a float instantaneous value (ratios: utilization, token
+// shares, fairness indices). Stored as float64 bits in an atomic.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge; 0 on a nil handle.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Gauge is an integer instantaneous value (queue depths, active watches).
@@ -266,22 +292,33 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	return s
 }
 
-// CounterValue is one counter in a snapshot.
+// CounterValue is one counter in a snapshot. Labels is nil for flat
+// counters and carries the child's label set for labeled families.
 type CounterValue struct {
-	Name  string
-	Value int64
+	Name   string
+	Labels []Label
+	Value  int64
 }
 
 // GaugeValue is one gauge in a snapshot.
 type GaugeValue struct {
-	Name  string
-	Value int64
+	Name   string
+	Labels []Label
+	Value  int64
+}
+
+// FloatGaugeValue is one float gauge in a snapshot.
+type FloatGaugeValue struct {
+	Name   string
+	Labels []Label
+	Value  float64
 }
 
 // HistogramSnapshot is one histogram in a snapshot. Counts has one entry
 // per bound plus a final overflow bucket.
 type HistogramSnapshot struct {
 	Name   string
+	Labels []Label
 	Count  int64
 	Sum    float64
 	Bounds []float64
@@ -325,21 +362,23 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 }
 
 // MetricsSnapshot is a point-in-time copy of the registry, sorted by
-// metric name so serialization is deterministic.
+// metric name (then label values) so serialization is deterministic.
+// Labeled families contribute one entry per child.
 type MetricsSnapshot struct {
 	Counters   []CounterValue
 	Gauges     []GaugeValue
+	Floats     []FloatGaugeValue
 	Histograms []HistogramSnapshot
 }
 
-// Snapshot captures every registered metric, sorted by name.
+// Snapshot captures every registered metric, flat and labeled, sorted by
+// name then label values.
 func (g *Registry) Snapshot() MetricsSnapshot {
 	if g == nil {
 		return MetricsSnapshot{}
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	var s MetricsSnapshot
+	g.mu.Lock()
 	for name, c := range g.ctrs {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
 	}
@@ -349,53 +388,174 @@ func (g *Registry) Snapshot() MetricsSnapshot {
 	for name, h := range g.hists {
 		s.Histograms = append(s.Histograms, h.snapshot(name))
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	g.mu.Unlock()
+	g.ctrVecs.visit(func(v any) {
+		f := v.(*CounterVec).f
+		f.mu.Lock()
+		for _, key := range f.sortedKeys() {
+			s.Counters = append(s.Counters, CounterValue{
+				Name: f.name, Labels: f.labelsFor(key),
+				Value: f.children[key].(*Counter).Value(),
+			})
+		}
+		f.mu.Unlock()
+	})
+	g.gaugeVecs.visit(func(v any) {
+		f := v.(*GaugeVec).f
+		f.mu.Lock()
+		for _, key := range f.sortedKeys() {
+			s.Gauges = append(s.Gauges, GaugeValue{
+				Name: f.name, Labels: f.labelsFor(key),
+				Value: f.children[key].(*Gauge).Value(),
+			})
+		}
+		f.mu.Unlock()
+	})
+	g.floatVecs.visit(func(v any) {
+		f := v.(*FloatGaugeVec).f
+		f.mu.Lock()
+		for _, key := range f.sortedKeys() {
+			s.Floats = append(s.Floats, FloatGaugeValue{
+				Name: f.name, Labels: f.labelsFor(key),
+				Value: f.children[key].(*FloatGauge).Value(),
+			})
+		}
+		f.mu.Unlock()
+	})
+	g.histVecs.visit(func(v any) {
+		f := v.(*HistogramVec).f
+		f.mu.Lock()
+		for _, key := range f.sortedKeys() {
+			hs := f.children[key].(*Histogram).snapshot(f.name)
+			hs.Labels = f.labelsFor(key)
+			s.Histograms = append(s.Histograms, hs)
+		}
+		f.mu.Unlock()
+	})
+	byID := func(n1 string, l1 []Label, n2 string, l2 []Label) bool {
+		if n1 != n2 {
+			return n1 < n2
+		}
+		return FormatLabels(l1) < FormatLabels(l2)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return byID(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return byID(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Floats, func(i, j int) bool {
+		return byID(s.Floats[i].Name, s.Floats[i].Labels, s.Floats[j].Name, s.Floats[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return byID(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
 	return s
 }
 
-// Counter looks up a counter value by name; 0 if absent.
+// visit calls fn for every registered vec in name order.
+func (r *vecRegistry) visit(fn func(any)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vecs))
+	for n := range r.vecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	vecs := make([]any, len(names))
+	for i, n := range names {
+		vecs[i] = r.vecs[n]
+	}
+	r.mu.Unlock()
+	for _, v := range vecs {
+		fn(v)
+	}
+}
+
+// Counter sums a counter family by name — a flat counter contributes its
+// single value, a labeled family the sum over its children; 0 if absent.
 func (s MetricsSnapshot) Counter(name string) int64 {
+	var sum int64
 	for _, c := range s.Counters {
 		if c.Name == name {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// CounterWith looks up one labeled child's value; 0 if absent.
+func (s MetricsSnapshot) CounterWith(name string, labels ...Label) int64 {
+	want := FormatLabels(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && FormatLabels(c.Labels) == want {
 			return c.Value
 		}
 	}
 	return 0
 }
 
-// Gauge looks up a gauge value by name; 0 if absent.
+// Gauge sums a gauge family by name (flat gauges contribute their single
+// value); 0 if absent.
 func (s MetricsSnapshot) Gauge(name string) int64 {
+	var sum int64
 	for _, g := range s.Gauges {
 		if g.Name == name {
-			return g.Value
+			sum += g.Value
+		}
+	}
+	return sum
+}
+
+// FloatWith looks up one labeled float-gauge child's value; 0 if absent.
+func (s MetricsSnapshot) FloatWith(name string, labels ...Label) float64 {
+	want := FormatLabels(labels)
+	for _, f := range s.Floats {
+		if f.Name == name && FormatLabels(f.Labels) == want {
+			return f.Value
 		}
 	}
 	return 0
 }
 
-// Histogram looks up a histogram by name.
+// Histogram merges a histogram family by name: a flat histogram returns
+// as-is, a labeled family returns the bucket-wise sum over its children
+// (all children share the default bounds).
 func (s MetricsSnapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	var merged HistogramSnapshot
+	found := false
 	for _, h := range s.Histograms {
-		if h.Name == name {
-			return h, true
+		if h.Name != name {
+			continue
+		}
+		if !found {
+			merged = HistogramSnapshot{Name: name, Bounds: h.Bounds, Counts: append([]int64(nil), h.Counts...)}
+			merged.Count, merged.Sum = h.Count, h.Sum
+			found = true
+			continue
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+		for i := range h.Counts {
+			merged.Counts[i] += h.Counts[i]
 		}
 	}
-	return HistogramSnapshot{}, false
+	return merged, found
 }
 
 // Format writes the snapshot as stable, diff-friendly text: one line per
-// metric in name order.
+// metric in name order, labels rendered Prometheus-style.
 func (s MetricsSnapshot) Format(w io.Writer) {
 	for _, c := range s.Counters {
-		fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value)
+		fmt.Fprintf(w, "counter %s%s %d\n", c.Name, FormatLabels(c.Labels), c.Value)
 	}
 	for _, g := range s.Gauges {
-		fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value)
+		fmt.Fprintf(w, "gauge %s%s %d\n", g.Name, FormatLabels(g.Labels), g.Value)
+	}
+	for _, f := range s.Floats {
+		fmt.Fprintf(w, "floatgauge %s%s %.6f\n", f.Name, FormatLabels(f.Labels), f.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(w, "histogram %s count=%d sum=%.6fs p50=%.6fs p99=%.6fs\n",
-			h.Name, h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.99))
+		fmt.Fprintf(w, "histogram %s%s count=%d sum=%.6fs p50=%.6fs p99=%.6fs\n",
+			h.Name, FormatLabels(h.Labels), h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.99))
 	}
 }

@@ -17,16 +17,16 @@ import (
 // order; since a sim env is single-threaded, the whole trace is
 // deterministic for a given seed.
 type Span struct {
-	ID     int64
-	Parent int64 // 0 = chain root
-	Key    string
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent"` // 0 = chain root
+	Key    string `json:"key"`
 	// Component is the emitting layer: apiserver, kube-scheduler,
 	// kubeshare-sched, kubelet, devmgr, devlib, gpusim, chaos.
-	Component string
-	Op        string
-	Note      string
-	Start     time.Duration
-	End       time.Duration // openEnd while the operation is in flight
+	Component string        `json:"component"`
+	Op        string        `json:"op"`
+	Note      string        `json:"note,omitempty"`
+	Start     time.Duration `json:"start_ns"`
+	End       time.Duration `json:"end_ns"` // openEnd while the operation is in flight
 }
 
 // openEnd marks a span whose End() has not run (operation still in

@@ -331,8 +331,8 @@ func TestFacadeTraceCausalChain(t *testing.T) {
 	if m.Counter("kubeshare_sched_decisions_total") == 0 {
 		t.Fatal("no decisions counted")
 	}
-	if m.Counter("devmgr_vgpu_creates_total") != 1 {
-		t.Fatalf("vgpu creates = %d", m.Counter("devmgr_vgpu_creates_total"))
+	if m.Counter("kubeshare_devmgr_vgpu_creates_total") != 1 {
+		t.Fatalf("vgpu creates = %d", m.Counter("kubeshare_devmgr_vgpu_creates_total"))
 	}
 	if h, ok := m.Histogram("kubeshare_sched_latency_seconds"); !ok || h.Count == 0 {
 		t.Fatal("scheduling-latency histogram empty")

@@ -1,0 +1,68 @@
+// Command benchmerge appends one benchmark record (JSON on stdin) to the
+// dated record log in BENCH.json. The repo has no jq; this is the few
+// lines of Go that replace it.
+//
+// Usage:
+//
+//	bench.sh builds a record and runs: go run ./tools/benchmerge -out BENCH.json < record.json
+//
+// The output file holds every recorded run, oldest first:
+//
+//	{"generated_by": "bench.sh", "records": [ {...}, {...} ]}
+//
+// Records are opaque to this tool beyond being valid JSON objects, so
+// bench.sh can evolve the record shape without touching it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+type benchLog struct {
+	GeneratedBy string            `json:"generated_by"`
+	Records     []json.RawMessage `json:"records"`
+}
+
+func run(out string, in io.Reader) error {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	var record map[string]any
+	if err := json.Unmarshal(raw, &record); err != nil {
+		return fmt.Errorf("stdin is not a JSON object: %w", err)
+	}
+	compact, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+
+	log := benchLog{GeneratedBy: "bench.sh"}
+	if prev, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(prev, &log); err != nil {
+			return fmt.Errorf("%s is not a benchmerge log: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	log.Records = append(log.Records, compact)
+
+	buf, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "benchmark log to append to")
+	flag.Parse()
+	if err := run(*out, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,13 @@
 // number generator (math/rand). Every source of time and randomness must
 // flow through sim.Env and simrand so a seeded run is bit-reproducible.
 //
+// It also enforces metric-name hygiene on the telemetry registry: every
+// literal name passed to Counter/Gauge/FloatGauge/Histogram (and their
+// *Vec forms) must be kubeshare_-prefixed snake_case, and *Vec label KEYS
+// must come from the bounded vocabulary (gpu_uuid, tenant, node, pool) —
+// label values may only be object names/UUIDs, never free-form strings,
+// and a bounded key set is what keeps cardinality reviewable.
+//
 // Usage:
 //
 //	go run ./tools/detvet ./internal
@@ -23,6 +30,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -36,6 +44,24 @@ var bannedImports = map[string]string{
 	"math/rand":    "use kubeshare/internal/simrand (seeded streams) instead",
 	"math/rand/v2": "use kubeshare/internal/simrand (seeded streams) instead",
 }
+
+// metricMethods are registry methods whose first argument is a metric
+// name; "true" marks the labeled (*Vec) forms whose remaining string
+// arguments are label keys.
+var metricMethods = map[string]bool{
+	"Counter": false, "Gauge": false, "FloatGauge": false, "Histogram": false,
+	"CounterVec": true, "GaugeVec": true, "FloatGaugeVec": true, "HistogramVec": true,
+}
+
+// allowedLabelKeys is the bounded label vocabulary. Values for these keys
+// are object names and UUIDs, so per-family cardinality stays proportional
+// to cluster size.
+var allowedLabelKeys = map[string]bool{
+	"gpu_uuid": true, "tenant": true, "node": true, "pool": true,
+}
+
+// metricName matches kubeshare_-prefixed snake_case.
+var metricName = regexp.MustCompile(`^kubeshare_[a-z0-9]+(_[a-z0-9]+)*$`)
 
 // bannedSelectors maps package import path -> selector -> reason.
 var bannedSelectors = map[string]map[string]string{
@@ -137,11 +163,10 @@ func checkFile(path string) int {
 			}
 		}
 	}
-	if len(localName) == 0 {
-		return bad
-	}
-
 	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkMetricCall(call, report)
+		}
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
@@ -160,4 +185,50 @@ func checkFile(path string) int {
 		return true
 	})
 	return bad
+}
+
+// checkMetricCall enforces the metric-name hygiene rules on one call
+// expression, if it is a registry method with a literal metric name.
+// Non-literal names are not flagged: the registry is only reached through
+// these helpers, and every production call site uses a literal.
+func checkMetricCall(call *ast.CallExpr, report func(token.Pos, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	isVec, watched := metricMethods[sel.Sel.Name]
+	if !watched {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !metricName.MatchString(name) {
+		report(lit.Pos(), fmt.Sprintf("metric name %q must be kubeshare_-prefixed snake_case", name))
+	}
+	if !isVec {
+		return
+	}
+	if len(call.Args) == 1 {
+		report(call.Pos(), fmt.Sprintf("labeled family %q declares no label keys; use the unlabeled form", name))
+	}
+	for _, arg := range call.Args[1:] {
+		kl, ok := arg.(*ast.BasicLit)
+		if !ok || kl.Kind != token.STRING {
+			report(arg.Pos(), fmt.Sprintf("label keys of %q must be string literals from the bounded vocabulary", name))
+			continue
+		}
+		key, err := strconv.Unquote(kl.Value)
+		if err != nil {
+			continue
+		}
+		if !allowedLabelKeys[key] {
+			report(kl.Pos(), fmt.Sprintf("label key %q on %q is outside the bounded vocabulary (gpu_uuid, tenant, node, pool)", key, name))
+		}
+	}
 }
