@@ -59,8 +59,9 @@ fi
 NEW_RAW="$(mktemp)"
 BASE_RAW="$(mktemp)"
 OBS_RAW="$(mktemp)"
+FIG15_RAW="$(mktemp)"
 RECORD="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$RECORD"; cleanup' EXIT
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -80,12 +81,24 @@ for ((i = 1; i <= OBS_COUNT; i++)); do
   done
 done
 
+# Scheduler-throughput point (Figure 15): one run of the full-scale sweep;
+# the reported metrics are virtual-clock ratios, so rounds add nothing.
+echo "fig15 (scheduler throughput, 10k sharePods)..." >&2
+go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/full$' -benchtime 1x 2>/dev/null |
+  grep '^BenchmarkFig15' >"$FIG15_RAW" || true
+
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
 min_ns() {
   awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {
     for (i = 1; i <= NF; i++) if ($i == "ns/op") v = $(i-1)
     if (v != "" && (best == "" || v + 0 < best + 0)) best = v
   } END { if (best != "") printf "%s", best }' "$1"
+}
+# metric_of <raw-file> <unit>: value of a b.ReportMetric column, or empty.
+metric_of() {
+  awk -v unit="$2" '{
+    for (i = 2; i <= NF; i++) if ($i == unit) { printf "%s", $(i-1); exit }
+  }' "$1"
 }
 allocs_of() {
   awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" {
@@ -139,6 +152,20 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
   done
   echo ''
   echo '  },'
+  if [ -s "$FIG15_RAW" ]; then
+    SINGLE="$(metric_of "$FIG15_RAW" single-dps)"
+    BATCHED="$(metric_of "$FIG15_RAW" batched-dps)"
+    GANG="$(metric_of "$FIG15_RAW" gang-dps)"
+    SPEEDUP="$(metric_of "$FIG15_RAW" batched-speedup)"
+    echo '  "fig15_scheduler_throughput": {'
+    echo '    "benchmark": "BenchmarkFig15SchedulerThroughput/full (10000 pending sharePods, batch 64, gang 4)",'
+    echo "    \"single_decisions_per_sec\": $SINGLE,"
+    echo "    \"batched_decisions_per_sec\": $BATCHED,"
+    echo "    \"gang_decisions_per_sec\": $GANG,"
+    echo "    \"batched_speedup\": $SPEEDUP,"
+    echo "    \"meets_3x\": $(awk -v s="$SPEEDUP" 'BEGIN { print (s + 0 >= 3) ? "true" : "false" }')"
+    echo '  },'
+  fi
   echo '  "obs_overhead": {'
   echo '    "benchmark": "BenchmarkFig9Obs (Figure 9 KubeShare arm, quick scale, labeled metrics)",'
   echo "    \"rounds\": $OBS_COUNT,"

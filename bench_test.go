@@ -453,3 +453,35 @@ func newIDGen() func() string {
 		return "d" + strconv.Itoa(n)
 	}
 }
+
+// BenchmarkFig15SchedulerThroughput regenerates Figure 15: sustained
+// scheduling decisions per second of the plugin-phase framework at depth,
+// comparing the single-decision cycle against batched and batched+gang
+// driving. The headline metric is the batched/single virtual-throughput
+// ratio (the cycle-latency amortization; acceptance bar 3x at the 10k
+// point, reached by ~60x in practice). The quick variant is the check.sh
+// smoke; the full variant is the BENCH.json point.
+func BenchmarkFig15SchedulerThroughput(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		count int
+	}{{"quick", 1000}, {"full", 10000}} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Fig15(experiments.Fig15Config{Counts: []int{scale.count}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					single := cellF(b, t.Rows[0][2])
+					batched := cellF(b, t.Rows[1][2])
+					gang := cellF(b, t.Rows[2][2])
+					b.ReportMetric(single, "single-dps")
+					b.ReportMetric(batched, "batched-dps")
+					b.ReportMetric(gang, "gang-dps")
+					b.ReportMetric(batched/single, "batched-speedup")
+				}
+			}
+		})
+	}
+}

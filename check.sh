@@ -27,9 +27,16 @@ GOMAXPROCS=4 go test -race ./internal/obs/...
 # quiescence invariant; failures print the seed to reproduce. The plain
 # `go test ./...` pass above already ran it race-free.
 GOMAXPROCS=4 go test -race ./internal/chaos/
+# Scheduling-framework suite under the race detector on the multi-worker
+# path: engine/Algorithm-1 equivalence properties, transaction rollback,
+# batched-vs-sequential, conflict retry and gang all-or-nothing.
+GOMAXPROCS=4 go test -race ./internal/core/schedfw/...
 # Smoke the kernel micro-benchmarks so a regression that only breaks bench
 # setup (not the unit tests) is caught here.
 go test ./internal/sim/ -run xxx -bench BenchmarkSimKernel -benchtime 1x
+# Smoke the scheduler-throughput bench (Figure 15) at quick scale; bench.sh
+# measures the full 10k point into BENCH.json.
+go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/quick' -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
 # workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

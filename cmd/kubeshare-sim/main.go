@@ -9,7 +9,7 @@
 //	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14 latency, or "all" (the default). Full scale matches the
+// fig12 fig13 fig14 fig15 latency, or "all" (the default). Full scale matches the
 // paper's 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
 // cluster and workloads for fast iteration.
 //
@@ -214,7 +214,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -341,6 +341,13 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.Intensities = []float64{0, 1, 2}
 		}
 		return experiments.Fig14(cfg)
+	case "fig15":
+		cfg := experiments.Fig15Config{}
+		if !full {
+			cfg.Counts = []int{200, 1000}
+			cfg.Batch = 32
+		}
+		return experiments.Fig15(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig14, latency)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig15, latency)")
 }

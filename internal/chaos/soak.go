@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/sim"
@@ -128,7 +129,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		return SoakResult{}, err
 	}
 	workload.RegisterImages(c)
-	ks, err := core.Install(c, core.Config{})
+	ks, err := schedfw.Install(c, core.Config{})
 	if err != nil {
 		return SoakResult{}, err
 	}
@@ -171,7 +172,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 			res.Rejected++
 		}
 	}
-	res.Requeues = ks.Scheduler.Requeues()
+	res.Requeues = ks.Stats().Requeues
 	res.Recoveries, res.RecoveryFails = ks.DevMgr.Recoveries()
 	for _, r := range c.API.Reflectors("") {
 		resumes, relists := r.Stats()
@@ -245,8 +246,8 @@ func VerifyQuiescence(c *kube.Cluster, ks *core.KubeShare) []error {
 			bad = append(bad, fmt.Errorf("node %s still NotReady", n.Name))
 		}
 	}
-	if ks.Scheduler != nil {
-		if err := ks.Scheduler.VerifySnapshot(); err != nil {
+	if ks.Sched != nil {
+		if err := ks.Sched.VerifySnapshot(); err != nil {
 			bad = append(bad, fmt.Errorf("snapshot diverged from relist: %w", err))
 		}
 	}

@@ -58,9 +58,11 @@ func (d *DeviceState) Clone() *DeviceState {
 	return &out
 }
 
-// fits reports whether r's resource demand fits the residuals. Idle devices
+// Fits reports whether r's resource demand fits the residuals. Idle devices
 // may carry stale residual bookkeeping from the pool builder, so capacity is
 // taken as full for them.
+func (d *DeviceState) Fits(r Request) bool { return d.fits(r) }
+
 func (d *DeviceState) fits(r Request) bool {
 	if d.Idle {
 		return r.Util <= 1 && r.Mem <= d.memCapacity()
@@ -255,8 +257,11 @@ func ScheduleWithPolicy(r Request, pool *Pool, policy PlacementPolicy) Decision 
 	return Decision{Outcome: Assigned, GPUID: d.ID, NodeName: d.NodeName}
 }
 
-// findAffinity returns the device carrying the affinity label (the pool
-// invariant keeps at most one, since affinity forces co-location).
+// FindAffinity returns the device carrying the affinity label (the pool
+// invariant keeps at most one, since affinity forces co-location). Exported
+// for the schedfw plugin set, which re-expresses Algorithm 1 in phases.
+func FindAffinity(pool *Pool, label string) *DeviceState { return findAffinity(pool, label) }
+
 func findAffinity(pool *Pool, label string) *DeviceState {
 	for _, d := range pool.Devices {
 		if !d.Idle && d.Aff[label] {
@@ -266,7 +271,9 @@ func findAffinity(pool *Pool, label string) *DeviceState {
 	return nil
 }
 
-// firstIdle returns an idle pool device, lowest ID first for determinism.
+// FirstIdle returns an idle pool device, lowest ID first for determinism.
+func FirstIdle(pool *Pool) *DeviceState { return firstIdle(pool) }
+
 func firstIdle(pool *Pool) *DeviceState {
 	var idle []*DeviceState
 	for _, d := range pool.Devices {
@@ -281,8 +288,10 @@ func firstIdle(pool *Pool) *DeviceState {
 	return idle[0]
 }
 
-// residual is the fit metric: remaining compute capacity after placement
-// (mem as tie-break).
+// Residual is the fit metric: remaining compute capacity after placement
+// (idle devices count as full). Best fit minimizes it, worst fit maximizes.
+func Residual(d *DeviceState) float64 { return residual(d) }
+
 func residual(d *DeviceState) float64 {
 	if d.Idle {
 		return 1
@@ -333,10 +342,12 @@ func firstFit(r Request, ds []*DeviceState) *DeviceState {
 	return nil
 }
 
-// newDevice decides where a fresh vGPU goes: the node with the most free
-// physical GPUs (spreading acquisition), or NoCapacity when the cluster has
-// none left.
-func newDevice(r Request, pool *Pool) Decision {
+// PickNewDeviceNode decides where a fresh vGPU would go — the node with the
+// most free physical GPUs (spreading acquisition) — without committing
+// anything; "" means the cluster has none left. The schedfw allocator plugin
+// uses the decide half alone, deferring the device creation to the
+// framework's reserve phase so it can be rolled back.
+func PickNewDeviceNode(pool *Pool) string {
 	bestNode, bestFree := "", 0
 	var nodes []string
 	for n := range pool.FreePhysical {
@@ -348,8 +359,18 @@ func newDevice(r Request, pool *Pool) Decision {
 			bestNode, bestFree = n, free
 		}
 	}
+	return bestNode
+}
+
+// NoFreeGPUReason is the NoCapacity reason when no physical GPU is free.
+const NoFreeGPUReason = "no free physical GPU in the cluster"
+
+// newDevice decides where a fresh vGPU goes and commits it onto the pool,
+// or NoCapacity when the cluster has no physical GPU left.
+func newDevice(r Request, pool *Pool) Decision {
+	bestNode := PickNewDeviceNode(pool)
 	if bestNode == "" {
-		return Decision{Outcome: NoCapacity, Reason: "no free physical GPU in the cluster"}
+		return Decision{Outcome: NoCapacity, Reason: NoFreeGPUReason}
 	}
 	pool.FreePhysical[bestNode]--
 	id := pool.NewID()

@@ -40,7 +40,19 @@ type ExtenderScheduler struct {
 // container binds to the node's first GPU, whatever its load.
 func (s *ExtenderScheduler) SetSingleDevice(v bool) { s.singleDevice = v }
 
+// VerifySnapshot implements Sched; the extender keeps no incremental view
+// (it re-lists per cycle), so there is nothing to cross-check.
+func (s *ExtenderScheduler) VerifySnapshot() error { return nil }
+
+// Stats implements Sched. The legacy extender registers no counters, so the
+// registry families read zero unless another driver populated them.
+func (s *ExtenderScheduler) Stats() SchedStats { return ReadSchedStats(s.srv.Obs()) }
+
 // NewExtenderScheduler creates the baseline scheduler; Start launches it.
+//
+// Deprecated: construct through schedfw.NewExtender, which runs the same
+// aggregate-capacity policy on the batched framework driver. This shim
+// remains for one release.
 func NewExtenderScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *ExtenderScheduler {
 	if cfg.CycleLatency == 0 {
 		cfg.CycleLatency = DefaultCycleLatency

@@ -20,10 +20,32 @@ type Config struct {
 	Devlib    devlib.Config
 }
 
+// Sched is the scheduler surface KubeShare needs from whichever driver is
+// installed — the legacy single-sharePod loop, the schedfw batched driver,
+// or the extender baseline. Counters live on the obs registry, so Stats is
+// uniform across drivers.
+type Sched interface {
+	Start()
+	Stop()
+	// VerifySnapshot cross-checks the driver's incremental cluster view
+	// against a full relist (nil for drivers that keep none).
+	VerifySnapshot() error
+	// Stats snapshots the scheduling counters.
+	Stats() SchedStats
+}
+
 // KubeShare is the installed framework: both controllers plus the per-node
 // device library backends.
 type KubeShare struct {
-	Cluster   *kube.Cluster
+	Cluster *kube.Cluster
+	// Sched is the installed scheduler driver (nil only when the caller
+	// wires its own scheduler onto an InstallBase).
+	Sched Sched
+	// Scheduler is the legacy driver when Install wired it; nil under
+	// schedfw or the extender.
+	//
+	// Deprecated: use Sched — the field only exists so one release of
+	// callers keeps compiling.
 	Scheduler *Scheduler
 	DevMgr    *DevMgr
 	// SetManager reconciles SharePodSet replica controllers (§4.6).
@@ -32,27 +54,34 @@ type KubeShare struct {
 	Backends map[string]*devlib.Backend
 }
 
-// Decisions returns the number of Algorithm 1 invocations KubeShare-Sched
-// has made (0 when the extender baseline is installed in its place).
-func (k *KubeShare) Decisions() int64 {
-	if k.Scheduler == nil {
-		return 0
-	}
-	return k.Scheduler.Decisions()
+// Stats snapshots the cluster's scheduling and recovery counters.
+func (k *KubeShare) Stats() SchedStats {
+	return ReadSchedStats(k.Cluster.Obs)
 }
 
-// Install deploys KubeShare onto a cluster, following the operator pattern:
-// it registers the SharePod and VGPU custom resources with the API server,
-// registers the holder image, installs the library interposition hook on
-// every node's runtime, and starts the two custom controllers. Nothing in
-// the existing cluster is modified — native pods keep working untouched
-// (§4.6's compatibility claim).
+// Decisions returns the number of Algorithm 1 invocations made so far.
+//
+// Deprecated: read Stats().Decisions.
+func (k *KubeShare) Decisions() int64 { return k.Stats().Decisions }
+
+// Install deploys KubeShare onto a cluster with the legacy single-sharePod
+// scheduler, following the operator pattern: it registers the SharePod and
+// VGPU custom resources with the API server, registers the holder image,
+// installs the library interposition hook on every node's runtime, and
+// starts the two custom controllers. Nothing in the existing cluster is
+// modified — native pods keep working untouched (§4.6's compatibility
+// claim).
+//
+// Deprecated: install through schedfw.Install, which wires the batched
+// plugin-framework driver (byte-identical placements in its default
+// configuration). This shim remains for one release.
 func Install(c *kube.Cluster, cfg Config) (*KubeShare, error) {
-	ks, err := installCommon(c, cfg)
+	ks, err := InstallBase(c, cfg)
 	if err != nil {
 		return nil, err
 	}
 	ks.Scheduler = NewScheduler(c.Env, c.API, cfg.Scheduler)
+	ks.Sched = ks.Scheduler
 	ks.DevMgr.Start()
 	ks.Scheduler.Start()
 	return ks, nil
@@ -62,21 +91,28 @@ func Install(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 // KubeShare-Sched, sharing the DevMgr and device-library machinery so the
 // comparison isolates the scheduling policy. KubeShare.Scheduler is nil in
 // the returned handle.
+//
+// Deprecated: install through schedfw.InstallExtender, which runs the
+// baseline policy on the framework driver. This shim remains for one
+// release.
 func InstallExtender(c *kube.Cluster, cfg Config) (*KubeShare, *ExtenderScheduler, error) {
-	ks, err := installCommon(c, cfg)
+	ks, err := InstallBase(c, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	ext := NewExtenderScheduler(c.Env, c.API, cfg.Scheduler)
+	ks.Sched = ext
 	ks.DevMgr.Start()
 	ext.Start()
 	return ks, ext, nil
 }
 
-// installCommon performs the wiring shared by every scheduler flavour:
+// InstallBase performs the wiring shared by every scheduler flavour:
 // validators, the holder image, per-node backends and library hooks, and an
-// (unstarted) DevMgr.
-func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
+// (unstarted) DevMgr. The caller supplies and starts the scheduler driver
+// (and should set KubeShare.Sched to it) — schedfw.Install is the standard
+// composition.
+func InstallBase(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 	ks := &KubeShare{
 		Cluster:  c,
 		Backends: make(map[string]*devlib.Backend),
@@ -135,7 +171,9 @@ func installCommon(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 
 // Stop terminates the KubeShare controllers (backends are passive).
 func (ks *KubeShare) Stop() {
-	if ks.Scheduler != nil {
+	if ks.Sched != nil {
+		ks.Sched.Stop()
+	} else if ks.Scheduler != nil {
 		ks.Scheduler.Stop()
 	}
 	ks.SetManager.Stop()

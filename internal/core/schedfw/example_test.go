@@ -1,0 +1,54 @@
+package schedfw_test
+
+import (
+	"testing"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
+	"kubeshare/internal/core/schedfw/fwk"
+	"kubeshare/internal/core/schedfw/plugins"
+	"kubeshare/internal/kube"
+)
+
+// BigJobHeadroom is the README's "writing a scheduler plugin" example: a
+// filter that vetoes devices whose residual utilization would drop below
+// the floor, so small jobs pack elsewhere and large jobs keep headroom.
+// This test keeps the documented code honest.
+type BigJobHeadroom struct{ Floor float64 }
+
+func (BigJobHeadroom) Name() string { return "big-job-headroom" }
+
+func (p BigJobHeadroom) Filter(u fwk.Unit, d *core.DeviceState) bool {
+	return u.Req.Util >= p.Floor || core.Residual(d)-u.Req.Util >= p.Floor
+}
+
+func TestReadmePluginExample(t *testing.T) {
+	s := newStack(t, 1, 4, func(c *kube.Cluster) (*core.KubeShare, error) {
+		return schedfw.Install(c, core.Config{},
+			schedfw.WithPlugins(append([]fwk.Plugin{BigJobHeadroom{Floor: 0.5}},
+				plugins.Default()...)...),
+			schedfw.WithBatchSize(64))
+	})
+	// Two 0.3 jobs: the default best-fit would co-locate them, but the
+	// headroom filter forces the second onto a fresh device (placing it on
+	// the first would leave 0.4 < 0.5 residual).
+	names := []string{"small-0", "small-1"}
+	for _, name := range names {
+		if _, err := core.SharePods(s.c.API).Create(trainPod(name, 0.3, 0.2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.env.Run()
+	got := collect(t, s, names)
+	for _, n := range names {
+		if got[n].phase != core.SharePodSucceeded {
+			t.Fatalf("%s: phase %q, want Succeeded", n, got[n].phase)
+		}
+	}
+	if got["small-0"].gpuID == got["small-1"].gpuID {
+		t.Fatalf("headroom filter ignored: both jobs on %s", got["small-0"].gpuID)
+	}
+	if err := s.ks.Sched.VerifySnapshot(); err != nil {
+		t.Fatal(err)
+	}
+}

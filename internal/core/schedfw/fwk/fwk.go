@@ -1,0 +1,99 @@
+// Package fwk defines the scheduling framework's extension surface: the
+// Unit of work flowing through a scheduling cycle, the phase plugin
+// interfaces (pre-filter → filter → score → allocate → reserve), and the
+// transactional pool view plugins mutate device state through.
+//
+// The package depends only on internal/core's pure scheduling types
+// (Request, DeviceState, Pool, Decision). Plugins see cluster state
+// exclusively through the pool and transaction handed to them and never
+// talk to the API server — commits happen in bulk through the framework
+// driver after intra-batch conflicts are resolved, a rule tools/detvet
+// enforces on plugin packages (no apiserver/store imports).
+package fwk
+
+import (
+	"time"
+
+	"kubeshare/internal/core"
+)
+
+// Unit is one schedulable work item — a pending sharePod's scheduling view.
+type Unit struct {
+	// Name identifies the sharePod the unit places.
+	Name string
+	// Created orders units for FIFO fairness (oldest first).
+	Created time.Duration
+	// Req is the unit's Algorithm 1 request.
+	Req core.Request
+	// Gang and GangSize carry the unit's all-or-nothing co-scheduling
+	// group; Gang == "" for solo units.
+	Gang     string
+	GangSize int
+}
+
+// Plugin is the common surface every phase plugin implements.
+type Plugin interface {
+	// Name identifies the plugin in phase counters and error messages.
+	Name() string
+}
+
+// PreFilterResult steers the rest of the pipeline for one unit.
+type PreFilterResult struct {
+	// Reject aborts scheduling with a terminal rejection (Algorithm 1's
+	// "return -1"); the string is the user-visible reason.
+	Reject string
+	// Pin restricts filter/score to exactly this device (the GPU-affinity
+	// grouping: the group's device, or the idle device a new group opens
+	// on).
+	Pin *core.DeviceState
+	// SkipDevices bypasses filter/score entirely and goes straight to the
+	// allocate phase (no existing device may host the unit).
+	SkipDevices bool
+}
+
+// PreFilterPlugin runs once per unit before device enumeration. Multiple
+// pre-filters compose: the first Reject wins, the last Pin wins, and
+// SkipDevices is sticky.
+type PreFilterPlugin interface {
+	Plugin
+	PreFilter(u Unit, pool *core.Pool) PreFilterResult
+}
+
+// FilterPlugin votes a single device in or out for a unit.
+type FilterPlugin interface {
+	Plugin
+	Filter(u Unit, d *core.DeviceState) bool
+}
+
+// ScorePlugin ranks devices that survived filtering. Scores from multiple
+// plugins are compared lexicographically in registration order: a strictly
+// higher score from an earlier plugin dominates, later plugins only break
+// its exact ties, and a full tie falls to the lowest device ID. The
+// lexicographic contract is what lets a scorer express banded precedence
+// (e.g. "plain devices before affinity-labelled ones") without folding
+// bands into one float and losing resolution.
+type ScorePlugin interface {
+	Plugin
+	Score(u Unit, d *core.DeviceState) float64
+}
+
+// AllocPlugin proposes a placement when no existing device was chosen —
+// typically by deciding where a fresh vGPU would be created. It must not
+// mutate the pool: it returns NewDevice (with the node and a fresh GPUID
+// from pool.NewID) or NoCapacity, and the reserve phase performs the
+// creation transactionally.
+type AllocPlugin interface {
+	Plugin
+	Allocate(u Unit, pool *core.Pool) core.Decision
+}
+
+// ReservePlugin commits a decision onto the transactional pool view
+// (Reserve) and releases plugin-internal bookkeeping when the framework
+// rolls a reservation back (Unreserve). Pool state itself is restored by
+// the transaction journal — Unreserve exists for state the plugin keeps
+// outside the pool.
+type ReservePlugin interface {
+	Plugin
+	Reserve(u Unit, t *Txn, d *core.DeviceState, dec core.Decision)
+	Unreserve(u Unit, t *Txn, dec core.Decision)
+}

@@ -64,6 +64,11 @@ type Scheduler struct {
 }
 
 // NewScheduler creates KubeShare-Sched; Start launches it.
+//
+// Deprecated: the single-sharePod loop lives on for one release as the
+// reference implementation; new code should construct the batched,
+// plugin-phased driver with schedfw.New (its default configuration
+// reproduces this scheduler's placements exactly).
 func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Scheduler {
 	if cfg.CycleLatency == 0 {
 		cfg.CycleLatency = DefaultCycleLatency
@@ -77,22 +82,25 @@ func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Sch
 		wake:       sim.NewQueue[struct{}](env),
 		tracer:     rt.Tracer(),
 		recorder:   rt.EventSource("kubeshare-sched"),
-		decisions:  rt.Counter("kubeshare_sched_decisions_total"),
-		requeues:   rt.Counter("kubeshare_sched_requeues_total"),
-		noCapacity: rt.Counter("kubeshare_sched_nocapacity_cycles_total"),
-		depth:      rt.Gauge("kubeshare_sched_pending_sharepods"),
-		schedHist:  rt.Histogram("kubeshare_sched_latency_seconds"),
+		decisions:  rt.Counter(MetricSchedDecisions),
+		requeues:   rt.Counter(MetricSchedRequeues),
+		noCapacity: rt.Counter(MetricSchedNoCapacity),
+		depth:      rt.Gauge(MetricSchedPending),
+		schedHist:  rt.Histogram(MetricSchedLatency),
 	}
 }
 
-// Decisions returns the number of scheduling decisions made so far. The
-// count is an obs registry counter, safe to read concurrently with the
-// scheduling loop. When the cluster runs with observability disabled the
-// counter handle is a no-op and this reports zero.
+// Stats snapshots the scheduling counters off the obs registry.
+func (s *Scheduler) Stats() SchedStats { return ReadSchedStats(s.srv.Obs()) }
+
+// Decisions returns the number of scheduling decisions made so far.
+//
+// Deprecated: read Stats().Decisions.
 func (s *Scheduler) Decisions() int64 { return s.decisions.Value() }
 
-// Requeues returns the number of bound-pod-loss recoveries performed
-// (same registry-counter semantics as Decisions).
+// Requeues returns the number of bound-pod-loss recoveries performed.
+//
+// Deprecated: read Stats().Requeues.
 func (s *Scheduler) Requeues() int64 { return s.requeues.Value() }
 
 // VerifySnapshot cross-checks the incremental snapshot against a full
@@ -285,8 +293,10 @@ func (s *Scheduler) applyRejection(name, reason string) {
 	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
 }
 
-// sortByAge orders sharePods oldest-first (name as tie-break) for FIFO
-// fairness.
+// SortByAge orders sharePods oldest-first (name as tie-break) for FIFO
+// fairness — the queue order every scheduler flavour shares.
+func SortByAge(sps []*SharePod) { sortByAge(sps) }
+
 func sortByAge(sps []*SharePod) {
 	sort.Slice(sps, func(i, j int) bool {
 		a, b := sps[i], sps[j]

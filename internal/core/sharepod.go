@@ -60,6 +60,15 @@ type SharePodSpec struct {
 	Affinity     string
 	AntiAffinity string
 	Exclusion    string
+	// Gang names an all-or-nothing co-scheduling group: members of the same
+	// gang are placed atomically in one scheduling cycle once GangSize of
+	// them are pending, or not at all. Set by the SharePodSet controller for
+	// gang-enabled sets; "" disables gang semantics. The gate applies to
+	// initial admission only — a member requeued after recovery (Restarts >
+	// 0) reschedules solo, since its peers already hold their placements.
+	Gang string
+	// GangSize is the total member count the gang waits for.
+	GangSize int
 }
 
 // Share converts the spec's fractions into a device library share.
@@ -133,6 +142,31 @@ func (s *SharePod) Terminated() bool {
 // Placed reports whether a vGPU has been assigned.
 func (s *SharePod) Placed() bool { return s.Spec.GPUID != "" }
 
+// Placement is a typed placement: where a workload landed and whether its
+// GPU grant is fractional. Callers previously reassembled this from spec
+// fields and bound-pod annotation strings; the typed form is the API.
+type Placement struct {
+	// NodeName is the hosting node ("" when unplaced).
+	NodeName string
+	// GPUID is the assigned vGPU ("" when unplaced).
+	GPUID string
+	// Partial marks a fractional share — the workload co-tenants its device
+	// (gpu_request or gpu_mem below a whole GPU).
+	Partial bool
+}
+
+// Assigned reports whether the placement names a device.
+func (p Placement) Assigned() bool { return p.GPUID != "" }
+
+// Placement returns the sharePod's typed placement.
+func (s *SharePod) Placement() Placement {
+	return Placement{
+		NodeName: s.Spec.NodeName,
+		GPUID:    s.Spec.GPUID,
+		Partial:  s.Spec.GPURequest < 1 || s.Spec.GPUMem < 1,
+	}
+}
+
 // RequeueSharePod is the shared recovery edge: it clears a live, placed
 // sharePod's placement and resets it to Pending with Restarts incremented,
 // so Algorithm 1 re-places the work against current cluster state. Both
@@ -195,6 +229,12 @@ func ValidateSharePod(o api.Object) error {
 	}
 	if sp.Spec.GPUID != "" && sp.Spec.NodeName == "" {
 		return fmt.Errorf("core: GPUID set without NodeName")
+	}
+	if sp.Spec.Gang == "" && sp.Spec.GangSize != 0 {
+		return fmt.Errorf("core: GangSize set without Gang")
+	}
+	if sp.Spec.Gang != "" && sp.Spec.GangSize < 1 {
+		return fmt.Errorf("core: gang %q needs GangSize >= 1", sp.Spec.Gang)
 	}
 	return nil
 }

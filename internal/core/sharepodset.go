@@ -31,6 +31,12 @@ type SharePodSet struct {
 	// Template is the sharePod spec each replica is created from (GPUID
 	// and NodeName must be empty; the scheduler assigns them per replica).
 	Template SharePodSpec
+	// Gang requests all-or-nothing co-scheduling: the manager stamps every
+	// replica with the set's gang (named after the set, sized Replicas), so
+	// the scheduler admits the whole set in one cycle or none of it — the
+	// distributed-training pattern where a partial replica set only wastes
+	// GPU time.
+	Gang bool
 	// ReadyReplicas counts replicas whose bound pod is running.
 	ReadyReplicas int
 }
@@ -81,6 +87,12 @@ func NewSharePodSetManager(env *sim.Env, srv *apiserver.Server) *SharePodSetMana
 		}
 		if set.Template.GPUID != "" {
 			return fmt.Errorf("core: set template must not pin a GPUID")
+		}
+		if set.Template.Gang != "" || set.Template.GangSize != 0 {
+			return fmt.Errorf("core: set template must not carry gang fields (set Gang on the set; the manager stamps replicas)")
+		}
+		if set.Gang && set.Replicas < 1 {
+			return fmt.Errorf("core: gang set needs at least one replica")
 		}
 		probe := &SharePod{ObjectMeta: api.ObjectMeta{Name: "probe"}, Spec: set.Template}
 		return ValidateSharePod(probe)
@@ -172,6 +184,10 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 				OwnerName: setOwnerPrefix + set.Name,
 			},
 			Spec: set.Template.Clone(),
+		}
+		if set.Gang {
+			sp.Spec.Gang = set.Name
+			sp.Spec.GangSize = set.Replicas
 		}
 		if _, err := sps.Create(sp); err != nil {
 			return fmt.Errorf("sharepodset %s: create: %w", name, err)

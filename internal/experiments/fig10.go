@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
@@ -117,7 +118,7 @@ func measureShareCreation(cfg Fig10Config, n int, warmPool bool) (time.Duration,
 	if warmPool {
 		policy = core.Reservation
 	}
-	if _, err := core.Install(c, core.Config{DevMgr: core.DevMgrConfig{Policy: policy}}); err != nil {
+	if _, err := schedfw.Install(c, core.Config{DevMgr: core.DevMgrConfig{Policy: policy}}); err != nil {
 		return 0, err
 	}
 	mk := func(i int, gen string) *core.SharePod {

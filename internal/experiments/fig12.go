@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
@@ -73,7 +74,7 @@ func runCombo(steps int, profs ...interferenceProfile) (map[string]time.Duration
 	if err != nil {
 		return nil, err
 	}
-	if _, err := core.Install(c, core.Config{}); err != nil {
+	if _, err := schedfw.Install(c, core.Config{}); err != nil {
 		return nil, err
 	}
 	names := make([]string, len(profs))

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
@@ -78,7 +79,7 @@ func runFig13Workload(cfg Fig13Config, ratio float64, setting fig13Setting) (flo
 	}
 	workload.RegisterImages(c)
 	if setting != fig13Kubernetes {
-		if _, err := core.Install(c, core.Config{}); err != nil {
+		if _, err := schedfw.Install(c, core.Config{}); err != nil {
 			return 0, err
 		}
 	}

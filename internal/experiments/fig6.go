@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
@@ -65,7 +66,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 	if cfg.Quota > 0 {
 		ksCfg.Devlib.Quota = cfg.Quota
 	}
-	ks, err := core.Install(c, ksCfg)
+	ks, err := schedfw.Install(c, ksCfg)
 	if err != nil {
 		return nil, err
 	}

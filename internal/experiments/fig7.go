@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/devlib"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
@@ -47,7 +48,7 @@ func Fig7(cfg Fig7Config) (*metrics.Table, error) {
 		}
 		envVars := map[string]string{workload.EnvSteps: fmt.Sprintf("%d", cfg.Steps)}
 		if useLib {
-			if _, err := core.Install(c, core.Config{Devlib: devlib.Config{Quota: quota}}); err != nil {
+			if _, err := schedfw.Install(c, core.Config{Devlib: devlib.Config{Quota: quota}}); err != nil {
 				return 0, err
 			}
 			sp := &core.SharePod{

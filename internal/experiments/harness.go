@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
@@ -112,11 +113,11 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	}
 	switch cfg.System {
 	case KubeShare:
-		if _, err := core.Install(c, cfg.Devlib); err != nil {
+		if _, err := schedfw.Install(c, cfg.Devlib); err != nil {
 			return SharingResult{}, err
 		}
 	case Extender:
-		if _, _, err := core.InstallExtender(c, cfg.Devlib); err != nil {
+		if _, _, err := schedfw.InstallExtender(c, cfg.Devlib); err != nil {
 			return SharingResult{}, err
 		}
 	}

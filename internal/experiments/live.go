@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
@@ -75,7 +76,7 @@ func StartLive(cfg LiveConfig) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := core.Install(c, core.Config{}); err != nil {
+	if _, err := schedfw.Install(c, core.Config{}); err != nil {
 		return nil, err
 	}
 	l := &Live{env: env, cluster: c, total: len(cfg.Jobs)}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
@@ -57,11 +58,11 @@ func runPlacement(cfg Table1Config, sys table1System) (placementStats, error) {
 	}
 	switch sys {
 	case table1KubeShare:
-		if _, err := core.Install(c, core.Config{}); err != nil {
+		if _, err := schedfw.Install(c, core.Config{}); err != nil {
 			return placementStats{}, err
 		}
 	default:
-		_, ext, err := core.InstallExtender(c, core.Config{})
+		_, ext, err := schedfw.InstallExtender(c, core.Config{})
 		if err != nil {
 			return placementStats{}, err
 		}

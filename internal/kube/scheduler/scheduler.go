@@ -216,37 +216,72 @@ func (s *Scheduler) nextPending() *api.Pod {
 	return nil
 }
 
-// pickNode runs filter + score and returns the chosen node name ("" when no
-// node fits). The filter reads the per-node committed cache directly — no
-// ResourceList is materialized — and the score argmax replaces a sort; both
-// produce exactly the choice the sort-based version did, because (score,
-// name) is a strict total order over candidate nodes.
+// candidate is the per-node view the phase functions operate on: the node
+// object, its live committed resources and the pod's materialized requests.
+type candidate struct {
+	node *api.Node
+	com  api.ResourceList
+	need api.ResourceList
+}
+
+// nodeFilter reports whether the candidate node may host the pod; nodeScore
+// ranks the survivors (higher is better). The slices below mirror the plugin
+// phases of the core scheduling framework (internal/core/schedfw), kept as
+// plain function tables here: this scheduler deliberately predates the
+// framework architecturally — it sees only aggregate node capacity — and
+// importing schedfw would invert the layering.
+type nodeFilter func(pod *api.Pod, c candidate) bool
+type nodeScore func(pod *api.Pod, c candidate) float64
+
+var defaultFilters = []nodeFilter{
+	// node readiness
+	func(pod *api.Pod, c candidate) bool { return c.node.Status.Ready },
+	// node selector
+	func(pod *api.Pod, c candidate) bool { return c.node.MatchesSelector(pod.Spec.NodeSelector) },
+	// aggregate resource fit (extended resources as opaque counts)
+	func(pod *api.Pod, c candidate) bool {
+		alloc := c.node.Status.Allocatable
+		for k, v := range c.need {
+			if v > alloc[k]-c.com[k] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+var defaultScores = []nodeScore{
+	// Least-allocated: prefer the node with the most residual CPU fraction
+	// after placement.
+	func(pod *api.Pod, c candidate) float64 {
+		if a := c.node.Status.Allocatable[api.ResourceCPU]; a > 0 {
+			return float64(a-c.com[api.ResourceCPU]-c.need[api.ResourceCPU]) / float64(a)
+		}
+		return 0
+	},
+}
+
+// pickNode runs the filter phase then a score argmax and returns the chosen
+// node name ("" when no node survives filtering). The filters read the
+// per-node committed cache directly — no intermediate ResourceList is
+// materialized — and (score, name) is a strict total order over candidates,
+// so the argmax is deterministic over the unordered node map (ties broken by
+// lowest name).
 func (s *Scheduler) pickNode(pod *api.Pod) string {
 	need := pod.Spec.Requests()
 	best := ""
 	bestScore := 0.0
+candidates:
 	for name, node := range s.nodes {
-		if !node.Status.Ready || !node.MatchesSelector(pod.Spec.NodeSelector) {
-			continue
-		}
-		alloc := node.Status.Allocatable
-		com := s.committed[name]
-		ok := true
-		for k, v := range need {
-			if v > alloc[k]-com[k] {
-				ok = false
-				break
+		c := candidate{node: node, com: s.committed[name], need: need}
+		for _, f := range defaultFilters {
+			if !f(pod, c) {
+				continue candidates
 			}
 		}
-		if !ok {
-			continue
-		}
-		// Least-allocated scoring: prefer the node with the most residual
-		// CPU fraction after placement (ties broken by name for
-		// determinism).
 		score := 0.0
-		if a := alloc[api.ResourceCPU]; a > 0 {
-			score = float64(a-com[api.ResourceCPU]-need[api.ResourceCPU]) / float64(a)
+		for _, sc := range defaultScores {
+			score += sc(pod, c)
 		}
 		if best == "" || score > bestScore || (score == bestScore && name < best) {
 			best, bestScore = name, score

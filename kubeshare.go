@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/devlib"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
@@ -73,6 +74,12 @@ type (
 	EventRecord = obs.EventRecord
 	// MetricsSnapshot is a point-in-time registry dump (see Sim.Metrics).
 	MetricsSnapshot = obs.MetricsSnapshot
+	// SchedStats is the one-call scheduling/recovery counter snapshot,
+	// read from the telemetry registry (see Sim.SchedStats).
+	SchedStats = core.SchedStats
+	// Placement is a typed placement: node, vGPU and whether the share is
+	// fractional (see SharePod.Placement).
+	Placement = core.Placement
 )
 
 // Trace helpers re-exported from the telemetry runtime.
@@ -125,6 +132,7 @@ type config struct {
 	gpusPerNode int
 	gpuMem      int64
 	ks          core.Config
+	sched       []schedfw.Option
 	extender    bool
 	noKubeShare bool
 	noObs       bool
@@ -167,6 +175,25 @@ func WithMemOvercommit(factor float64) Option {
 // WithExtenderScheduler installs the scheduler-extender baseline instead of
 // KubeShare-Sched (for comparisons).
 func WithExtenderScheduler() Option { return func(c *config) { c.extender = true } }
+
+// WithSchedulerBatch sets how many placements one scheduling cycle may
+// stage (default 1 — the legacy pace). Larger batches amortize the cycle
+// latency and pool materialization across many decisions.
+func WithSchedulerBatch(n int) Option {
+	return func(c *config) { c.sched = append(c.sched, schedfw.WithBatchSize(n)) }
+}
+
+// WithGangTimeout bounds how long an incomplete gang (SharePodSet with Gang
+// enabled) may hold reserved capacity against younger work.
+func WithGangTimeout(d time.Duration) Option {
+	return func(c *config) { c.sched = append(c.sched, schedfw.WithGangTimeout(d)) }
+}
+
+// WithSchedulerOptions passes framework driver options through verbatim
+// (plugin sets, batch sizes — see the schedfw package).
+func WithSchedulerOptions(opts ...schedfw.Option) Option {
+	return func(c *config) { c.sched = append(c.sched, opts...) }
+}
 
 // WithoutKubeShare builds a vanilla cluster with no KubeShare installed
 // (the native baseline).
@@ -214,13 +241,13 @@ func New(opts ...Option) (*Sim, error) {
 	switch {
 	case cfg.noKubeShare:
 	case cfg.extender:
-		ks, _, err := core.InstallExtender(cluster, cfg.ks)
+		ks, _, err := schedfw.InstallExtender(cluster, cfg.ks, cfg.sched...)
 		if err != nil {
 			return nil, err
 		}
 		s.KS = ks
 	default:
-		ks, err := core.Install(cluster, cfg.ks)
+		ks, err := schedfw.Install(cluster, cfg.ks, cfg.sched...)
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +357,7 @@ func (s *Sim) Stats() Stats {
 	if s.KS == nil {
 		return st
 	}
-	st.Decisions = s.KS.Decisions()
+	st.Decisions = s.KS.Stats().Decisions
 	for _, v := range s.VGPUs().List() {
 		st.VGPUs++
 		if v.Status.Phase == core.VGPUIdle {
@@ -366,6 +393,18 @@ func (s *Sim) usageRate(sp *SharePod) float64 {
 		total += mgr.UsageRate(sp.Status.BoundPod + "/" + c.Name)
 	}
 	return total
+}
+
+// SchedStats snapshots the scheduling and recovery counters off the
+// telemetry registry: decisions, requeues, no-capacity cycles, pending
+// depth, and DevMgr vGPU recoveries — the single struct replacing the old
+// per-counter accessors. Zero-valued when the Sim was built
+// WithoutKubeShare or WithoutObservability.
+func (s *Sim) SchedStats() SchedStats {
+	if s.KS == nil {
+		return SchedStats{}
+	}
+	return s.KS.Stats()
 }
 
 // Metrics returns a point-in-time snapshot of every counter, gauge and

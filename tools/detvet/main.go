@@ -45,6 +45,18 @@ var bannedImports = map[string]string{
 	"math/rand/v2": "use kubeshare/internal/simrand (seeded streams) instead",
 }
 
+// dirBannedImports bans imports only within package directories matching a
+// slash-separated suffix. Scheduler plugins read cluster state exclusively
+// through the framework's Pool/Txn view and write through Reserve — a
+// plugin holding an apiserver or store handle could bypass the cycle
+// transaction, breaking batched conflict resolution and gang rollback.
+var dirBannedImports = map[string]map[string]string{
+	"schedfw/plugins": {
+		"kubeshare/internal/kube/apiserver": "plugins must not reach the API server; read the Pool, write via Txn/Reserve",
+		"kubeshare/internal/kube/store":     "plugins must not reach the store; read the Pool, write via Txn/Reserve",
+	},
+}
+
 // metricMethods are registry methods whose first argument is a metric
 // name; "true" marks the labeled (*Vec) forms whose remaining string
 // arguments are label keys.
@@ -147,11 +159,20 @@ func checkFile(path string) int {
 
 	// localName maps the in-file identifier of each watched import to its
 	// import path ("time", "fmt"), honouring renamed imports.
+	dir := filepath.ToSlash(filepath.Dir(path))
 	localName := map[string]string{}
 	for _, imp := range f.Imports {
 		ip, _ := strconv.Unquote(imp.Path.Value)
 		if reason, banned := bannedImports[ip]; banned {
 			report(imp.Pos(), fmt.Sprintf("import %q forbidden: %s", ip, reason))
+		}
+		for suffix, rules := range dirBannedImports {
+			if !strings.HasSuffix(dir, suffix) {
+				continue
+			}
+			if reason, banned := rules[ip]; banned {
+				report(imp.Pos(), fmt.Sprintf("import %q forbidden in %s: %s", ip, suffix, reason))
+			}
 		}
 		if _, watched := bannedSelectors[ip]; watched {
 			name := filepath.Base(ip)
