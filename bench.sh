@@ -32,6 +32,15 @@ OBS_COUNT="${OBS_COUNT:-5}"
 BASELINE_REF="${BASELINE_REF:-}"
 OUT="${OUT:-BENCH.json}"
 
+# Every benchmark section records the cpus/gomaxprocs it ran under: wall-clock
+# numbers are meaningless without them (a 4-lane sweep on 1 CPU timeslices
+# instead of parallelizing), and tools/benchmerge rejects records that omit
+# them. Most sections run at the Go default; the fig16 lane sweep pins
+# GOMAXPROCS=4 so the lane-speedup column is comparable across machines.
+CPUS="$(nproc)"
+GMP="${GOMAXPROCS:-$CPUS}"
+FIG16_GMP=4
+
 MICRO='BenchmarkTimerChurn|BenchmarkProcContextSwitch|BenchmarkQueueHandoff|BenchmarkManyProcs|BenchmarkSimKernel'
 FIGS='BenchmarkFig8aJobFrequency|BenchmarkFig9Utilization'
 
@@ -60,8 +69,9 @@ NEW_RAW="$(mktemp)"
 BASE_RAW="$(mktemp)"
 OBS_RAW="$(mktemp)"
 FIG15_RAW="$(mktemp)"
+FIG16_RAW="$(mktemp)"
 RECORD="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$RECORD"; cleanup' EXIT
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -86,6 +96,13 @@ done
 echo "fig15 (scheduler throughput, 10k sharePods)..." >&2
 go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/full$' -benchtime 1x 2>/dev/null |
   grep '^BenchmarkFig15' >"$FIG15_RAW" || true
+
+# Hot-path scale sweep (Figure 16): 1k → 10k → 100k sharePods at 1 and 4
+# event lanes under GOMAXPROCS=4. The run itself verifies placements are
+# byte-identical across lane counts; the recorded numbers are wall-clock.
+echo "fig16 (scale sweep to 100k sharePods, GOMAXPROCS=$FIG16_GMP)..." >&2
+GOMAXPROCS=$FIG16_GMP go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/full$' -benchtime 1x 2>/dev/null |
+  grep '^BenchmarkFig16' >"$FIG16_RAW" || true
 
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
 min_ns() {
@@ -122,7 +139,7 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
   echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
   echo "  \"go\": \"$(go version | awk '{print $3}')\","
-  echo "  \"cpus\": $(nproc),"
+  echo "  \"cpus\": $CPUS,"
   echo "  \"rounds\": $COUNT,"
   if [ -n "$BASELINE_REF" ]; then
     echo "  \"baseline_ref\": \"$(git rev-parse "$BASELINE_REF")\","
@@ -136,6 +153,7 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
     [ $first -eq 0 ] && echo ','
     first=0
     printf '    "%s": {' "$b"
+    printf '"cpus": %s, "gomaxprocs": %s, ' "$CPUS" "$GMP"
     printf '"ns_op": %s' "$new"
     na="$(allocs_of "$NEW_RAW" "$b")"
     [ -n "$na" ] && printf ', "allocs_op": %s' "$na"
@@ -159,6 +177,8 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
     SPEEDUP="$(metric_of "$FIG15_RAW" batched-speedup)"
     echo '  "fig15_scheduler_throughput": {'
     echo '    "benchmark": "BenchmarkFig15SchedulerThroughput/full (10000 pending sharePods, batch 64, gang 4)",'
+    echo "    \"cpus\": $CPUS,"
+    echo "    \"gomaxprocs\": $GMP,"
     echo "    \"single_decisions_per_sec\": $SINGLE,"
     echo "    \"batched_decisions_per_sec\": $BATCHED,"
     echo "    \"gang_decisions_per_sec\": $GANG,"
@@ -166,8 +186,28 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
     echo "    \"meets_3x\": $(awk -v s="$SPEEDUP" 'BEGIN { print (s + 0 >= 3) ? "true" : "false" }')"
     echo '  },'
   fi
+  if [ -s "$FIG16_RAW" ]; then
+    echo '  "fig16_scale_sweep": {'
+    echo "    \"benchmark\": \"BenchmarkFig16ScaleSweep/full (churn workload, 1 vs 4 event lanes, GOMAXPROCS=$FIG16_GMP)\","
+    echo "    \"cpus\": $CPUS,"
+    echo "    \"gomaxprocs\": $FIG16_GMP,"
+    BEST=""
+    for n in 1000 10000 100000; do
+      WALL="$(metric_of "$FIG16_RAW" "$n-wall-ms")"
+      SPD="$(metric_of "$FIG16_RAW" "$n-lane-speedup")"
+      [ -z "$WALL" ] && continue
+      echo "    \"sharepods_$n\": {\"wall_ms_4lane\": $WALL, \"lane_speedup\": $SPD},"
+      BEST="$(awk -v a="${BEST:-0}" -v b="$SPD" 'BEGIN { printf "%s", (b + 0 > a + 0) ? b : a }')"
+    done
+    echo "    \"best_lane_speedup\": ${BEST:-0},"
+    echo "    \"meets_2_5x\": $(awk -v s="${BEST:-0}" 'BEGIN { print (s + 0 >= 2.5) ? "true" : "false" }'),"
+    echo "    \"cpu_bound\": $(awk -v c="$CPUS" -v g="$FIG16_GMP" 'BEGIN { print (c + 0 < g + 0) ? "true" : "false" }')"
+    echo '  },'
+  fi
   echo '  "obs_overhead": {'
   echo '    "benchmark": "BenchmarkFig9Obs (Figure 9 KubeShare arm, quick scale, labeled metrics)",'
+  echo "    \"cpus\": $CPUS,"
+  echo "    \"gomaxprocs\": $GMP,"
   echo "    \"rounds\": $OBS_COUNT,"
   echo "    \"on_ns\": $ON,"
   echo "    \"off_ns\": $OFF,"

@@ -29,14 +29,25 @@ GOMAXPROCS=4 go test -race ./internal/obs/...
 GOMAXPROCS=4 go test -race ./internal/chaos/
 # Scheduling-framework suite under the race detector on the multi-worker
 # path: engine/Algorithm-1 equivalence properties, transaction rollback,
-# batched-vs-sequential, conflict retry and gang all-or-nothing.
+# batched-vs-sequential, conflict retry, gang all-or-nothing, and the
+# parallel-phase lane windows (FanOut ranking must be lane-count- and
+# GOMAXPROCS-invariant).
 GOMAXPROCS=4 go test -race ./internal/core/schedfw/...
+# Multi-core hot path under the race detector with lanes actually running
+# concurrently: event-lane routing/merge/mailbox in the kernel, and the
+# sharded store's churn-vs-filtered-watch equivalence property.
+GOMAXPROCS=4 go test -race -run 'TestLane|TestFanOut|TestSetLanes|TestShard|TestIndex' ./internal/sim/ ./internal/kube/store/
 # Smoke the kernel micro-benchmarks so a regression that only breaks bench
 # setup (not the unit tests) is caught here.
 go test ./internal/sim/ -run xxx -bench BenchmarkSimKernel -benchtime 1x
 # Smoke the scheduler-throughput bench (Figure 15) at quick scale; bench.sh
 # measures the full 10k point into BENCH.json.
 go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/quick' -benchtime 1x
+# Smoke the scale sweep (Figure 16) at quick scale under GOMAXPROCS=4: the
+# lane-partitioned churn workload must place identically at 1 and 4 lanes
+# (Fig16 errors out on any metrics divergence); bench.sh measures the full
+# 1k/10k/100k sweep into BENCH.json.
+GOMAXPROCS=4 go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/quick' -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
 # workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

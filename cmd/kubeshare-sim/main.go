@@ -9,9 +9,9 @@
 //	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 latency, or "all" (the default). Full scale matches the
-// paper's 8-node × 4-GPU testbed and 5-run averages; quick scale shrinks the
-// cluster and workloads for fast iteration.
+// fig12 fig13 fig14 fig15 fig16 latency, or "all" (the default). Full scale
+// matches the paper's 8-node × 4-GPU testbed and 5-run averages; quick scale
+// shrinks the cluster and workloads for fast iteration.
 //
 // The trace subcommand runs a small seeded workload with the observability
 // spine on and prints one object's causal span chain — submission through
@@ -214,7 +214,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -348,6 +348,14 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.Batch = 32
 		}
 		return experiments.Fig15(cfg)
+	case "fig16":
+		cfg := experiments.Fig16Config{}
+		if !full {
+			cfg.Sizes = []int{500, 2000}
+			cfg.Lanes = []int{1, 2, 4}
+			cfg.Nodes = 16
+		}
+		return experiments.Fig16(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig15, latency)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig16, latency)")
 }

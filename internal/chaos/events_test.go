@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
@@ -28,7 +29,7 @@ func TestEventsSurviveWatchDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	workload.RegisterImages(c)
-	if _, err := core.Install(c, core.Config{}); err != nil {
+	if _, err := schedfw.Install(c, core.Config{}); err != nil {
 		t.Fatal(err)
 	}
 

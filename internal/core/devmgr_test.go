@@ -1,6 +1,7 @@
-package core
+package core_test
 
 import (
+	. "kubeshare/internal/core"
 	"testing"
 	"time"
 

@@ -1,7 +1,9 @@
-package core
+package core_test
 
 import (
 	"fmt"
+	. "kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"testing"
 	"time"
 
@@ -9,15 +11,16 @@ import (
 	"kubeshare/internal/sim"
 )
 
-// extStack builds a cluster with the extender baseline installed.
-func extStack(t *testing.T, gpus int) (*sim.Env, *kube.Cluster, *ExtenderScheduler) {
+// extStack builds a cluster with the extender baseline (on the framework
+// driver) installed.
+func extStack(t *testing.T, gpus int) (*sim.Env, *kube.Cluster, *schedfw.Extender) {
 	t.Helper()
 	env := sim.NewEnv()
 	c, err := kube.NewCluster(env, kube.Config{Nodes: []kube.NodeConfig{{Name: "n0", GPUs: gpus}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ext, err := InstallExtender(c, Config{})
+	_, ext, err := schedfw.InstallExtender(c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

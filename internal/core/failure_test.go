@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"errors"
 	"fmt"
+	. "kubeshare/internal/core"
 	"testing"
 	"time"
 

@@ -40,14 +40,8 @@ type KubeShare struct {
 	Cluster *kube.Cluster
 	// Sched is the installed scheduler driver (nil only when the caller
 	// wires its own scheduler onto an InstallBase).
-	Sched Sched
-	// Scheduler is the legacy driver when Install wired it; nil under
-	// schedfw or the extender.
-	//
-	// Deprecated: use Sched — the field only exists so one release of
-	// callers keeps compiling.
-	Scheduler *Scheduler
-	DevMgr    *DevMgr
+	Sched  Sched
+	DevMgr *DevMgr
 	// SetManager reconciles SharePodSet replica controllers (§4.6).
 	SetManager *SharePodSetManager
 	// Backends holds the per-node device-library daemon, keyed by node name.
@@ -57,54 +51,6 @@ type KubeShare struct {
 // Stats snapshots the cluster's scheduling and recovery counters.
 func (k *KubeShare) Stats() SchedStats {
 	return ReadSchedStats(k.Cluster.Obs)
-}
-
-// Decisions returns the number of Algorithm 1 invocations made so far.
-//
-// Deprecated: read Stats().Decisions.
-func (k *KubeShare) Decisions() int64 { return k.Stats().Decisions }
-
-// Install deploys KubeShare onto a cluster with the legacy single-sharePod
-// scheduler, following the operator pattern: it registers the SharePod and
-// VGPU custom resources with the API server, registers the holder image,
-// installs the library interposition hook on every node's runtime, and
-// starts the two custom controllers. Nothing in the existing cluster is
-// modified — native pods keep working untouched (§4.6's compatibility
-// claim).
-//
-// Deprecated: install through schedfw.Install, which wires the batched
-// plugin-framework driver (byte-identical placements in its default
-// configuration). This shim remains for one release.
-func Install(c *kube.Cluster, cfg Config) (*KubeShare, error) {
-	ks, err := InstallBase(c, cfg)
-	if err != nil {
-		return nil, err
-	}
-	ks.Scheduler = NewScheduler(c.Env, c.API, cfg.Scheduler)
-	ks.Sched = ks.Scheduler
-	ks.DevMgr.Start()
-	ks.Scheduler.Start()
-	return ks, nil
-}
-
-// InstallExtender deploys the scheduler-extender baseline in place of
-// KubeShare-Sched, sharing the DevMgr and device-library machinery so the
-// comparison isolates the scheduling policy. KubeShare.Scheduler is nil in
-// the returned handle.
-//
-// Deprecated: install through schedfw.InstallExtender, which runs the
-// baseline policy on the framework driver. This shim remains for one
-// release.
-func InstallExtender(c *kube.Cluster, cfg Config) (*KubeShare, *ExtenderScheduler, error) {
-	ks, err := InstallBase(c, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	ext := NewExtenderScheduler(c.Env, c.API, cfg.Scheduler)
-	ks.Sched = ext
-	ks.DevMgr.Start()
-	ext.Start()
-	return ks, ext, nil
 }
 
 // InstallBase performs the wiring shared by every scheduler flavour:
@@ -173,8 +119,6 @@ func InstallBase(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 func (ks *KubeShare) Stop() {
 	if ks.Sched != nil {
 		ks.Sched.Stop()
-	} else if ks.Scheduler != nil {
-		ks.Scheduler.Stop()
 	}
 	ks.SetManager.Stop()
 	ks.DevMgr.Stop()

@@ -1,7 +1,9 @@
-package core
+package core_test
 
 import (
 	"fmt"
+	. "kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
 	"math"
 	"testing"
 	"time"
@@ -27,7 +29,7 @@ func newStack(t *testing.T, nodes int, cfg Config) *testStack {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ks, err := Install(c, cfg)
+	ks, err := schedfw.Install(c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +362,7 @@ func TestExtenderRoundRobinOvercommits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = InstallExtender(c, Config{})
+	_, _, err = schedfw.InstallExtender(c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,145 @@
+package schedfw_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
+	"kubeshare/internal/kube"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// laneStack is newStack plus an event-lane partition, set before the
+// cluster exists (SetLanes must precede all scheduling).
+func laneStack(t *testing.T, lanes, nodes, gpus int, opts ...schedfw.Option) *stack {
+	t.Helper()
+	env := sim.NewEnv()
+	env.SetLanes(lanes)
+	cfg := kube.Config{}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, kube.NodeConfig{Name: fmt.Sprintf("node-%d", i), GPUs: gpus})
+	}
+	c, err := kube.NewCluster(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := schedfw.Install(c, core.Config{}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.RegisterImages(c)
+	return &stack{env: env, c: c, ks: ks}
+}
+
+// burst submits n sharePods at staggered instants with varied demands.
+func burst(t *testing.T, s *stack, n int) []string {
+	var names []string
+	for i := 0; i < n; i++ {
+		i := i
+		sp := trainPod(fmt.Sprintf("sp-%03d", i), 0.2+0.05*float64(i%7), 0.15+0.05*float64(i%5), 20+i%4*10)
+		if i%9 == 0 {
+			sp.Spec.Affinity = fmt.Sprintf("grp-%d", i/9%3)
+		}
+		names = append(names, sp.Name)
+		s.env.Go("submit-"+sp.Name, func(p *sim.Proc) {
+			p.Sleep(time.Duration(i/8) * 50 * time.Millisecond)
+			s.create(t, sp)
+		})
+	}
+	return names
+}
+
+// TestParallelPhasesDeterministic pins the tentpole contract of the
+// two-phase parallel cycle: placements, phases, decision and conflict
+// counts are byte-identical at every lane count — the lane partition only
+// distributes the ranking computation, never the outcome.
+func TestParallelPhasesDeterministic(t *testing.T) {
+	const n = 48
+	run := func(lanes int) (map[string]placement, core.SchedStats) {
+		s := laneStack(t, lanes, 4, 4,
+			schedfw.WithBatchSize(16), schedfw.WithParallelPhases())
+		names := burst(t, s, n)
+		s.env.Run()
+		if err := s.ks.Sched.VerifySnapshot(); err != nil {
+			t.Fatalf("lanes=%d: snapshot diverged: %v", lanes, err)
+		}
+		return collect(t, s, names), s.ks.Stats()
+	}
+	basePl, baseSt := run(1)
+	for _, lanes := range []int{2, 4, 8} {
+		pl, st := run(lanes)
+		for name, w := range basePl {
+			if pl[name] != w {
+				t.Errorf("lanes=%d: %s placed %+v, single-lane %+v", lanes, name, pl[name], w)
+			}
+		}
+		if st != baseSt {
+			t.Errorf("lanes=%d: stats %+v, single-lane %+v", lanes, st, baseSt)
+		}
+	}
+}
+
+// TestParallelPhasesComplete checks every unit of a contended burst lands
+// (or terminates) under the parallel cycle: speculative rankings that go
+// stale must fall back, not strand work.
+func TestParallelPhasesComplete(t *testing.T) {
+	s := laneStack(t, 4, 2, 2,
+		schedfw.WithBatchSize(8), schedfw.WithParallelPhases())
+	names := burst(t, s, 24)
+	s.env.Run()
+	for _, name := range names {
+		sp := s.get(t, name)
+		if sp.Status.Phase != core.SharePodSucceeded {
+			t.Errorf("%s phase = %s (%s)", name, sp.Status.Phase, sp.Status.Message)
+		}
+	}
+}
+
+// TestParallelPhasesGangAndConflict checks the sequential-only paths stay
+// correct under the parallel cycle: gangs admit all-or-nothing, and two
+// units racing for one slice in one batch serialize with a conflict count.
+func TestParallelPhasesGangAndConflict(t *testing.T) {
+	s := laneStack(t, 4, 1, 1,
+		schedfw.WithBatchSize(2), schedfw.WithParallelPhases())
+	s.env.Go("submit", func(p *sim.Proc) {
+		s.create(t, trainPod("sp-old", 0.6, 0.6, 30))
+		s.create(t, trainPod("sp-young", 0.6, 0.6, 30))
+	})
+	s.env.Run()
+	old, young := s.get(t, "sp-old"), s.get(t, "sp-young")
+	if old.Status.Phase != core.SharePodSucceeded || young.Status.Phase != core.SharePodSucceeded {
+		t.Fatalf("phases: old=%s young=%s", old.Status.Phase, young.Status.Phase)
+	}
+	if !(old.Status.ScheduledTime < young.Status.ScheduledTime) {
+		t.Errorf("conflict not serialized: old %v, young %v",
+			old.Status.ScheduledTime, young.Status.ScheduledTime)
+	}
+	if n := s.c.Obs.Counter(schedfw.MetricSchedConflicts).Value(); n < 1 {
+		t.Errorf("batch conflicts = %d, want >= 1", n)
+	}
+
+	g := laneStack(t, 2, 1, 4, schedfw.WithParallelPhases())
+	g.env.Go("submit", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			g.create(t, gangPod(fmt.Sprintf("gm-%d", i), "team", 3, 0.9, 30))
+			if i < 2 {
+				p.Sleep(time.Second)
+			}
+		}
+	})
+	g.env.Run()
+	var schedAt []time.Duration
+	for i := 0; i < 3; i++ {
+		sp := g.get(t, fmt.Sprintf("gm-%d", i))
+		if sp.Status.Phase != core.SharePodSucceeded {
+			t.Fatalf("gm-%d phase = %s (%s)", i, sp.Status.Phase, sp.Status.Message)
+		}
+		schedAt = append(schedAt, sp.Status.ScheduledTime)
+	}
+	if schedAt[0] != schedAt[1] || schedAt[1] != schedAt[2] {
+		t.Errorf("gang not admitted atomically: %v", schedAt)
+	}
+}

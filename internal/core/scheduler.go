@@ -1,18 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
-
-	"kubeshare/internal/kube/api"
-	"kubeshare/internal/kube/apiserver"
-	"kubeshare/internal/kube/store"
-	"kubeshare/internal/obs"
-	"kubeshare/internal/sim"
 )
 
-// SchedulerConfig parameterizes KubeShare-Sched.
+// SchedulerConfig parameterizes the scheduler driver (schedfw constructs
+// drivers from it via schedfw.WithConfig).
 type SchedulerConfig struct {
 	// CycleLatency models one scheduling decision (pool query + Algorithm 1
 	// + API updates); the dominant part of KubeShare's extra pod-creation
@@ -35,269 +29,9 @@ type SchedulerConfig struct {
 // round-trips, comparable to the default kube-scheduler's cycle.
 const DefaultCycleLatency = 15 * time.Millisecond
 
-// Scheduler is KubeShare-Sched: the custom controller assigning sharePods
-// to vGPUs with Algorithm 1. It maintains an incremental cluster snapshot
-// from SharePod / VGPU / Pod / Node watch deltas and decides one sharePod
-// per cycle against pools materialized from it — no per-decision re-listing.
-type Scheduler struct {
-	env    *sim.Env
-	srv    *apiserver.Server
-	cfg    SchedulerConfig
-	snap   *Snapshot
-	wake   *sim.Queue[struct{}]
-	nextID int
-	proc   *sim.Proc
-
-	reflectors []*apiserver.Reflector
-	watchProcs []*sim.Proc
-
-	// Telemetry. The decision/requeue counters live on the obs registry
-	// (atomics), so Decisions()/Requeues() are safe to read while the
-	// loop runs; the remaining handles no-op when obs is off.
-	tracer     *obs.Tracer
-	recorder   *obs.Recorder
-	decisions  *obs.Counter
-	requeues   *obs.Counter
-	noCapacity *obs.Counter
-	depth      *obs.Gauge
-	schedHist  *obs.Histogram
-}
-
-// NewScheduler creates KubeShare-Sched; Start launches it.
-//
-// Deprecated: the single-sharePod loop lives on for one release as the
-// reference implementation; new code should construct the batched,
-// plugin-phased driver with schedfw.New (its default configuration
-// reproduces this scheduler's placements exactly).
-func NewScheduler(env *sim.Env, srv *apiserver.Server, cfg SchedulerConfig) *Scheduler {
-	if cfg.CycleLatency == 0 {
-		cfg.CycleLatency = DefaultCycleLatency
-	}
-	rt := srv.Obs()
-	return &Scheduler{
-		env:        env,
-		srv:        srv,
-		cfg:        cfg,
-		snap:       NewSnapshot(cfg.MemOvercommitFactor),
-		wake:       sim.NewQueue[struct{}](env),
-		tracer:     rt.Tracer(),
-		recorder:   rt.EventSource("kubeshare-sched"),
-		decisions:  rt.Counter(MetricSchedDecisions),
-		requeues:   rt.Counter(MetricSchedRequeues),
-		noCapacity: rt.Counter(MetricSchedNoCapacity),
-		depth:      rt.Gauge(MetricSchedPending),
-		schedHist:  rt.Histogram(MetricSchedLatency),
-	}
-}
-
-// Stats snapshots the scheduling counters off the obs registry.
-func (s *Scheduler) Stats() SchedStats { return ReadSchedStats(s.srv.Obs()) }
-
-// Decisions returns the number of scheduling decisions made so far.
-//
-// Deprecated: read Stats().Decisions.
-func (s *Scheduler) Decisions() int64 { return s.decisions.Value() }
-
-// Requeues returns the number of bound-pod-loss recoveries performed.
-//
-// Deprecated: read Stats().Requeues.
-func (s *Scheduler) Requeues() int64 { return s.requeues.Value() }
-
-// VerifySnapshot cross-checks the incremental snapshot against a full
-// relist: the pool it materializes must be exactly what BuildPoolWithFactor
-// constructs from the API server right now. Call at drained instants (the
-// watch procs idle); chaos soaks use it to prove the snapshot stayed exact
-// across watch drops, resumes and relists.
-func (s *Scheduler) VerifySnapshot() error {
-	return DiffPools(s.snap.NewPool(nil), BuildPoolWithFactor(s.srv, nil, s.cfg.MemOvercommitFactor))
-}
-
-// Start launches the watch and scheduling loops. Every watched kind replays
-// so the snapshot converges to the full cluster state before (and between)
-// decisions. The streams run through reflectors, so a dropped watch resumes
-// from its last revision (or relists on a compacted gap) and the snapshot
-// stays exact across connection loss.
-func (s *Scheduler) Start() {
-	for _, kind := range []string{KindSharePod, "Pod", KindVGPU, "Node"} {
-		r := s.srv.NewReflector(kind, apiserver.WatchOptions{Replay: true})
-		s.reflectors = append(s.reflectors, r)
-		isPod := kind == "Pod"
-		s.watchProcs = append(s.watchProcs, s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
-			for {
-				ev, ok := r.Get(p)
-				if !ok {
-					return
-				}
-				s.snap.Apply(ev)
-				if isPod && ev.Type == store.Deleted {
-					s.onPodDeleted(ev.Object.(*api.Pod))
-				}
-				s.kick()
-			}
-		}))
-	}
-	s.proc = s.env.Go("kubeshare-sched", s.loop)
-}
-
-// Stop terminates the scheduler.
-func (s *Scheduler) Stop() {
-	if s.proc != nil {
-		s.proc.Kill(nil)
-	}
-	for _, p := range s.watchProcs {
-		p.Kill(nil)
-	}
-	for _, r := range s.reflectors {
-		r.Stop()
-	}
-}
-
-// onPodDeleted requeues a sharePod whose bound pod vanished while the
-// sharePod itself is still live — the recovery edge behind node eviction,
-// kubelet restart and vGPU loss. The placement is cleared through the spec
-// and the phase reset through the status subresource, so Algorithm 1
-// re-places the work wherever capacity lives now; Restarts versions the
-// next bound pod's name past the dying one's.
-func (s *Scheduler) onPodDeleted(pod *api.Pod) {
-	spName := pod.Labels[LabelSharePod]
-	if spName == "" {
-		return
-	}
-	sp, err := SharePods(s.srv).Get(spName)
-	if err != nil || sp.Status.BoundPod != pod.Name {
-		return // gone, or the deletion is a stale predecessor's
-	}
-	updated := RequeueSharePod(s.srv, spName)
-	if updated == nil {
-		return
-	}
-	s.requeues.Inc()
-	s.tracer.Mark("kubeshare-sched", "requeue", api.Key(updated), "lost pod "+pod.Name)
-	s.recorder.Eventf(KindSharePod, spName, obs.EventWarning, "Requeued",
-		"bound pod %s lost; rescheduling", pod.Name)
-	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
-}
-
-func (s *Scheduler) kick() {
-	if s.wake.Len() == 0 {
-		s.wake.Put(struct{}{})
-	}
-}
-
-func (s *Scheduler) loop(p *sim.Proc) {
-	for {
-		if _, ok := s.wake.Get(p); !ok {
-			return
-		}
-		for s.scheduleNext(p) {
-		}
-	}
-}
-
-// scheduleNext runs one scheduling cycle: it tries the pending sharePods in
-// age order against a pool materialized from the snapshot and applies the
-// first decision that makes progress (assignment or rejection). It reports
-// whether progress was made; all-NoCapacity means wait for a pool or pod
-// change.
-func (s *Scheduler) scheduleNext(p *sim.Proc) bool {
-	pending := s.snap.Pending()
-	s.depth.Set(int64(len(pending)))
-	if len(pending) == 0 {
-		return false
-	}
-	sortByAge(pending)
-	cycleStart := s.env.Now()
-	p.Sleep(s.cfg.CycleLatency)
-	// The watch procs drained any deltas during the sleep; the snapshot is
-	// current as of now. Materializing the pool is O(devices), with residuals
-	// served from the per-device cache.
-	pool := s.snap.NewPool(s.newGPUID)
-	for _, cand := range pending {
-		// Re-read: the sharePod may have changed during the cycle.
-		sp, err := SharePods(s.srv).Get(cand.Name)
-		if err != nil || sp.Placed() || sp.Terminated() {
-			continue
-		}
-		decide := s.cfg.Decide
-		if decide == nil {
-			decide = Schedule
-		}
-		dec := decide(RequestOf(sp), pool)
-		s.decisions.Inc()
-		switch dec.Outcome {
-		case Assigned, NewDevice:
-			// The decision span covers this cycle only; end-to-end
-			// submit-to-scheduled latency goes to the histogram.
-			s.tracer.Record("kubeshare-sched", "schedule", api.Key(sp),
-				fmt.Sprintf("gpuid=%s node=%s", dec.GPUID, dec.NodeName), cycleStart)
-			s.schedHist.ObserveDuration(s.env.Now() - sp.CreationTime)
-			s.applyPlacement(sp.Name, dec)
-			return true
-		case Rejected:
-			s.tracer.Record("kubeshare-sched", "reject", api.Key(sp), dec.Reason, cycleStart)
-			s.recorder.Eventf(KindSharePod, sp.Name, obs.EventWarning, "Unschedulable", "%s", dec.Reason)
-			s.applyRejection(sp.Name, dec.Reason)
-			return true
-		}
-		// NoCapacity: try the next pending sharePod this cycle.
-	}
-	s.noCapacity.Inc()
-	return false
-}
-
-// applyPlacement commits a placement: the GPUID/NodeName assignment through
-// the spec, the phase transition through the status subresource. The final
-// state is written through into the snapshot immediately — the scheduler's
-// own watch events are not processed until it next yields, and waiting for
-// them would let back-to-back cycles double-book residuals.
-func (s *Scheduler) applyPlacement(name string, dec Decision) {
-	sps := SharePods(s.srv)
-	if _, err := sps.Mutate(name, func(cur *SharePod) error {
-		cur.Spec.GPUID = dec.GPUID
-		cur.Spec.NodeName = dec.NodeName
-		return nil
-	}); err != nil {
-		if apiserver.IsNotFound(err) {
-			return
-		}
-		panic(fmt.Sprintf("kubeshare-sched: update %s: %v", name, err))
-	}
-	updated, err := sps.MutateStatus(name, func(cur *SharePod) error {
-		cur.Status.Phase = SharePodScheduled
-		cur.Status.ScheduledTime = s.env.Now()
-		return nil
-	})
-	if err != nil {
-		if apiserver.IsNotFound(err) {
-			return
-		}
-		panic(fmt.Sprintf("kubeshare-sched: update status %s: %v", name, err))
-	}
-	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
-}
-
-// applyRejection marks a sharePod's locality constraints unsatisfiable.
-func (s *Scheduler) applyRejection(name, reason string) {
-	updated, err := SharePods(s.srv).MutateStatus(name, func(cur *SharePod) error {
-		cur.Status.Phase = SharePodRejected
-		cur.Status.Message = reason
-		cur.Status.FinishTime = s.env.Now()
-		return nil
-	})
-	if err != nil {
-		if apiserver.IsNotFound(err) {
-			return
-		}
-		panic(fmt.Sprintf("kubeshare-sched: update status %s: %v", name, err))
-	}
-	s.snap.Apply(store.Event{Type: store.Modified, Object: updated})
-}
-
 // SortByAge orders sharePods oldest-first (name as tie-break) for FIFO
 // fairness — the queue order every scheduler flavour shares.
-func SortByAge(sps []*SharePod) { sortByAge(sps) }
-
-func sortByAge(sps []*SharePod) {
+func SortByAge(sps []*SharePod) {
 	sort.Slice(sps, func(i, j int) bool {
 		a, b := sps[i], sps[j]
 		if a.CreationTime != b.CreationTime {
@@ -305,11 +39,4 @@ func sortByAge(sps []*SharePod) {
 		}
 		return a.Name < b.Name
 	})
-}
-
-// newGPUID generates a fresh vGPU identifier (the paper's hashed id; a
-// serial suffices and keeps logs readable).
-func (s *Scheduler) newGPUID() string {
-	s.nextID++
-	return fmt.Sprintf("vgpu-%04d", s.nextID)
 }

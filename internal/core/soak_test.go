@@ -1,7 +1,8 @@
-package core
+package core_test
 
 import (
 	"fmt"
+	. "kubeshare/internal/core"
 	"testing"
 	"time"
 

@@ -8,6 +8,27 @@
 // and watch fan-out cost O(matching objects) instead of O(all keys).
 // Watches can be filtered server-side by kind, exact name and label
 // selector — subscribers never receive events they would discard.
+//
+// # Sharding and concurrency
+//
+// Buckets are striped across NumShards shards by kind hash, each guarded by
+// its own RWMutex, so list/watch/scan traffic on disjoint kinds never
+// contends and readers (samplers, parallel scheduling phases, the serve
+// endpoints) run concurrently with each other and with a writer in another
+// shard. Revisions come from one global atomic counter — mutations in the
+// same shard serialize on the shard lock, so per-kind revision order is
+// monotonic — and each shard additionally tracks the last revision it
+// committed. Watch fan-out is per-shard: a mutation only visits its own
+// kind's watcher list (plus the rare generic-prefix watchers, under their
+// own lock). The resumable-watch history is global, under its own mutex;
+// entries from different shards may interleave slightly out of global
+// revision order, but per-kind order — the order a resuming subscriber
+// replays — is always commit order.
+//
+// Mutations and watch registration are goroutine-safe, with one rule: the
+// virtual clock must not advance while mutators run off the simulation
+// goroutine (Create reads env.Now), and generic-prefix watch registration
+// is simulation-goroutine-only.
 package store
 
 import (
@@ -15,6 +36,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/labels"
@@ -39,6 +62,11 @@ var (
 
 // DefaultHistoryCap bounds the event history kept for resumable watches.
 const DefaultHistoryCap = 4096
+
+// NumShards is the stripe count: buckets live in shard fnv(kind)%NumShards.
+// A small power of two keeps the fixed cost negligible while separating the
+// hot kinds (SharePod, Pod, Node, VGPU, Event) onto distinct locks.
+const NumShards = 16
 
 // EventType classifies watch events.
 type EventType string
@@ -96,8 +124,12 @@ type watcher struct {
 type bucket struct {
 	objs map[string]api.Object // name → stored object
 	// sorted caches the names in order; rebuilt lazily after create/delete.
+	// dirty is atomic and the rebuild is guarded by sortMu so concurrent
+	// readers (shard RLock holders) can race to rebuild safely: writers only
+	// set dirty under the shard's write lock, which excludes all readers.
 	sorted []string
-	dirty  bool
+	sortMu sync.Mutex
+	dirty  atomic.Bool
 	// byLabel is the posting index: label key → value → set of names.
 	byLabel map[string]map[string]map[string]struct{}
 	// watchers subscribed to exactly this kind.
@@ -112,15 +144,21 @@ func newBucket() *bucket {
 }
 
 // names returns the bucket's object names sorted, rebuilding the cache if
-// stale.
+// stale. Safe under the shard's read lock: the double-checked sortMu makes
+// concurrent rebuilds exclusive, and a false dirty load happens-after the
+// completed rebuild that cleared it.
 func (b *bucket) names() []string {
-	if b.dirty {
-		b.sorted = b.sorted[:0]
-		for n := range b.objs {
-			b.sorted = append(b.sorted, n)
+	if b.dirty.Load() {
+		b.sortMu.Lock()
+		if b.dirty.Load() {
+			b.sorted = b.sorted[:0]
+			for n := range b.objs {
+				b.sorted = append(b.sorted, n)
+			}
+			sort.Strings(b.sorted)
+			b.dirty.Store(false)
 		}
-		sort.Strings(b.sorted)
-		b.dirty = false
+		b.sortMu.Unlock()
 	}
 	return b.sorted
 }
@@ -157,20 +195,31 @@ func (b *bucket) unindexLabels(name string, lbls map[string]string) {
 	}
 }
 
+// shard is one stripe of the store: a slice of the kind space under its own
+// reader/writer lock, plus the stripe's last committed revision.
+type shard struct {
+	mu    sync.RWMutex
+	kinds map[string]*bucket
+	rev   int64 // last global revision committed in this shard (under mu)
+}
+
 // Store is the versioned object store.
 type Store struct {
-	env   *sim.Env
-	rev   int64
-	kinds map[string]*bucket
-	// global holds watchers whose prefix is not a plain "<Kind>/" — they
-	// are matched by string prefix against every mutation.
-	global  []*watcher
-	nextUID int64
+	env     *sim.Env
+	rev     atomic.Int64
+	nextUID atomic.Int64
+	shards  [NumShards]shard
 
-	// history is the bounded mutation log backing resumable watches. Live
-	// entries are history[histHead:]; the head advances instead of
+	// globalMu guards watchers whose prefix is not a plain "<Kind>/" — they
+	// are matched by string prefix against every mutation.
+	globalMu sync.Mutex
+	global   []*watcher
+
+	// histMu guards the bounded mutation log backing resumable watches.
+	// Live entries are history[histHead:]; the head advances instead of
 	// shifting, with an amortized compaction once the dead prefix
 	// dominates. Entries own their Object copies.
+	histMu     sync.Mutex
 	history    []Event
 	histHead   int
 	histCap    int
@@ -179,25 +228,59 @@ type Store struct {
 
 // New returns an empty store.
 func New(env *sim.Env) *Store {
-	return &Store{env: env, kinds: make(map[string]*bucket), histCap: DefaultHistoryCap}
+	s := &Store{env: env, histCap: DefaultHistoryCap}
+	for i := range s.shards {
+		s.shards[i].kinds = make(map[string]*bucket)
+	}
+	return s
 }
 
+// shardIndex stripes a kind across shards by FNV-1a hash.
+func shardIndex(kind string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(kind); i++ {
+		h ^= uint32(kind[i])
+		h *= 16777619
+	}
+	return int(h % NumShards)
+}
+
+func (s *Store) shardFor(kind string) *shard { return &s.shards[shardIndex(kind)] }
+
 // Revision returns the store-wide revision of the last mutation.
-func (s *Store) Revision() int64 { return s.rev }
+func (s *Store) Revision() int64 { return s.rev.Load() }
+
+// ShardRev returns the last revision committed in the kind's shard — the
+// per-shard counter the global revision folds over. A shard whose ShardRev
+// is unchanged has seen no mutation, which lets scans skip it.
+func (s *Store) ShardRev(kind string) int64 {
+	sh := s.shardFor(kind)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rev
+}
 
 // SetHistoryCap bounds the resumable-watch event history to n entries
 // (default DefaultHistoryCap). Shrinking compacts immediately; resumes from
 // before the compaction point return ErrGone. n <= 0 disables history, so
 // every resume relists.
 func (s *Store) SetHistoryCap(n int) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
 	s.histCap = n
 	s.trimHistory()
 }
 
 // record appends a mutation to the history, taking ownership of ev.Object.
+// Callers hold the mutating shard's lock, so per-kind history order is
+// commit order even when shards append concurrently.
 func (s *Store) record(ev Event) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
 	if s.histCap <= 0 {
-		s.compactRev = ev.Rev
+		if ev.Rev > s.compactRev {
+			s.compactRev = ev.Rev
+		}
 		return
 	}
 	s.history = append(s.history, ev)
@@ -206,7 +289,9 @@ func (s *Store) record(ev Event) {
 
 func (s *Store) trimHistory() {
 	for len(s.history)-s.histHead > s.histCap && s.histHead < len(s.history) {
-		s.compactRev = s.history[s.histHead].Rev
+		if rv := s.history[s.histHead].Rev; rv > s.compactRev {
+			s.compactRev = rv
+		}
 		s.history[s.histHead] = Event{}
 		s.histHead++
 	}
@@ -220,20 +305,28 @@ func (s *Store) trimHistory() {
 	}
 }
 
-func (s *Store) bucketOf(kind string) *bucket {
-	b, ok := s.kinds[kind]
+// bucketOf returns the kind's bucket, creating it if needed. Caller holds
+// the shard's write lock.
+func (sh *shard) bucketOf(kind string) *bucket {
+	b, ok := sh.kinds[kind]
 	if !ok {
 		b = newBucket()
-		s.kinds[kind] = b
+		sh.kinds[kind] = b
 	}
 	return b
 }
 
-// kindNames returns all kind names sorted (for generic-prefix scans).
+// kindNames returns all kind names sorted (for generic-prefix scans),
+// visiting each shard under its read lock.
 func (s *Store) kindNames() []string {
-	out := make([]string, 0, len(s.kinds))
-	for k := range s.kinds {
-		out = append(out, k)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.kinds {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -242,22 +335,26 @@ func (s *Store) kindNames() []string {
 // Create inserts obj, assigning UID, CreationTime and ResourceVersion. The
 // stored copy is returned.
 func (s *Store) Create(obj api.Object) (api.Object, error) {
-	b := s.bucketOf(obj.Kind())
+	kind := obj.Kind()
 	name := obj.GetMeta().Name
+	sh := s.shardFor(kind)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.bucketOf(kind)
 	if _, ok := b.objs[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrExists, api.Key(obj))
 	}
 	stored := obj.DeepCopyObject()
 	meta := stored.GetMeta()
-	s.rev++
-	s.nextUID++
-	meta.ResourceVersion = s.rev
-	meta.UID = fmt.Sprintf("uid-%d", s.nextUID)
+	rv := s.rev.Add(1)
+	sh.rev = rv
+	meta.ResourceVersion = rv
+	meta.UID = fmt.Sprintf("uid-%d", s.nextUID.Add(1))
 	meta.CreationTime = s.env.Now()
 	b.objs[name] = stored
-	b.dirty = true
+	b.dirty.Store(true)
 	b.indexLabels(name, meta.Labels)
-	s.notify(b, Event{Added, stored.DeepCopyObject(), s.rev})
+	s.notify(b, Event{Added, stored.DeepCopyObject(), rv})
 	return stored.DeepCopyObject(), nil
 }
 
@@ -279,8 +376,12 @@ func (s *Store) UpdateStatus(obj api.Object) (api.Object, error) {
 }
 
 func (s *Store) update(obj api.Object, statusOnly bool) (api.Object, error) {
-	b := s.bucketOf(obj.Kind())
+	kind := obj.Kind()
 	name := obj.GetMeta().Name
+	sh := s.shardFor(kind)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.bucketOf(kind)
 	cur, ok := b.objs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, api.Key(obj))
@@ -305,35 +406,51 @@ func (s *Store) update(obj api.Object, statusOnly bool) (api.Object, error) {
 		stored = obj.DeepCopyObject()
 	}
 	meta := stored.GetMeta()
-	s.rev++
-	meta.ResourceVersion = s.rev
+	rv := s.rev.Add(1)
+	sh.rev = rv
+	meta.ResourceVersion = rv
 	meta.UID = curMeta.UID
 	meta.CreationTime = curMeta.CreationTime
 	b.unindexLabels(name, curMeta.Labels)
 	b.objs[name] = stored
 	b.indexLabels(name, meta.Labels)
-	s.notify(b, Event{Modified, stored.DeepCopyObject(), s.rev})
+	s.notify(b, Event{Modified, stored.DeepCopyObject(), rv})
 	return stored.DeepCopyObject(), nil
 }
 
 // Delete removes the object by key.
 func (s *Store) Delete(kind, name string) error {
-	b := s.bucketOf(kind)
+	sh := s.shardFor(kind)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.bucketOf(kind)
 	cur, ok := b.objs[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, api.KeyOf(kind, name))
 	}
 	delete(b.objs, name)
-	b.dirty = true
+	b.dirty.Store(true)
 	b.unindexLabels(name, cur.GetMeta().Labels)
-	s.rev++
-	s.notify(b, Event{Deleted, cur.DeepCopyObject(), s.rev})
+	rv := s.rev.Add(1)
+	sh.rev = rv
+	s.notify(b, Event{Deleted, cur.DeepCopyObject(), rv})
 	return nil
+}
+
+// lookup returns the kind's bucket under the shard's read lock; the caller
+// must invoke rel() when done with the bucket.
+func (s *Store) lookup(kind string) (b *bucket, rel func()) {
+	sh := s.shardFor(kind)
+	sh.mu.RLock()
+	b = sh.kinds[kind]
+	return b, sh.mu.RUnlock
 }
 
 // Get returns a deep copy of the object by key.
 func (s *Store) Get(kind, name string) (api.Object, error) {
-	if b, ok := s.kinds[kind]; ok {
+	b, rel := s.lookup(kind)
+	defer rel()
+	if b != nil {
 		if obj, ok := b.objs[name]; ok {
 			return obj.DeepCopyObject(), nil
 		}
@@ -343,7 +460,9 @@ func (s *Store) Get(kind, name string) (api.Object, error) {
 
 // Count returns the number of objects of a kind without copying them.
 func (s *Store) Count(kind string) int {
-	if b, ok := s.kinds[kind]; ok {
+	b, rel := s.lookup(kind)
+	defer rel()
+	if b != nil {
 		return len(b.objs)
 	}
 	return 0
@@ -351,11 +470,15 @@ func (s *Store) Count(kind string) int {
 
 // List returns deep copies of all objects whose key has the given prefix
 // (typically "<Kind>/"), sorted by key for determinism. A "<Kind>/..."
-// prefix is answered from the kind's index in O(matching).
+// prefix is answered from the kind's index in O(matching), holding only
+// that kind's shard lock. Generic prefixes visit shards one at a time, so
+// under concurrent mutation the result is per-kind consistent, not a global
+// snapshot.
 func (s *Store) List(prefix string) []api.Object {
 	if kind, namePrefix, ok := splitPrefix(prefix); ok {
-		b, exists := s.kinds[kind]
-		if !exists {
+		b, rel := s.lookup(kind)
+		defer rel()
+		if b == nil {
 			return nil
 		}
 		return b.list(namePrefix)
@@ -367,7 +490,11 @@ func (s *Store) List(prefix string) []api.Object {
 		if !strings.HasPrefix(kind+"/", prefix) {
 			continue
 		}
-		out = append(out, s.kinds[kind].list("")...)
+		b, rel := s.lookup(kind)
+		if b != nil {
+			out = append(out, b.list("")...)
+		}
+		rel()
 	}
 	return out
 }
@@ -392,10 +519,12 @@ func (b *bucket) list(namePrefix string) []api.Object {
 // instances: fn must treat them as read-only and must not retain them after
 // returning — mutations or retained references would corrupt the store's
 // copy-on-write discipline. Intended for samplers and aggregate metrics that
-// would otherwise deep-copy the world once per tick.
+// would otherwise deep-copy the world once per tick. Scan holds only the
+// kind's shard read lock, so scans of disjoint kinds run concurrently.
 func (s *Store) Scan(kind string, fn func(api.Object) bool) {
-	b, ok := s.kinds[kind]
-	if !ok {
+	b, rel := s.lookup(kind)
+	defer rel()
+	if b == nil {
 		return
 	}
 	for _, n := range b.names() {
@@ -409,10 +538,16 @@ func (s *Store) Scan(kind string, fn func(api.Object) bool) {
 // sel, sorted by name. Equality and existence requirements are answered
 // from the label posting index; the smallest posting set drives the scan.
 func (s *Store) ListSelector(kind string, sel labels.Selector) []api.Object {
-	b, ok := s.kinds[kind]
-	if !ok {
+	b, rel := s.lookup(kind)
+	defer rel()
+	if b == nil {
 		return nil
 	}
+	return b.listSelector(sel)
+}
+
+// listSelector is ListSelector on a held bucket.
+func (b *bucket) listSelector(sel labels.Selector) []api.Object {
 	if sel == nil || sel.Empty() {
 		return b.list("")
 	}
@@ -501,19 +636,31 @@ func (s *Store) Watch(prefix string, replay bool) *sim.Queue[Event] {
 // Replay delivers the currently matching objects as Added events. The
 // filters run in the store, so subscribers never pay for events they would
 // discard — the kube way of keeping watch fan-out O(interested parties).
+// Kind-scoped registration (replay + subscribe) is atomic under the kind's
+// shard lock, so no mutation is missed or duplicated across the boundary.
 func (s *Store) WatchFiltered(prefix string, opts WatchOptions, replay bool) *sim.Queue[Event] {
 	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
+	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
+		sh := s.shardFor(kind)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		b := sh.bucketOf(kind)
+		if replay {
+			for _, obj := range replayBucket(b, opts) {
+				w.queue.Put(Event{Added, obj, obj.GetMeta().ResourceVersion})
+			}
+		}
+		b.watchers = append(b.watchers, w)
+		return w.queue
+	}
 	if replay {
 		for _, obj := range s.replaySet(prefix, opts) {
 			w.queue.Put(Event{Added, obj, obj.GetMeta().ResourceVersion})
 		}
 	}
-	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
-		b := s.bucketOf(kind)
-		b.watchers = append(b.watchers, w)
-	} else {
-		s.global = append(s.global, w)
-	}
+	s.globalMu.Lock()
+	s.global = append(s.global, w)
+	s.globalMu.Unlock()
 	return w.queue
 }
 
@@ -524,10 +671,22 @@ func (s *Store) WatchFiltered(prefix string, opts WatchOptions, replay bool) *si
 // predates the compaction horizon the gap is unrecoverable and ErrGone is
 // returned; the subscriber must relist and start fresh.
 func (s *Store) WatchFilteredFrom(prefix string, opts WatchOptions, fromRev int64) (*sim.Queue[Event], error) {
+	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
+	kind, namePrefix, kindScoped := splitPrefix(prefix)
+	kindScoped = kindScoped && namePrefix == ""
+	var sh *shard
+	if kindScoped {
+		// Hold the shard lock across replay + subscribe so a concurrent
+		// mutation is either in the replayed history or delivered live.
+		sh = s.shardFor(kind)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	s.histMu.Lock()
 	if fromRev < s.compactRev {
+		s.histMu.Unlock()
 		return nil, fmt.Errorf("%w: from %d, compacted through %d", ErrGone, fromRev, s.compactRev)
 	}
-	w := &watcher{prefix: prefix, opts: opts, queue: sim.NewQueue[Event](s.env)}
 	for _, ev := range s.history[s.histHead:] {
 		if ev.Rev <= fromRev {
 			continue
@@ -538,36 +697,41 @@ func (s *Store) WatchFilteredFrom(prefix string, opts WatchOptions, fromRev int6
 		}
 		w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject(), ev.Rev})
 	}
-	if kind, namePrefix, ok := splitPrefix(prefix); ok && namePrefix == "" {
-		b := s.bucketOf(kind)
+	s.histMu.Unlock()
+	if kindScoped {
+		b := sh.bucketOf(kind)
 		b.watchers = append(b.watchers, w)
 	} else {
+		s.globalMu.Lock()
 		s.global = append(s.global, w)
+		s.globalMu.Unlock()
 	}
 	return w.queue, nil
 }
 
-// replaySet lists the objects a filtered watch replays, using the indexes
-// where possible.
-func (s *Store) replaySet(prefix string, opts WatchOptions) []api.Object {
-	kind, namePrefix, ok := splitPrefix(prefix)
-	if ok && namePrefix == "" && opts.Name != "" {
+// replayBucket lists the objects a kind-scoped filtered watch replays from
+// a held bucket, using the indexes where possible.
+func replayBucket(b *bucket, opts WatchOptions) []api.Object {
+	if opts.Name != "" {
 		// Exact-name watch: at most one object.
-		if obj, err := s.Get(kind, opts.Name); err == nil {
-			if opts.Selector == nil || opts.Selector.Matches(obj.GetMeta().Labels) {
-				return []api.Object{obj}
+		if obj, ok := b.objs[opts.Name]; ok {
+			meta := obj.GetMeta()
+			if opts.Selector == nil || opts.Selector.Matches(meta.Labels) {
+				return []api.Object{obj.DeepCopyObject()}
 			}
 		}
 		return nil
 	}
-	var objs []api.Object
-	if ok && namePrefix == "" && opts.Selector != nil {
-		objs = s.ListSelector(kind, opts.Selector)
-	} else {
-		objs = s.List(prefix)
+	if opts.Selector != nil {
+		return b.listSelector(opts.Selector)
 	}
+	return b.list("")
+}
+
+// replaySet lists the objects a generic-prefix filtered watch replays.
+func (s *Store) replaySet(prefix string, opts WatchOptions) []api.Object {
 	var out []api.Object
-	for _, obj := range objs {
+	for _, obj := range s.List(prefix) {
 		if opts.matches(obj.GetMeta().Name, obj.GetMeta().Labels) {
 			out = append(out, obj)
 		}
@@ -577,28 +741,38 @@ func (s *Store) replaySet(prefix string, opts WatchOptions) []api.Object {
 
 // StopWatch cancels a subscription created by Watch and closes its queue.
 func (s *Store) StopWatch(q *sim.Queue[Event]) {
+	s.globalMu.Lock()
 	for i, w := range s.global {
 		if w.queue == q {
 			s.global = append(s.global[:i], s.global[i+1:]...)
+			s.globalMu.Unlock()
 			q.Close()
 			return
 		}
 	}
-	for _, b := range s.kinds {
-		for i, w := range b.watchers {
-			if w.queue == q {
-				b.watchers = append(b.watchers[:i], b.watchers[i+1:]...)
-				q.Close()
-				return
+	s.globalMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.kinds {
+			for i, w := range b.watchers {
+				if w.queue == q {
+					b.watchers = append(b.watchers[:i], b.watchers[i+1:]...)
+					sh.mu.Unlock()
+					q.Close()
+					return
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // notify fans an event out to the kind's watchers and any generic-prefix
 // watchers, then records it into the resumable history (which takes
 // ownership of ev.Object). Each subscriber gets its own copy so mutation
-// never leaks between consumers.
+// never leaks between consumers. Callers hold the kind's shard write lock,
+// which orders deliveries per kind; lock order is shard → global → history.
 func (s *Store) notify(b *bucket, ev Event) {
 	meta := ev.Object.GetMeta()
 	for _, w := range b.watchers {
@@ -606,6 +780,7 @@ func (s *Store) notify(b *bucket, ev Event) {
 			w.queue.Put(Event{ev.Type, ev.Object.DeepCopyObject(), ev.Rev})
 		}
 	}
+	s.globalMu.Lock()
 	if len(s.global) > 0 {
 		key := api.Key(ev.Object)
 		for _, w := range s.global {
@@ -614,5 +789,6 @@ func (s *Store) notify(b *bucket, ev Event) {
 			}
 		}
 	}
+	s.globalMu.Unlock()
 	s.record(ev)
 }

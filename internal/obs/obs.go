@@ -10,8 +10,8 @@
 // therefore instrument unconditionally; "observability off" is just a
 // nil runtime (the BENCH.json obs_overhead A/B lever).
 //
-// Counters and gauges are atomics so accessors like
-// Scheduler.Decisions() are safe to read from outside the env goroutine
+// Counters and gauges are atomics so snapshot reads like
+// Sched.Stats() are safe from outside the env goroutine
 // while the control loops run. The tracer and event log are env-confined
 // (single writer) and meant to be read once the run has stopped.
 package obs

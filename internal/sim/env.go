@@ -14,8 +14,9 @@
 // The kernel is intentionally free of wall-clock dependencies; virtual time
 // is a time.Duration offset from the simulation epoch.
 //
-// Internally the event queue is split three ways, all holding pointer-free
-// 24-byte entries so queue maintenance never triggers write barriers:
+// The event queue is partitioned into lanes (see lane.go); every lane is
+// split three ways, all holding pointer-free 24-byte entries so queue
+// maintenance never triggers write barriers:
 //
 //   - a FIFO ring for events scheduled at the current instant — the dominant
 //     case: every proc wakeup, Queue.Put handoff and Event.Trigger;
@@ -25,7 +26,8 @@
 //
 // Entries reference pooled item slots carrying the callback/proc pointers
 // and a generation counter (for safe Timer cancellation), so steady-state
-// scheduling allocates nothing.
+// scheduling allocates nothing. The slot's high bits name the owning lane,
+// so a Timer handle can always find its slab.
 package sim
 
 import (
@@ -41,7 +43,7 @@ import (
 type entry struct {
 	t    time.Duration
 	seq  uint64 // FIFO tie-break among events with equal t
-	slot uint32 // index into Env.items
+	slot uint32 // lane (high bits) + index into that lane's item slab
 }
 
 // item is a pooled event payload: what to run (exactly one of proc/fn is
@@ -56,6 +58,10 @@ type item struct {
 	inHeap    bool // the entry sits in the heap (not ring or head register)
 }
 
+// entryLess orders events by (instant, seq). seq is globally unique across
+// lanes, so this is a total order: the k-way lane merge pops events in
+// exactly the order a single monolithic queue would, which is what keeps
+// traces byte-identical at every lane count.
 func entryLess(a, b *entry) bool {
 	if a.t != b.t {
 		return a.t < b.t
@@ -63,30 +69,29 @@ func entryLess(a, b *entry) bool {
 	return a.seq < b.seq
 }
 
-// Env is a simulation environment: a virtual clock plus an event queue.
-// An Env and everything attached to it must be driven from a single
-// goroutine (the one calling Run/RunUntil/Step); the kernel provides the
-// interleaving, not the Go scheduler.
+// Env is a simulation environment: a virtual clock plus a lane-partitioned
+// event queue. An Env and everything attached to it must be driven from a
+// single goroutine (the one calling Run/RunUntil/Step); the kernel provides
+// the interleaving, not the Go scheduler. The only concurrency the kernel
+// itself offers is the FanOut window (lane.go), a barrier-bracketed
+// read-only region between events.
 type Env struct {
 	now time.Duration
-	// ring holds events scheduled for the current instant, in FIFO order.
-	// Invariant: every ring entry has t == now (the ring drains before the
-	// clock advances), and ring order agrees with seq order.
-	ring fifo[entry]
-	// head caches one future event — typically the earliest — so the
-	// schedule-one/fire-one pattern bypasses the heap. Correctness does not
-	// depend on head being the minimum: pops take the 3-way minimum of
-	// ring/head/heap fronts.
-	head      entry
-	headValid bool
-	// heap is a 4-ary min-heap of future events keyed by (t, seq).
-	heap          []entry
-	heapCancelled int // cancelled entries still buried in the heap
+	// lanes are the partitioned event queues; always at least one. Lane 0
+	// is the default lane; SetLanes widens the partition before first use.
+	lanes []*laneQ
+	// curLane is the lane of the event currently executing (or 0 between
+	// events). New events with no proc affinity are scheduled on it, so an
+	// event's follow-ups stay in its lane.
+	curLane int
+	// inWindow is true inside a FanOut parallel window. enqueue panics
+	// while it is set: lane-local code must stay read-only and communicate
+	// through the cross-lane mailbox (LaneSend) until the barrier.
+	inWindow      bool
 	pending       int // live (non-cancelled) scheduled events
 	daemonPending int // the subset of pending that wakes daemon procs
 	seq           uint64
-	items         []item   // slot-addressed event payloads
-	freeSlots     []uint32 // recycled item slots
+	mail          [][][]any // [from][to] cross-lane mailboxes, FanOut-only
 	freeWaiters   []*waiter
 	current       *Proc // proc currently executing, nil when the scheduler runs
 	live          int   // procs that have started and not yet finished
@@ -95,9 +100,9 @@ type Env struct {
 	tracer        func(t time.Duration, format string, args ...any)
 }
 
-// NewEnv returns an empty environment with the clock at zero.
+// NewEnv returns an empty single-lane environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{}
+	return &Env{lanes: []*laneQ{{}}}
 }
 
 // Now returns the current virtual time as an offset from the simulation epoch.
@@ -115,38 +120,29 @@ func (env *Env) tracef(format string, args ...any) {
 	}
 }
 
-// slot pool ---------------------------------------------------------------
-
-func (env *Env) newSlot() uint32 {
-	if n := len(env.freeSlots); n > 0 {
-		s := env.freeSlots[n-1]
-		env.freeSlots = env.freeSlots[:n-1]
-		return s
-	}
-	env.items = append(env.items, item{})
-	return uint32(len(env.items) - 1)
-}
-
-// recycleSlot bumps the generation (invalidating outstanding Timers) and
-// returns the slot to the pool. Called exactly once per scheduled event,
-// when its entry leaves the ring, head register or heap.
-func (env *Env) recycleSlot(slot uint32) {
-	it := &env.items[slot]
-	it.gen++
-	it.cancelled = false
-	it.inHeap = false
-	env.freeSlots = append(env.freeSlots, slot)
+// itemAt resolves a slot handle to its payload in the owning lane's slab.
+func (env *Env) itemAt(slot uint32) *item {
+	return &env.lanes[slot>>laneShift].items[slot&slotIdxMask]
 }
 
 // scheduling --------------------------------------------------------------
 
 // enqueue schedules an event at absolute time t (clamped to now) and returns
-// its slot and generation. Entries at the current instant go to the FIFO
-// ring; future entries go to the head register or the heap.
+// its slot and generation. The event lands in the target proc's lane (or the
+// current lane for callbacks); entries at the current instant go to the
+// lane's FIFO ring; future entries go to its head register or heap.
 func (env *Env) enqueue(t time.Duration, proc *Proc, fn func()) (uint32, uint32) {
-	slot := env.newSlot()
-	it := &env.items[slot]
-	// Payload pointers are cleared here, on reuse, rather than in recycleSlot:
+	if env.inWindow {
+		panic("sim: event scheduled inside a FanOut window; lane code must be read-only (route results through LaneSend)")
+	}
+	li := env.curLane
+	if proc != nil {
+		li = proc.lane
+	}
+	ln := env.lanes[li]
+	slot := ln.newSlot(li)
+	it := &ln.items[slot&slotIdxMask]
+	// Payload pointers are cleared here, on reuse, rather than in recycle:
 	// when a slot is reused for the same kind of event (the dominant pattern —
 	// timer after timer, wakeup after wakeup) the overwrite below is the only
 	// GC write barrier the whole schedule/fire cycle pays. The cost is that a
@@ -175,44 +171,35 @@ func (env *Env) enqueue(t time.Duration, proc *Proc, fn func()) (uint32, uint32)
 	e := entry{t: t, seq: env.seq, slot: slot}
 	switch {
 	case t == env.now:
-		env.ring.push(e)
-	case !env.headValid:
-		env.head = e
-		env.headValid = true
-	case entryLess(&e, &env.head):
-		env.demoteHead()
-		env.head = e
+		ln.ring.push(e)
+	case !ln.headValid:
+		ln.head = e
+		ln.headValid = true
+	case entryLess(&e, &ln.head):
+		ln.demoteHead()
+		ln.head = e
 	default:
 		it.inHeap = true
-		env.heapPush(e)
+		ln.heapPush(e)
 	}
 	return slot, gen
 }
 
-// demoteHead moves the head-register entry into the heap; the caller
-// immediately refills (or invalidates) the register.
-func (env *Env) demoteHead() {
-	hit := &env.items[env.head.slot]
-	hit.inHeap = true
-	if hit.cancelled {
-		env.heapCancelled++
-	}
-	env.heapPush(env.head)
-}
-
 // cancelItem lazily cancels a scheduled entry's payload. Ring and head
 // entries are skipped at pop time; heap entries are counted and compacted
-// away once they outnumber the live ones.
-func (env *Env) cancelItem(it *item) {
+// away once they outnumber the live ones in their lane.
+func (env *Env) cancelItem(slot uint32) {
+	ln := env.lanes[slot>>laneShift]
+	it := &ln.items[slot&slotIdxMask]
 	it.cancelled = true
 	env.pending--
 	if it.proc != nil && it.proc.daemon {
 		env.daemonPending--
 	}
 	if it.inHeap {
-		env.heapCancelled++
-		if env.heapCancelled >= 32 && env.heapCancelled*2 > len(env.heap) {
-			env.compactHeap()
+		ln.heapCancelled++
+		if ln.heapCancelled >= 32 && ln.heapCancelled*2 > len(ln.heap) {
+			ln.compact()
 		}
 	}
 }
@@ -249,11 +236,11 @@ func (tm Timer) Stop() bool {
 	if tm.env == nil {
 		return false
 	}
-	it := &tm.env.items[tm.slot]
+	it := tm.env.itemAt(tm.slot)
 	if it.gen != tm.gen || it.cancelled {
 		return false
 	}
-	tm.env.cancelItem(it)
+	tm.env.cancelItem(tm.slot)
 	return true
 }
 
@@ -263,81 +250,8 @@ func (tm Timer) Active() bool {
 	if tm.env == nil {
 		return false
 	}
-	it := &tm.env.items[tm.slot]
+	it := tm.env.itemAt(tm.slot)
 	return it.gen == tm.gen && !it.cancelled
-}
-
-// 4-ary heap --------------------------------------------------------------
-//
-// Children of node i live at 4i+1..4i+4, the parent at (i-1)/4. Compared to
-// a binary heap this halves the tree depth (fewer cache lines touched per
-// sift) at the cost of three extra comparisons per level on the way down.
-
-func (env *Env) heapPush(e entry) {
-	h := append(env.heap, e)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !entryLess(&h[i], &h[p]) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
-	}
-	env.heap = h
-}
-
-func (env *Env) heapPop() entry {
-	h := env.heap
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	env.heap = h[:n]
-	if n > 1 {
-		env.siftDown(0)
-	}
-	return top
-}
-
-func (env *Env) siftDown(i int) {
-	h := env.heap
-	n := len(h)
-	for {
-		min := i
-		c := i<<2 + 1
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for ; c < end; c++ {
-			if entryLess(&h[c], &h[min]) {
-				min = c
-			}
-		}
-		if min == i {
-			return
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-}
-
-// compactHeap removes cancelled entries in place, recycles their slots and
-// re-heapifies (Floyd's bottom-up construction).
-func (env *Env) compactHeap() {
-	h := env.heap[:0]
-	for _, e := range env.heap {
-		if env.items[e.slot].cancelled {
-			env.recycleSlot(e.slot)
-			continue
-		}
-		h = append(h, e)
-	}
-	env.heap = h
-	for i := (len(h) - 2) >> 2; i >= 0; i-- {
-		env.siftDown(i)
-	}
-	env.heapCancelled = 0
 }
 
 // event selection ---------------------------------------------------------
@@ -349,42 +263,34 @@ const (
 	srcHeap
 )
 
-// front locates the earliest pending entry as the 3-way minimum of the ring,
-// head register and heap fronts.
-func (env *Env) front() (src int, e *entry) {
-	if env.ring.n > 0 {
-		src, e = srcRing, env.ring.peek()
+// front locates the earliest pending entry as the minimum over every lane's
+// ring, head register and heap fronts.
+func (env *Env) front() (lane, src int, e *entry) {
+	for li, ln := range env.lanes {
+		if ln.ring.n > 0 {
+			if f := ln.ring.peek(); src == srcNone || entryLess(f, e) {
+				lane, src, e = li, srcRing, f
+			}
+		}
+		if ln.headValid && (src == srcNone || entryLess(&ln.head, e)) {
+			lane, src, e = li, srcHead, &ln.head
+		}
+		if len(ln.heap) > 0 && (src == srcNone || entryLess(&ln.heap[0], e)) {
+			lane, src, e = li, srcHeap, &ln.heap[0]
+		}
 	}
-	if env.headValid && (src == srcNone || entryLess(&env.head, e)) {
-		src, e = srcHead, &env.head
-	}
-	if len(env.heap) > 0 && (src == srcNone || entryLess(&env.heap[0], e)) {
-		src, e = srcHeap, &env.heap[0]
-	}
-	return src, e
-}
-
-func (env *Env) popFrom(src int) entry {
-	switch src {
-	case srcRing:
-		return env.ring.pop()
-	case srcHead:
-		env.headValid = false
-		return env.head
-	default:
-		return env.heapPop()
-	}
+	return lane, src, e
 }
 
 // Go spawns fn as a new simulation process that begins executing at the
 // current virtual time (after the caller yields). The name appears in traces
-// and String output.
+// and String output. The proc joins the current lane; see GoOnLane.
 //
 // Procs are coroutines (iter.Pull), not plain goroutines: park/dispatch is a
 // direct coroutine switch with no Go-scheduler round trip, which is the
 // difference between ~100ns and ~650ns per virtual context switch.
 func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
-	return env.spawn(name, fn, false)
+	return env.spawn(name, fn, false, env.curLane)
 }
 
 // GoDaemon is Go for periodic background loops (heartbeats, lifecycle
@@ -393,16 +299,17 @@ func (env *Env) Go(name string, fn func(p *Proc)) *Proc {
 // counts as quiescent. Daemons parked on queues or events behave exactly
 // like normal procs — the flag only affects scheduled wakeups (Sleep).
 func (env *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
-	return env.spawn(name, fn, true)
+	return env.spawn(name, fn, true, env.curLane)
 }
 
-func (env *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+func (env *Env) spawn(name string, fn func(p *Proc), daemon bool, lane int) *Proc {
 	env.nextPID++
 	p := &Proc{
 		env:    env,
 		id:     env.nextPID,
 		name:   name,
 		daemon: daemon,
+		lane:   lane,
 		doneEv: NewEvent(env),
 	}
 	env.live++
@@ -439,47 +346,52 @@ func (env *Env) dispatch(p *Proc) {
 	env.current = prev
 }
 
-// Step executes the single earliest pending event. It reports whether an
-// event was executed (false means the queue is empty).
+// Step executes the single earliest pending event — the (instant, seq)
+// minimum across every lane. It reports whether an event was executed
+// (false means the queue is empty).
 func (env *Env) Step() bool {
 	for {
-		// Inlined front()+popFrom(): select the 3-way minimum of ring, head
-		// register and heap fronts, then remove it from its source.
+		// Select the minimum over each lane's ring, head register and heap
+		// fronts, then remove it from its source.
 		var e entry
 		src := srcNone
-		if env.ring.n > 0 {
-			e = *env.ring.peek()
-			src = srcRing
+		laneIdx := 0
+		for li, ln := range env.lanes {
+			if ln.ring.n > 0 {
+				if f := ln.ring.peek(); src == srcNone || entryLess(f, &e) {
+					e, src, laneIdx = *f, srcRing, li
+				}
+			}
+			if ln.headValid && (src == srcNone || entryLess(&ln.head, &e)) {
+				e, src, laneIdx = ln.head, srcHead, li
+			}
+			if len(ln.heap) > 0 && (src == srcNone || entryLess(&ln.heap[0], &e)) {
+				e, src, laneIdx = ln.heap[0], srcHeap, li
+			}
 		}
-		if env.headValid && (src == srcNone || entryLess(&env.head, &e)) {
-			e = env.head
-			src = srcHead
-		}
-		if len(env.heap) > 0 && (src == srcNone || entryLess(&env.heap[0], &e)) {
-			src = srcHeap
-		}
+		ln := env.lanes[laneIdx]
 		switch src {
 		case srcNone:
 			return false
 		case srcRing:
-			env.ring.popRaw()
+			ln.ring.popRaw()
 		case srcHead:
-			env.headValid = false
+			ln.headValid = false
 		default:
-			e = env.heapPop()
+			ln.heapPop()
 		}
-		it := &env.items[e.slot]
+		it := &ln.items[e.slot&slotIdxMask]
 		if it.cancelled {
 			if it.inHeap {
-				env.heapCancelled--
+				ln.heapCancelled--
 			}
-			env.recycleSlot(e.slot)
+			ln.recycle(e.slot)
 			continue
 		}
 		proc, fn := it.proc, it.fn
 		// Recycle before running, so a Timer queried from inside its own
 		// callback reports inactive.
-		env.recycleSlot(e.slot)
+		ln.recycle(e.slot)
 		env.pending--
 		if proc != nil && proc.daemon {
 			env.daemonPending--
@@ -487,6 +399,7 @@ func (env *Env) Step() bool {
 		if e.t > env.now {
 			env.now = e.t
 		}
+		env.curLane = laneIdx
 		if proc != nil {
 			env.dispatch(proc)
 		} else {
@@ -526,19 +439,20 @@ func (env *Env) RunUntil(t time.Duration) {
 // fronts on the way, or a value past any horizon when nothing is pending.
 func (env *Env) peekTime() time.Duration {
 	for {
-		src, e := env.front()
+		lane, src, e := env.front()
 		if src == srcNone {
 			return 1<<63 - 1
 		}
-		it := &env.items[e.slot]
+		ln := env.lanes[lane]
+		it := &ln.items[e.slot&slotIdxMask]
 		if !it.cancelled {
 			return e.t
 		}
-		popped := env.popFrom(src)
+		popped := ln.popFrom(src)
 		if it.inHeap {
-			env.heapCancelled--
+			ln.heapCancelled--
 		}
-		env.recycleSlot(popped.slot)
+		ln.recycle(popped.slot)
 	}
 }
 
@@ -552,20 +466,22 @@ func (env *Env) Live() int { return env.live }
 // stuck simulations.
 func (env *Env) Snapshot() []string {
 	var out []string
-	add := func(e *entry) {
-		if env.items[e.slot].cancelled {
-			return
+	for _, ln := range env.lanes {
+		add := func(e *entry) {
+			if ln.items[e.slot&slotIdxMask].cancelled {
+				return
+			}
+			out = append(out, fmt.Sprintf("t=%v seq=%d", e.t, e.seq))
 		}
-		out = append(out, fmt.Sprintf("t=%v seq=%d", e.t, e.seq))
-	}
-	for i := 0; i < env.ring.n; i++ {
-		add(env.ring.at(i))
-	}
-	if env.headValid {
-		add(&env.head)
-	}
-	for i := range env.heap {
-		add(&env.heap[i])
+		for i := 0; i < ln.ring.n; i++ {
+			add(ln.ring.at(i))
+		}
+		if ln.headValid {
+			add(&ln.head)
+		}
+		for i := range ln.heap {
+			add(&ln.heap[i])
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -17,9 +17,18 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files from the cur
 // and returns the full trace. The recorded golden was produced by the
 // pre-optimization kernel (container/heap + slice shifts), so matching it
 // proves the rewritten kernel preserves event ordering exactly.
-func goldenScenario() string {
+//
+// The scenario is lane-parametric: procs are spread across `lanes` event
+// lanes by name hash, so the same golden also locks the lane merge — the
+// (instant, seq) k-way pop must reproduce the monolithic queue's order
+// byte-for-byte at every lane count.
+func goldenScenario(lanes int) string {
 	var b strings.Builder
 	env := NewEnv()
+	env.SetLanes(lanes)
+	spawn := func(name string, fn func(p *Proc)) *Proc {
+		return env.GoOnLane(env.LaneOf(name), name, fn)
+	}
 	env.SetTracer(func(at time.Duration, format string, args ...any) {
 		fmt.Fprintf(&b, "%v "+format+"\n", append([]any{at}, args...)...)
 	})
@@ -36,7 +45,7 @@ func goldenScenario() string {
 
 	for i := 0; i < 3; i++ {
 		i := i
-		env.Go(fmt.Sprintf("producer-%d", i), func(p *Proc) {
+		spawn(fmt.Sprintf("producer-%d", i), func(p *Proc) {
 			for j := 0; j < 4; j++ {
 				p.Sleep(time.Duration(i+1) * time.Millisecond)
 				q.Put(i*10 + j)
@@ -44,14 +53,14 @@ func goldenScenario() string {
 			}
 		})
 	}
-	env.Go("consumer", func(p *Proc) {
+	spawn("consumer", func(p *Proc) {
 		for k := 0; k < 12; k++ {
 			v, ok := q.Get(p)
 			p.Tracef("got %d ok=%v", v, ok)
 		}
 		done.Trigger("all-consumed")
 	})
-	env.Go("timeout-getter", func(p *Proc) {
+	spawn("timeout-getter", func(p *Proc) {
 		for {
 			v, ok := q.GetTimeout(p, 500*time.Microsecond)
 			p.Tracef("timeout-get %d ok=%v", v, ok)
@@ -63,7 +72,7 @@ func goldenScenario() string {
 	})
 	for _, name := range []string{"worker-a", "worker-b", "worker-c"} {
 		name := name
-		env.Go(name, func(p *Proc) {
+		spawn(name, func(p *Proc) {
 			res.Acquire(p, 1)
 			p.Tracef("acquired")
 			p.Sleep(4 * time.Millisecond)
@@ -71,15 +80,15 @@ func goldenScenario() string {
 			p.Tracef("released")
 		})
 	}
-	victim := env.Go("victim", func(p *Proc) {
+	victim := spawn("victim", func(p *Proc) {
 		p.Sleep(time.Hour)
 	})
-	env.Go("killer", func(p *Proc) {
+	spawn("killer", func(p *Proc) {
 		p.Sleep(6 * time.Millisecond)
 		victim.Kill(nil)
 		p.Tracef("killed victim")
 	})
-	env.Go("waiter", func(p *Proc) {
+	spawn("waiter", func(p *Proc) {
 		v, ok := p.WaitTimeout(done, 2*time.Millisecond)
 		p.Tracef("wait-1 %v %v", v, ok)
 		v = p.Wait(done)
@@ -91,9 +100,11 @@ func goldenScenario() string {
 }
 
 // TestKernelGoldenTrace locks the event ordering of the kernel against the
-// trace recorded from the pre-optimization implementation.
+// trace recorded from the pre-optimization implementation — at every lane
+// count. The golden is recorded once (single lane); lane counts 2, 4 and 8
+// must reproduce it byte-for-byte, proving the lane merge is order-neutral.
 func TestKernelGoldenTrace(t *testing.T) {
-	got := goldenScenario()
+	got := goldenScenario(1)
 	path := filepath.Join("testdata", "kernel_trace.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -111,7 +122,12 @@ func TestKernelGoldenTrace(t *testing.T) {
 		t.Fatalf("kernel trace diverged from the recorded golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 	// And the scenario itself must be deterministic run-to-run.
-	if again := goldenScenario(); again != got {
+	if again := goldenScenario(1); again != got {
 		t.Fatalf("same-process rerun diverged:\n--- first ---\n%s\n--- second ---\n%s", got, again)
+	}
+	for _, lanes := range []int{2, 4, 8} {
+		if lt := goldenScenario(lanes); lt != got {
+			t.Fatalf("lanes=%d trace diverged from single-lane golden.\n--- lanes=%d ---\n%s\n--- lanes=1 ---\n%s", lanes, lanes, lt, got)
+		}
 	}
 }

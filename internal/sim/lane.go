@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Event lanes partition the kernel's queue state so that multi-core work can
+// be expressed without giving up determinism.
+//
+// Each lane owns a full copy of the queue machinery — item slab, free list,
+// same-instant FIFO ring, head register and 4-ary heap — and events are
+// routed to the lane of the proc (or callback context) that scheduled them.
+// The kernel itself still executes one event at a time: Step pops the global
+// (instant, seq) minimum across all lane fronts, a conservative lock-step
+// merge. Because seq is a single global counter assigned at schedule time,
+// the merged order is exactly the order a monolithic queue would produce —
+// a fixed seed yields a byte-identical event order at any lane count.
+//
+// Real parallelism happens *between* events, inside a FanOut window: every
+// lane advances on its own goroutine between two synchronization barriers
+// (the FanOut call and its return). Window code must be read-only with
+// respect to simulation state — enqueue panics inside a window — and lanes
+// exchange results exclusively through the cross-lane mailbox (LaneSend /
+// LaneDrain), which the barrier drains in deterministic (from-lane, send
+// order). tools/detvet enforces the mailbox rule statically.
+
+const (
+	// laneShift splits a slot handle into lane (high bits) and slab index
+	// (low bits): up to 256 lanes of 16M concurrent events each.
+	laneShift   = 24
+	slotIdxMask = 1<<laneShift - 1
+	// MaxLanes bounds SetLanes; the pop-side merge is O(lanes), so lanes
+	// should track physical cores, not cluster size.
+	MaxLanes = 256
+)
+
+// laneQ is one lane's queue state: the slot slab plus the three-way queue
+// (ring / head register / heap) described in the package comment.
+type laneQ struct {
+	// ring holds events scheduled for the current instant, in FIFO order.
+	// Invariant: every ring entry has t == now (rings drain before the
+	// clock advances), and ring order agrees with seq order.
+	ring fifo[entry]
+	// head caches one future event — typically the earliest — so the
+	// schedule-one/fire-one pattern bypasses the heap. Correctness does not
+	// depend on head being the minimum: pops take the minimum of all fronts.
+	head      entry
+	headValid bool
+	// heap is a 4-ary min-heap of future events keyed by (t, seq).
+	heap          []entry
+	heapCancelled int      // cancelled entries still buried in the heap
+	items         []item   // slot-addressed event payloads (this lane's slab)
+	freeSlots     []uint32 // recycled item slots (full handles, lane bits set)
+}
+
+// newSlot returns a free slot handle in this lane, lane bits included.
+func (ln *laneQ) newSlot(lane int) uint32 {
+	if n := len(ln.freeSlots); n > 0 {
+		s := ln.freeSlots[n-1]
+		ln.freeSlots = ln.freeSlots[:n-1]
+		return s
+	}
+	if len(ln.items) > slotIdxMask {
+		panic("sim: lane slab full")
+	}
+	ln.items = append(ln.items, item{})
+	return uint32(lane)<<laneShift | uint32(len(ln.items)-1)
+}
+
+// recycle bumps the generation (invalidating outstanding Timers) and returns
+// the slot to the lane's pool. Called exactly once per scheduled event, when
+// its entry leaves the ring, head register or heap.
+func (ln *laneQ) recycle(slot uint32) {
+	it := &ln.items[slot&slotIdxMask]
+	it.gen++
+	it.cancelled = false
+	it.inHeap = false
+	ln.freeSlots = append(ln.freeSlots, slot)
+}
+
+// demoteHead moves the head-register entry into the heap; the caller
+// immediately refills (or invalidates) the register.
+func (ln *laneQ) demoteHead() {
+	hit := &ln.items[ln.head.slot&slotIdxMask]
+	hit.inHeap = true
+	if hit.cancelled {
+		ln.heapCancelled++
+	}
+	ln.heapPush(ln.head)
+}
+
+func (ln *laneQ) popFrom(src int) entry {
+	switch src {
+	case srcRing:
+		return ln.ring.pop()
+	case srcHead:
+		ln.headValid = false
+		return ln.head
+	default:
+		return ln.heapPop()
+	}
+}
+
+// 4-ary heap --------------------------------------------------------------
+//
+// Children of node i live at 4i+1..4i+4, the parent at (i-1)/4. Compared to
+// a binary heap this halves the tree depth (fewer cache lines touched per
+// sift) at the cost of three extra comparisons per level on the way down.
+
+func (ln *laneQ) heapPush(e entry) {
+	h := append(ln.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	ln.heap = h
+}
+
+func (ln *laneQ) heapPop() entry {
+	h := ln.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	ln.heap = h[:n]
+	if n > 1 {
+		ln.siftDown(0)
+	}
+	return top
+}
+
+func (ln *laneQ) siftDown(i int) {
+	h := ln.heap
+	n := len(h)
+	for {
+		min := i
+		c := i<<2 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if entryLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// compact removes cancelled entries in place, recycles their slots and
+// re-heapifies (Floyd's bottom-up construction).
+func (ln *laneQ) compact() {
+	h := ln.heap[:0]
+	for _, e := range ln.heap {
+		if ln.items[e.slot&slotIdxMask].cancelled {
+			ln.recycle(e.slot)
+			continue
+		}
+		h = append(h, e)
+	}
+	ln.heap = h
+	for i := (len(h) - 2) >> 2; i >= 0; i-- {
+		ln.siftDown(i)
+	}
+	ln.heapCancelled = 0
+}
+
+// lane API ----------------------------------------------------------------
+
+// SetLanes partitions the environment into n event lanes. It must be called
+// before anything is scheduled (right after NewEnv): repartitioning a live
+// queue would tear slot handles out of their slabs.
+func (env *Env) SetLanes(n int) {
+	if n < 1 || n > MaxLanes {
+		panic(fmt.Sprintf("sim: SetLanes(%d): lane count must be in [1, %d]", n, MaxLanes))
+	}
+	if env.seq != 0 || env.live != 0 {
+		panic("sim: SetLanes after events were scheduled; call it before first use")
+	}
+	env.lanes = make([]*laneQ, n)
+	for i := range env.lanes {
+		env.lanes[i] = &laneQ{}
+	}
+	env.mail = nil
+}
+
+// Lanes returns the number of event lanes (always ≥ 1).
+func (env *Env) Lanes() int { return len(env.lanes) }
+
+// Lane returns the lane of the currently executing event (0 between events).
+func (env *Env) Lane() int { return env.curLane }
+
+// LaneOf maps a partition key (a node group, pod or shard name) to a lane by
+// stable FNV-1a hash. The mapping depends only on the key and the lane
+// count, never on scheduling history.
+func (env *Env) LaneOf(key string) int {
+	if len(env.lanes) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(env.lanes)))
+}
+
+// GoOnLane is Go with an explicit lane affinity: the proc and every event it
+// schedules (sleeps, timers, wakeups addressed to it) live on that lane.
+func (env *Env) GoOnLane(lane int, name string, fn func(p *Proc)) *Proc {
+	if lane < 0 || lane >= len(env.lanes) {
+		panic(fmt.Sprintf("sim: GoOnLane(%d) with %d lanes", lane, len(env.lanes)))
+	}
+	return env.spawn(name, fn, false, lane)
+}
+
+// FanOut opens a parallel window: fn(lane) runs once per lane, concurrently
+// on one goroutine per lane, and FanOut returns only when every lane has
+// finished — the call and its return are the window's synchronization
+// barriers. Between the barriers the simulation is frozen: window code must
+// not schedule events (enqueue panics), mutate shared simulation state, or
+// touch another lane's data except through LaneSend. With one lane — or one
+// available CPU — the window degrades to an inline loop; results must
+// therefore never depend on the execution interleaving, only on the lane
+// argument.
+func (env *Env) FanOut(fn func(lane int)) {
+	if env.inWindow {
+		panic("sim: nested FanOut window")
+	}
+	n := len(env.lanes)
+	if env.mail == nil {
+		env.mail = make([][][]any, n)
+		for i := range env.mail {
+			env.mail[i] = make([][]any, n)
+		}
+	}
+	env.inWindow = true
+	defer func() { env.inWindow = false }()
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Degraded (serial) window: same read-only rules, no goroutines.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		go func(lane int) {
+			defer wg.Done()
+			fn(lane)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// LaneSend posts v from lane `from` to lane `to`'s mailbox. It is the only
+// legal cross-lane channel inside a FanOut window: each (from, to) mailbox
+// is written by exactly one goroutine, so sends are race-free without locks,
+// and the deterministic drain order erases the window's real-time
+// interleaving. Callable only for the sender's own lane.
+func (env *Env) LaneSend(from, to int, v any) {
+	env.mail[from][to] = append(env.mail[from][to], v)
+}
+
+// LaneDrain returns and clears every message addressed to lane `to`, merged
+// in (sending lane, send order) — a deterministic order independent of how
+// the window's goroutines actually interleaved. Call it after the barrier
+// (outside the window) to collect lane results.
+func (env *Env) LaneDrain(to int) []any {
+	if env.mail == nil {
+		return nil
+	}
+	var out []any
+	for from := range env.mail {
+		box := env.mail[from][to]
+		if len(box) == 0 {
+			continue
+		}
+		out = append(out, box...)
+		for i := range box {
+			box[i] = nil
+		}
+		env.mail[from][to] = box[:0]
+	}
+	return out
+}

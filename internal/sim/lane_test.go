@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLaneRoutingAndMerge spreads procs across lanes and checks the merged
+// execution order matches the single-lane run exactly (the golden test does
+// this too, via traces; this is the focused unit variant).
+func TestLaneRoutingAndMerge(t *testing.T) {
+	run := func(lanes int) []string {
+		env := NewEnv()
+		env.SetLanes(lanes)
+		var order []string
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("p%d", i)
+			d := time.Duration(6-i) * time.Millisecond
+			env.GoOnLane(env.LaneOf(name), name, func(p *Proc) {
+				p.Sleep(d)
+				order = append(order, p.Name())
+			})
+		}
+		env.Run()
+		return order
+	}
+	want := run(1)
+	for _, lanes := range []int{2, 3, 8} {
+		got := run(lanes)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("lanes=%d order %v != single-lane order %v", lanes, got, want)
+		}
+	}
+}
+
+// TestLaneInheritance checks procs and their events stay on the spawning
+// lane: a proc spawned from lane 2 code lives on lane 2.
+func TestLaneInheritance(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(4)
+	var childLane, timerLane = -1, -1
+	env.GoOnLane(2, "parent", func(p *Proc) {
+		env.Go("child", func(c *Proc) {
+			childLane = c.lane
+		})
+		env.After(time.Millisecond, func() {
+			timerLane = env.Lane()
+		})
+		p.Sleep(2 * time.Millisecond)
+	})
+	env.Run()
+	if childLane != 2 || timerLane != 2 {
+		t.Fatalf("child lane=%d timer lane=%d, want 2/2", childLane, timerLane)
+	}
+}
+
+// TestLaneOfStable checks the key→lane map depends only on (key, laneCount).
+func TestLaneOfStable(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	a.SetLanes(8)
+	b.SetLanes(8)
+	for _, k := range []string{"node-0", "node-1", "sharepod-999", ""} {
+		if a.LaneOf(k) != b.LaneOf(k) {
+			t.Fatalf("LaneOf(%q) differs across envs", k)
+		}
+		if l := a.LaneOf(k); l < 0 || l >= 8 {
+			t.Fatalf("LaneOf(%q)=%d out of range", k, l)
+		}
+	}
+}
+
+// TestFanOutMailbox checks the parallel window runs every lane exactly once
+// and the mailbox drains in deterministic (from-lane, send-order) order
+// regardless of real-time interleaving.
+func TestFanOutMailbox(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(8)
+	var ran atomic.Int32
+	env.Go("driver", func(p *Proc) {
+		for round := 0; round < 50; round++ {
+			env.FanOut(func(lane int) {
+				ran.Add(1)
+				env.LaneSend(lane, 0, lane*10)
+				env.LaneSend(lane, 0, lane*10+1)
+			})
+			got := env.LaneDrain(0)
+			if len(got) != 16 {
+				t.Errorf("round %d: drained %d messages, want 16", round, len(got))
+				return
+			}
+			for lane := 0; lane < 8; lane++ {
+				for j := 0; j < 2; j++ {
+					if got[lane*2+j] != lane*10+j {
+						t.Errorf("round %d: msg[%d]=%v, want %d", round, lane*2+j, got[lane*2+j], lane*10+j)
+						return
+					}
+				}
+			}
+			if extra := env.LaneDrain(0); len(extra) != 0 {
+				t.Errorf("second drain returned %d messages, want 0", len(extra))
+				return
+			}
+		}
+	})
+	env.Run()
+	if ran.Load() != 50*8 {
+		t.Fatalf("fan-out ran %d lane tasks, want %d", ran.Load(), 50*8)
+	}
+}
+
+// TestFanOutEnqueueGuard checks that scheduling an event from inside a
+// parallel window panics: lane code must stay read-only until the barrier.
+func TestFanOutEnqueueGuard(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enqueue inside FanOut window did not panic")
+		}
+	}()
+	env.Go("driver", func(p *Proc) {
+		env.FanOut(func(lane int) {
+			if lane == 0 { // panic deterministically from the caller's lane
+				env.After(time.Millisecond, func() {})
+			}
+		})
+	})
+	env.Run()
+}
+
+// TestNestedFanOutPanics checks reentrant windows are rejected.
+func TestNestedFanOutPanics(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested FanOut did not panic")
+		}
+	}()
+	env.FanOut(func(lane int) {
+		if lane == 0 {
+			env.FanOut(func(int) {})
+		}
+	})
+}
+
+// TestSetLanesAfterUsePanics checks repartitioning a live queue is rejected.
+func TestSetLanesAfterUsePanics(t *testing.T) {
+	env := NewEnv()
+	env.After(time.Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLanes after scheduling did not panic")
+		}
+	}()
+	env.SetLanes(4)
+}
+
+// TestLaneTimerCancelAcrossLanes checks Timer handles resolve their owning
+// lane's slab: stop/active work for timers created on non-zero lanes.
+func TestLaneTimerCancelAcrossLanes(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(4)
+	fired := false
+	env.GoOnLane(3, "owner", func(p *Proc) {
+		tm := env.After(5*time.Millisecond, func() { fired = true })
+		if !tm.Active() {
+			t.Error("timer inactive after creation")
+		}
+		p.Sleep(time.Millisecond)
+		if !tm.Stop() {
+			t.Error("Stop returned false for pending timer")
+		}
+		if tm.Active() {
+			t.Error("timer active after Stop")
+		}
+		p.Sleep(10 * time.Millisecond)
+	})
+	env.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+// TestFanOutParallelReadOnly exercises a realistic window under the race
+// detector: every lane scans a shared read-only slice and reports a partial
+// sum through the mailbox.
+func TestFanOutParallelReadOnly(t *testing.T) {
+	env := NewEnv()
+	env.SetLanes(4)
+	data := make([]int, 4096)
+	for i := range data {
+		data[i] = i
+	}
+	total := 0
+	env.Go("driver", func(p *Proc) {
+		env.FanOut(func(lane int) {
+			sum := 0
+			for i := lane; i < len(data); i += 4 {
+				sum += data[i]
+			}
+			env.LaneSend(lane, 0, sum)
+		})
+		for _, v := range env.LaneDrain(0) {
+			total += v.(int)
+		}
+	})
+	env.Run()
+	want := len(data) * (len(data) - 1) / 2
+	if total != want {
+		t.Fatalf("fan-out sum=%d, want %d", total, want)
+	}
+}

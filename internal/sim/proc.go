@@ -35,6 +35,7 @@ type Proc struct {
 	finished bool
 	killed   bool
 	daemon   bool
+	lane     int // event lane owning this proc's wakeups and timers
 	killErr  error
 	doneEv   *Event
 	// pending tracks scheduled items that would wake this proc from its
@@ -142,9 +143,9 @@ func (p *Proc) Kill(reason error) {
 		panic("sim: proc cannot Kill itself; return from its body instead")
 	}
 	for _, pt := range p.pending {
-		it := &p.env.items[pt.slot]
+		it := p.env.itemAt(pt.slot)
 		if it.gen == pt.gen && !it.cancelled {
-			p.env.cancelItem(it)
+			p.env.cancelItem(pt.slot)
 		}
 	}
 	p.clearPending()

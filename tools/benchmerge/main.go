@@ -10,8 +10,14 @@
 //
 //	{"generated_by": "bench.sh", "records": [ {...}, {...} ]}
 //
-// Records are opaque to this tool beyond being valid JSON objects, so
-// bench.sh can evolve the record shape without touching it.
+// Records are opaque to this tool beyond being valid JSON objects with one
+// exception: every benchmark section must say what cpu budget it ran under.
+// Wall-clock numbers without cpus/gomaxprocs are uninterpretable (a lane
+// sweep on one core timeslices instead of parallelizing), so an incoming
+// record is rejected unless each object-valued section — each entry of
+// "benchmarks", and every other top-level object section — carries numeric
+// "cpus" and "gomaxprocs" fields. Records already in the log are not
+// revalidated.
 package main
 
 import (
@@ -36,6 +42,9 @@ func run(out string, in io.Reader) error {
 	if err := json.Unmarshal(raw, &record); err != nil {
 		return fmt.Errorf("stdin is not a JSON object: %w", err)
 	}
+	if err := validate(record); err != nil {
+		return err
+	}
 	compact, err := json.Marshal(record)
 	if err != nil {
 		return err
@@ -56,6 +65,42 @@ func run(out string, in io.Reader) error {
 		return err
 	}
 	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+// validate rejects records whose benchmark sections omit the cpu budget:
+// each entry of "benchmarks" and every other top-level object-valued
+// section needs numeric "cpus" and "gomaxprocs".
+func validate(record map[string]any) error {
+	check := func(section string, v any) error {
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil // scalar metadata ("date", "rounds", ...) — no budget to record
+		}
+		for _, field := range []string{"cpus", "gomaxprocs"} {
+			if _, ok := obj[field].(float64); !ok {
+				return fmt.Errorf("section %q is missing numeric %q; bench.sh must record the cpu budget per section", section, field)
+			}
+		}
+		return nil
+	}
+	for key, v := range record {
+		if key == "benchmarks" {
+			benches, ok := v.(map[string]any)
+			if !ok {
+				return fmt.Errorf(`"benchmarks" is not a JSON object`)
+			}
+			for name, b := range benches {
+				if err := check("benchmarks."+name, b); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := check(key, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func main() {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// vet writes src as a throwaway .go file and returns checkFile's
+// violation count.
+func vet(t *testing.T, src string) int {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(path)
+}
+
+func TestLaneguardFlagsMutationsInFanOutWindow(t *testing.T) {
+	src := `package p
+
+func bad(env *Env, sps *Reg) {
+	env.FanOut(func(lane int) {
+		env.After(d, f)            // scheduling: banned
+		env.Go("p", f)             // scheduling: banned
+		sps.Create(sp)             // store mutation: banned
+		sps.MutateStatus(n, f)     // Mutate* prefix: banned
+	})
+}
+`
+	if got := vet(t, src); got != 4 {
+		t.Fatalf("violations = %d, want 4", got)
+	}
+}
+
+func TestLaneguardAllowsReadOnlyWindow(t *testing.T) {
+	src := `package p
+
+func good(env *Env, eng *Engine) {
+	env.FanOut(func(lane int) {
+		cands, _ := eng.Rank(u, pool, k) // read-only: fine
+		env.LaneSend(lane, 0, cands)     // mailbox: the sanctioned channel
+	})
+	// The same selectors outside a window are untouched by laneguard.
+	env.After(d, f)
+	env.Go("p", f)
+}
+`
+	if got := vet(t, src); got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+}
+
+func TestLaneguardSeesNestedClosures(t *testing.T) {
+	src := `package p
+
+func sneaky(env *Env, sps *Reg) {
+	env.FanOut(func(lane int) {
+		helper := func() { sps.Delete(n) }
+		helper()
+	})
+}
+`
+	if got := vet(t, src); got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+}
+
+func TestLaneguardHonorsDetAllow(t *testing.T) {
+	src := `package p
+
+func exempt(env *Env, log *FileLog) {
+	env.FanOut(func(lane int) {
+		log.Put(line) //det:allow off-simulation sink
+	})
+}
+`
+	if got := vet(t, src); got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+}
