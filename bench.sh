@@ -70,8 +70,9 @@ BASE_RAW="$(mktemp)"
 OBS_RAW="$(mktemp)"
 FIG15_RAW="$(mktemp)"
 FIG16_RAW="$(mktemp)"
+FIG17_RAW="$(mktemp)"
 RECORD="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$RECORD"; cleanup' EXIT
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$FIG17_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -103,6 +104,14 @@ go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/full$' -benchtime 1
 echo "fig16 (scale sweep to 100k sharePods, GOMAXPROCS=$FIG16_GMP)..." >&2
 GOMAXPROCS=$FIG16_GMP go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/full$' -benchtime 1x 2>/dev/null |
   grep '^BenchmarkFig16' >"$FIG16_RAW" || true
+
+# Control-plane recovery sweep (Figure 17): restart intensity × checkpoint
+# cadence under apiserver crash/restart chaos. The metrics are virtual-side
+# (replayed records, modeled unavailability), so one run suffices; the run
+# itself enforces the quiescence invariants per cell.
+echo "fig17 (control-plane recovery sweep)..." >&2
+go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/full$' -benchtime 1x 2>/dev/null |
+  grep '^BenchmarkFig17' >"$FIG17_RAW" || true
 
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
 min_ns() {
@@ -202,6 +211,24 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
     echo "    \"best_lane_speedup\": ${BEST:-0},"
     echo "    \"meets_2_5x\": $(awk -v s="${BEST:-0}" 'BEGIN { print (s + 0 >= 2.5) ? "true" : "false" }'),"
     echo "    \"cpu_bound\": $(awk -v c="$CPUS" -v g="$FIG16_GMP" 'BEGIN { print (c + 0 < g + 0) ? "true" : "false" }')"
+    echo '  },'
+  fi
+  if [ -s "$FIG17_RAW" ]; then
+    echo '  "fig17_recovery_sweep": {'
+    echo '    "benchmark": "BenchmarkFig17RecoverySweep/full (restart means 40/20/10s, checkpoint 5s vs disabled)",'
+    echo "    \"cpus\": $CPUS,"
+    echo "    \"gomaxprocs\": $GMP,"
+    WORST=""
+    for m in 40 20 10; do
+      CR="$(metric_of "$FIG17_RAW" "mean${m}s-ckpt-replayed")"
+      NR="$(metric_of "$FIG17_RAW" "mean${m}s-nockpt-replayed")"
+      CO="$(metric_of "$FIG17_RAW" "mean${m}s-ckpt-outage-ms")"
+      NO="$(metric_of "$FIG17_RAW" "mean${m}s-nockpt-outage-ms")"
+      [ -z "$CR" ] && continue
+      echo "    \"restart_mean_${m}s\": {\"ckpt_replayed\": $CR, \"nockpt_replayed\": $NR, \"ckpt_outage_ms\": $CO, \"nockpt_outage_ms\": $NO},"
+      WORST="$(awk -v a="${WORST:-0}" -v b="$NO" 'BEGIN { printf "%s", (b + 0 > a + 0) ? b : a }')"
+    done
+    echo "    \"worst_nockpt_outage_ms\": ${WORST:-0}"
     echo '  },'
   fi
   echo '  "obs_overhead": {'

@@ -523,3 +523,50 @@ func BenchmarkFig16ScaleSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFig17RecoverySweep regenerates Figure 17: the durable control
+// plane's recovery cost under apiserver crash/restart chaos, sweeping
+// restart intensity against checkpoint cadence. Per restart-mean it reports
+// the replayed-record count and modeled unavailability of the tightest
+// checkpoint cadence versus checkpoints disabled (every restart replays the
+// whole WAL) — the trade the checkpoint interval buys. Quiescence invariants
+// and jobs-all-succeed are enforced inside Fig17 per cell, so a passing run
+// is also the warm-recovery witness. The quick variant is the check.sh smoke.
+func BenchmarkFig17RecoverySweep(b *testing.B) {
+	for _, scale := range []struct {
+		name string
+		cfg  experiments.Fig17Config
+	}{
+		{"quick", experiments.Fig17Config{Nodes: 2, Jobs: 12, JobDuration: 10 * time.Second,
+			RestartMeans:        []time.Duration{10 * time.Second},
+			CheckpointIntervals: []time.Duration{5 * time.Second, -1}}},
+		{"full", experiments.Fig17Config{}},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Fig17(scale.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i != 0 {
+					continue
+				}
+				// Rows group by restart mean, one row per checkpoint interval;
+				// contrast the first (tightest cadence) and last (disabled)
+				// rows of each group.
+				per := len(scale.cfg.CheckpointIntervals)
+				if per == 0 {
+					per = 3 // withDefaults sweep
+				}
+				for r := 0; r+per-1 < len(t.Rows); r += per {
+					mean := t.Rows[r][0]
+					ckpt, never := t.Rows[r], t.Rows[r+per-1]
+					b.ReportMetric(cellF(b, ckpt[4]), "mean"+mean+"s-ckpt-replayed")
+					b.ReportMetric(cellF(b, never[4]), "mean"+mean+"s-nockpt-replayed")
+					b.ReportMetric(cellF(b, ckpt[5]), "mean"+mean+"s-ckpt-outage-ms")
+					b.ReportMetric(cellF(b, never[5]), "mean"+mean+"s-nockpt-outage-ms")
+				}
+			}
+		})
+	}
+}

@@ -23,10 +23,17 @@ GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden|TestTr
 # lookup is the one obs path exercised off the simulation goroutine.
 GOMAXPROCS=4 go test -race ./internal/obs/...
 # Chaos soak under the race detector: the multi-seed recovery suite (node
-# crashes, holder kills, device faults, watch drops) must satisfy every
-# quiescence invariant; failures print the seed to reproduce. The plain
+# crashes, holder kills, device faults, watch drops, apiserver
+# crash/restarts with WAL-tail corruption) must satisfy every quiescence
+# invariant — including the final warm-recovery audit after one more
+# restart at quiescence; failures print the seed to reproduce. The plain
 # `go test ./...` pass above already ran it race-free.
 GOMAXPROCS=4 go test -race ./internal/chaos/
+# Durable-store and restart-recovery suites under the race detector: WAL
+# replay composition (restore∘churn == live churn), torn-tail
+# truncate-and-recover, epoch-fenced relists, and the no-double-delivery
+# goldens across restart + drop.
+GOMAXPROCS=4 go test -race -run 'TestRestore|TestCheckpoint|TestTornTail|TestWatchFencing|TestCrash|TestReflector|TestResume|TestEventSinkRestart' ./internal/kube/store/ ./internal/kube/apiserver/
 # Scheduling-framework suite under the race detector on the multi-worker
 # path: engine/Algorithm-1 equivalence properties, transaction rollback,
 # batched-vs-sequential, conflict retry, gang all-or-nothing, and the
@@ -48,6 +55,11 @@ go test . -run xxx -bench 'BenchmarkFig15SchedulerThroughput/quick' -benchtime 1
 # (Fig16 errors out on any metrics divergence); bench.sh measures the full
 # 1k/10k/100k sweep into BENCH.json.
 GOMAXPROCS=4 go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/quick' -benchtime 1x
+# Smoke the control-plane recovery sweep (Figure 17) at quick scale: one
+# restart mean, checkpointed vs checkpoint-free recovery, quiescence
+# invariants enforced per cell; bench.sh measures the full sweep into
+# BENCH.json.
+go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/quick' -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
 # workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

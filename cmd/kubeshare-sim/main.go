@@ -9,7 +9,7 @@
 //	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 fig16 latency, or "all" (the default). Full scale
+// fig12 fig13 fig14 fig15 fig16 fig17 latency, or "all" (the default). Full scale
 // matches the paper's 8-node × 4-GPU testbed and 5-run averages; quick scale
 // shrinks the cluster and workloads for fast iteration.
 //
@@ -214,7 +214,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -356,6 +356,15 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.Nodes = 16
 		}
 		return experiments.Fig16(cfg)
+	case "fig17":
+		cfg := experiments.Fig17Config{Seed: seed}
+		if !full {
+			cfg.Nodes, cfg.Jobs = 2, 12
+			cfg.JobDuration = 10 * time.Second
+			cfg.RestartMeans = []time.Duration{20 * time.Second, 10 * time.Second}
+			cfg.CheckpointIntervals = []time.Duration{5 * time.Second, -1}
+		}
+		return experiments.Fig17(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig16, latency)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig17, latency)")
 }

@@ -51,6 +51,15 @@ type Config struct {
 	// WatchDropMean is the mean interval between watch-stream drops, each
 	// severing one randomly chosen reflector.
 	WatchDropMean time.Duration
+
+	// APIRestartMean is the mean interval between apiserver crash/restarts.
+	// Each restart discards every in-memory store and watch structure and
+	// warm-recovers from checkpoint + WAL replay; requires the cluster's
+	// apiserver to have durability enabled (see apiserver.EnableDurability).
+	APIRestartMean time.Duration
+	// APIRestartTornTailEvery corrupts the WAL tail before every Nth
+	// restart (0 = never), forcing the torn-tail truncate-and-recover path.
+	APIRestartTornTailEvery int
 }
 
 // Stats counts the faults actually delivered.
@@ -59,16 +68,24 @@ type Stats struct {
 	HolderKills  int
 	DeviceFaults int
 	WatchDrops   int
+	APIRestarts  int
+	// TornTails counts the APIRestarts preceded by WAL-tail corruption.
+	TornTails int
+	// Replayed sums the WAL records replayed across all restarts.
+	Replayed int64
+	// OutageNS sums the modeled unavailability windows (checkpoint re-read
+	// plus WAL replay cost) across all restarts.
+	OutageNS int64
 }
 
 // Total returns the number of faults delivered across all classes.
 func (s Stats) Total() int {
-	return s.NodeCrashes + s.HolderKills + s.DeviceFaults + s.WatchDrops
+	return s.NodeCrashes + s.HolderKills + s.DeviceFaults + s.WatchDrops + s.APIRestarts
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d holderKills=%d deviceFaults=%d watchDrops=%d",
-		s.NodeCrashes, s.HolderKills, s.DeviceFaults, s.WatchDrops)
+	return fmt.Sprintf("crashes=%d holderKills=%d deviceFaults=%d watchDrops=%d apiRestarts=%d tornTails=%d",
+		s.NodeCrashes, s.HolderKills, s.DeviceFaults, s.WatchDrops, s.APIRestarts, s.TornTails)
 }
 
 // Injector drives one fault schedule against a cluster.
@@ -113,6 +130,10 @@ func (in *Injector) Start() {
 	if in.cfg.WatchDropMean > 0 {
 		rng := in.rng.Fork("watches")
 		in.env.Go("chaos-watches", func(p *sim.Proc) { in.watchLoop(p, rng) })
+	}
+	if in.cfg.APIRestartMean > 0 {
+		rng := in.rng.Fork("apiserver")
+		in.env.Go("chaos-apiserver", func(p *sim.Proc) { in.apiLoop(p, rng) })
 	}
 }
 
@@ -217,6 +238,41 @@ func (in *Injector) deviceLoop(p *sim.Proc, rng *simrand.Source) {
 		}
 		p.Sleep(outage)
 		dev.ClearFault()
+	}
+}
+
+// apiLoop crashes the apiserver process itself: every in-memory store
+// structure — objects, indexes, open watches, resumable history, the event
+// sink's dedup index — is discarded at one virtual instant and rebuilt from
+// the durable checkpoint plus WAL replay. Before every Nth restart the WAL
+// tail is corrupted (truncated mid-frame or bit-flipped, alternating), so
+// recovery must also exercise the truncate-and-recover path. Nothing is
+// repaired behind the system's back: every watch consumer sees its stream
+// close and must relist into the new epoch on its own.
+func (in *Injector) apiLoop(p *sim.Proc, rng *simrand.Source) {
+	for {
+		p.Sleep(rng.ExpDuration(in.cfg.APIRestartMean))
+		if in.expired() {
+			return
+		}
+		torn := false
+		if every := in.cfg.APIRestartTornTailEvery; every > 0 && (in.stats.APIRestarts+1)%every == 0 {
+			// Alternate damage shape: 0 flips the final byte (CRC mismatch),
+			// 1..4 truncates that many bytes (short frame).
+			torn = in.c.API.TearWALTail(rng.Intn(5))
+		}
+		st, err := in.c.API.Restart()
+		if err != nil {
+			panic(fmt.Sprintf("chaos: apiserver restart: %v", err))
+		}
+		in.stats.APIRestarts++
+		in.stats.Replayed += int64(st.Replayed)
+		in.stats.OutageNS += st.ModeledOutageNS
+		if torn {
+			in.stats.TornTails++
+		}
+		in.recorder.Eventf("APIServer", "control-plane", obs.EventWarning, "APIServerCrashed",
+			"store dropped; recovered rev %d (%d replayed, torn=%v)", st.RestoredRev, st.Replayed, st.TornTail)
 	}
 }
 

@@ -38,6 +38,10 @@ type SoakConfig struct {
 	// NoFaults disables every fault class — the control run for
 	// availability comparisons.
 	NoFaults bool
+	// CheckpointInterval is handed to the apiserver's durability layer when
+	// API restarts are in the fault mix (zero = the apiserver default,
+	// negative = checkpoint only once at enable time, maximizing WAL replay).
+	CheckpointInterval time.Duration
 }
 
 // WithDefaults returns the config with every unset field filled in — the
@@ -86,6 +90,12 @@ func (c SoakConfig) WithDefaults() SoakConfig {
 		if f.WatchDropMean == 0 {
 			f.WatchDropMean = 4 * time.Second
 		}
+		if f.APIRestartMean == 0 {
+			f.APIRestartMean = 35 * time.Second
+		}
+		if f.APIRestartTornTailEvery == 0 {
+			f.APIRestartTornTailEvery = 2
+		}
 	}
 	f.Seed = c.Seed
 	f.Horizon = c.FaultHorizon
@@ -129,6 +139,11 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		return SoakResult{}, err
 	}
 	workload.RegisterImages(c)
+	// Durability goes on before any consumer starts, so the enable-time
+	// checkpoint covers the empty store and every later mutation is logged.
+	if cfg.Faults.APIRestartMean > 0 {
+		c.API.EnableDurability(apiserver.DurabilityConfig{CheckpointInterval: cfg.CheckpointInterval})
+	}
 	ks, err := schedfw.Install(c, core.Config{})
 	if err != nil {
 		return SoakResult{}, err
@@ -180,6 +195,19 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		res.Relists += relists
 	}
 	res.Violations = VerifyQuiescence(c, ks)
+	// Final warm-recovery audit: one more crash/restore at quiescence must
+	// be invisible — the restored store, the relisted reflector caches and
+	// the scheduler snapshot all have to land exactly where they were, and
+	// every recovery invariant must hold again after the grace window.
+	if cfg.Faults.APIRestartMean > 0 {
+		if _, err := c.API.Restart(); err != nil {
+			return res, fmt.Errorf("chaos soak: final restart audit: %w", err)
+		}
+		env.RunUntil(cfg.Bound + time.Minute)
+		for _, v := range VerifyQuiescence(c, ks) {
+			res.Violations = append(res.Violations, fmt.Errorf("post-restore: %w", v))
+		}
+	}
 	return res, nil
 }
 

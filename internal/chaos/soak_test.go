@@ -58,14 +58,27 @@ func TestSoakSeeds(t *testing.T) {
 		total.HolderKills += res.Faults.HolderKills
 		total.DeviceFaults += res.Faults.DeviceFaults
 		total.WatchDrops += res.Faults.WatchDrops
+		total.APIRestarts += res.Faults.APIRestarts
+		total.TornTails += res.Faults.TornTails
+		total.Replayed += res.Faults.Replayed
 		restarts += res.Restarts
 		requeues += res.Requeues
 		recoveries += res.Recoveries
 		resumes += res.Resumes
 		relists += res.Relists
 	}
-	if total.NodeCrashes == 0 || total.HolderKills == 0 || total.DeviceFaults == 0 || total.WatchDrops == 0 {
+	if total.NodeCrashes == 0 || total.HolderKills == 0 || total.DeviceFaults == 0 ||
+		total.WatchDrops == 0 || total.APIRestarts == 0 {
 		t.Fatalf("some fault class never fired across seeds: %v", total)
+	}
+	if total.TornTails == 0 {
+		t.Fatalf("no restart ever hit a torn WAL tail — the truncate-and-recover path went untested: %v", total)
+	}
+	if total.Replayed == 0 {
+		t.Fatal("every restart recovered from a fresh checkpoint — WAL replay went untested")
+	}
+	if relists == 0 {
+		t.Fatal("no reflector ever relisted — restart epochs went unnoticed by consumers")
 	}
 	if requeues == 0 {
 		t.Fatal("no sharePod was ever requeued — the recovery path went untested")
@@ -82,17 +95,18 @@ func TestSoakSeeds(t *testing.T) {
 
 // TestSoakDeterministic pins the chaos layer's reproducibility: the same
 // seed must deliver the same faults and the same outcomes, field for field.
+// It runs at default scale so the schedule includes apiserver restarts —
+// checkpoint+WAL recovery (replayed counts, modeled outage) must reproduce
+// exactly, not just the fault-free path.
 func TestSoakDeterministic(t *testing.T) {
-	cfg := SoakConfig{
-		Seed:         7,
-		Jobs:         10,
-		JobDuration:  10 * time.Second,
-		SubmitWindow: 15 * time.Second,
-	}
+	cfg := SoakConfig{Seed: 7}
 	a := requireClean(t, cfg)
 	b := requireClean(t, cfg)
 	if a.Faults != b.Faults {
 		t.Fatalf("fault schedule diverged: %v vs %v", a.Faults, b.Faults)
+	}
+	if a.Faults.APIRestarts == 0 {
+		t.Fatalf("no apiserver restart fired — determinism of the recovery path went untested: %v", a.Faults)
 	}
 	if a.Succeeded != b.Succeeded || a.Failed != b.Failed || a.Rejected != b.Rejected ||
 		a.Restarts != b.Restarts || a.Requeues != b.Requeues ||

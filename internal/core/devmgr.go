@@ -214,7 +214,7 @@ func (m *DevMgr) failUUIDWaiters(holderPod string) {
 // three ride reflectors, so dropped watches resume (or relist) without
 // losing deltas.
 func (m *DevMgr) Start() {
-	spR := m.srv.NewReflector(KindSharePod, apiserver.WatchOptions{Replay: true})
+	spR := m.srv.NewNamedReflector("kubeshare-devmgr", KindSharePod, apiserver.WatchOptions{Replay: true})
 	m.reflectors = append(m.reflectors, spR)
 	m.procs = append(m.procs, m.env.Go("kubeshare-devmgr", func(p *sim.Proc) {
 		for {
@@ -274,7 +274,7 @@ func (m *DevMgr) Start() {
 	// Only bound pods (stamped with LabelSharePod) matter here; the filter
 	// runs server-side, so holder pods and unrelated cluster pods never
 	// reach this loop.
-	podR := m.srv.NewReflector("Pod", apiserver.WatchOptions{
+	podR := m.srv.NewNamedReflector("kubeshare-devmgr", "Pod", apiserver.WatchOptions{
 		Selector: labels.HasKey(LabelSharePod),
 		Replay:   true,
 	})
@@ -294,7 +294,7 @@ func (m *DevMgr) Start() {
 	}))
 	// Holder-pod stream: a holder that dies (killed container, evicted node)
 	// while its vGPU still exists triggers recovery.
-	holderR := m.srv.NewReflector("Pod", apiserver.WatchOptions{
+	holderR := m.srv.NewNamedReflector("kubeshare-devmgr", "Pod", apiserver.WatchOptions{
 		Selector: labels.HasKey(LabelVGPUHolder),
 		Replay:   true,
 	})

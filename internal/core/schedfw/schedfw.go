@@ -153,6 +153,9 @@ type Scheduler struct {
 	gangs map[string]*gangState
 	// timerDeadline is the earliest armed gang-timeout wake ( 0 = none).
 	timerDeadline time.Duration
+	// epoch is the apiserver restart epoch the cross-cycle state was built
+	// in; a mismatch before a cycle invalidates gang holds (see checkEpoch).
+	epoch int64
 
 	tracer       *obs.Tracer
 	recorder     *obs.Recorder
@@ -228,6 +231,7 @@ func (s *Scheduler) VerifySnapshot() error {
 // Start launches the watch and scheduling loops — the same four replayed
 // reflector streams the legacy scheduler ran, feeding the same snapshot.
 func (s *Scheduler) Start() {
+	s.epoch = s.srv.Epoch()
 	if s.parallel && s.laneEngines == nil {
 		// One private engine per lane (the engine's scratch score vectors are
 		// not goroutine-safe; the plugins themselves are stateless and
@@ -244,7 +248,7 @@ func (s *Scheduler) Start() {
 		}
 	}
 	for _, kind := range []string{core.KindSharePod, "Pod", core.KindVGPU, "Node"} {
-		r := s.srv.NewReflector(kind, apiserver.WatchOptions{Replay: true})
+		r := s.srv.NewNamedReflector("kubeshare-sched", kind, apiserver.WatchOptions{Replay: true})
 		s.reflectors = append(s.reflectors, r)
 		isPod := kind == "Pod"
 		s.watchProcs = append(s.watchProcs, s.env.Go("kubeshare-sched-watch-"+kind, func(p *sim.Proc) {
@@ -322,8 +326,26 @@ func (s *Scheduler) loop(p *sim.Proc) {
 		}
 		p.Yield()
 		s.drainWake()
+		s.checkEpoch()
 		for s.runCycle(p) {
 		}
+	}
+}
+
+// checkEpoch invalidates cross-cycle scheduler state after an apiserver
+// restart. Per-cycle reservations die with their transaction, but gang
+// holds persist in s.gangs — and their hold windows were armed against
+// watch state that no longer exists. Dropping them requeues the gangs
+// cleanly: members are still pending in the (relist-rebuilt) snapshot, so
+// the next cycle re-attempts admission and re-arms fresh holds.
+func (s *Scheduler) checkEpoch() {
+	e := s.srv.Epoch()
+	if e == s.epoch {
+		return
+	}
+	s.epoch = e
+	for g := range s.gangs {
+		delete(s.gangs, g)
 	}
 }
 

@@ -23,6 +23,15 @@ const (
 	KindVGPU     = "VGPU"
 )
 
+// The custom resources join the kind registry so the store's durability
+// layer (WAL + checkpoints) can decode them back into typed objects during
+// an apiserver restore — the CRD analogue of scheme registration.
+func init() {
+	api.RegisterKind(KindSharePod, func() api.Object { return &SharePod{} })
+	api.RegisterKind(KindVGPU, func() api.Object { return &VGPU{} })
+	api.RegisterKind(KindSharePodSet, func() api.Object { return &SharePodSet{} })
+}
+
 // SharePodPhase is the lifecycle phase of a sharePod.
 type SharePodPhase string
 

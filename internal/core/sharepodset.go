@@ -6,13 +6,15 @@ import (
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/backoff"
 	"kubeshare/internal/kube/controller"
 	"kubeshare/internal/sim"
 )
 
 // Replacement backoff for failed replicas: the first failure is replaced
-// after replaceBackoffBase, doubling per consecutive failure round up to
-// replaceBackoffCap. A set whose replicas all come up Ready resets.
+// after roughly replaceBackoffBase, growing per consecutive failure round
+// up to replaceBackoffCap under the shared decorrelated-jitter policy
+// (internal/kube/backoff). A set whose replicas all come up Ready resets.
 const (
 	replaceBackoffBase = 250 * time.Millisecond
 	replaceBackoffCap  = 8 * time.Second
@@ -72,13 +74,14 @@ type SharePodSetManager struct {
 	srv    *apiserver.Server
 	runner *controller.Runner
 	serial int
-	// replaceFails counts consecutive failed-replica rounds per set.
-	replaceFails map[string]int
+	// replaceFails holds each set's replacement-backoff sequence across
+	// consecutive failed-replica rounds.
+	replaceFails map[string]*backoff.Backoff
 }
 
 // NewSharePodSetManager creates the manager; Start launches its watches.
 func NewSharePodSetManager(env *sim.Env, srv *apiserver.Server) *SharePodSetManager {
-	m := &SharePodSetManager{env: env, srv: srv, replaceFails: make(map[string]int)}
+	m := &SharePodSetManager{env: env, srv: srv, replaceFails: make(map[string]*backoff.Backoff)}
 	m.runner = controller.NewRunner(env, "sharepodset", 0, m.reconcile)
 	srv.RegisterValidator(KindSharePodSet, func(o api.Object) error {
 		set := o.(*SharePodSet)
@@ -100,22 +103,24 @@ func NewSharePodSetManager(env *sim.Env, srv *apiserver.Server) *SharePodSetMana
 	return m
 }
 
-// Start begins watching sets and their sharePods.
+// Start begins watching sets and their sharePods. Named reflectors keep the
+// manager alive across apiserver restarts: the dead watch queue is replaced
+// by a relist-with-resync instead of silently ending the loop.
 func (m *SharePodSetManager) Start() {
-	setQ := m.srv.Watch(KindSharePodSet, true)
+	setR := m.srv.NewNamedReflector("sharepodset", KindSharePodSet, apiserver.WatchOptions{Replay: true})
 	m.env.Go("sharepodset-watch", func(p *sim.Proc) {
 		for {
-			ev, ok := setQ.Get(p)
+			ev, ok := setR.Get(p)
 			if !ok {
 				return
 			}
 			m.runner.Enqueue(ev.Object.GetMeta().Name)
 		}
 	})
-	spQ := m.srv.Watch(KindSharePod, true)
+	spR := m.srv.NewNamedReflector("sharepodset", KindSharePod, apiserver.WatchOptions{Replay: true})
 	m.env.Go("sharepodset-watch-sharepods", func(p *sim.Proc) {
 		for {
-			ev, ok := spQ.Get(p)
+			ev, ok := spR.Get(p)
 			if !ok {
 				return
 			}
@@ -169,8 +174,7 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 				return err
 			}
 		}
-		m.replaceFails[name]++
-		m.runner.EnqueueAfter(name, replaceDelay(m.replaceFails[name]))
+		m.runner.EnqueueAfter(name, m.replaceDelay(name))
 		return nil
 	}
 	if ready >= set.Replicas {
@@ -214,17 +218,15 @@ func (m *SharePodSetManager) reconcile(p *sim.Proc, name string) error {
 	return nil
 }
 
-// replaceDelay is the replacement backoff after the n-th consecutive
-// failed-replica round.
-func replaceDelay(n int) time.Duration {
-	d := replaceBackoffBase
-	for i := 1; i < n && d < replaceBackoffCap; i++ {
-		d *= 2
+// replaceDelay advances the set's replacement-backoff sequence, creating
+// it on the first failed round.
+func (m *SharePodSetManager) replaceDelay(name string) time.Duration {
+	b := m.replaceFails[name]
+	if b == nil {
+		b = backoff.New("sharepodset/"+name, replaceBackoffBase, replaceBackoffCap)
+		m.replaceFails[name] = b
 	}
-	if d > replaceBackoffCap {
-		d = replaceBackoffCap
-	}
-	return d
+	return b.Next()
 }
 
 func (m *SharePodSetManager) cleanupOrphans(owner string) {

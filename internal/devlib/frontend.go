@@ -7,13 +7,15 @@ import (
 	"time"
 
 	"kubeshare/internal/cuda"
+	"kubeshare/internal/kube/backoff"
 	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
 // Reconnect bounds: a frontend whose token manager goes down (vGPU pod
-// crash) retries with capped exponential backoff while DevMgr replaces the
-// daemon, then surfaces ErrManagerDown if the outage outlives the budget.
+// crash) retries under the shared decorrelated-jitter backoff policy
+// (internal/kube/backoff) while DevMgr replaces the daemon, then surfaces
+// ErrManagerDown if the outage outlives the budget.
 const (
 	reconnectBase     = 20 * time.Millisecond
 	reconnectCap      = time.Second
@@ -233,7 +235,9 @@ func (f *Frontend) MemcpyDtoH(p *sim.Proc, n int64) error {
 // with the (replacement) manager once it is serving again, and retries —
 // up to reconnectAttempts before surfacing the error to the application.
 func (f *Frontend) acquireToken(p *sim.Proc) error {
-	delay := reconnectBase
+	// Seeded per client, so a holder kill that strands many frontends at the
+	// same instant spreads their re-registration attempts apart.
+	retry := backoff.New("devlib/"+f.clientID, reconnectBase, reconnectCap)
 	for attempt := 0; ; attempt++ {
 		tok, err := f.mgr.Acquire(p, f.clientID)
 		if err == nil {
@@ -256,10 +260,7 @@ func (f *Frontend) acquireToken(p *sim.Proc) error {
 		if !errors.Is(err, ErrManagerDown) || attempt >= reconnectAttempts {
 			return err
 		}
-		p.Sleep(delay)
-		if delay < reconnectCap {
-			delay *= 2
-		}
+		p.Sleep(retry.Next())
 		if f.closed {
 			return cuda.ErrClosed // torn down while waiting out the outage
 		}

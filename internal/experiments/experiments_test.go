@@ -294,6 +294,46 @@ func TestFig14AvailabilitySurvivesFaults(t *testing.T) {
 	}
 }
 
+func TestFig17RecoverySweep(t *testing.T) {
+	cfg := Fig17Config{Nodes: 2, Jobs: 12, JobDuration: 10 * time.Second,
+		RestartMeans:        []time.Duration{10 * time.Second},
+		CheckpointIntervals: []time.Duration{5 * time.Second, -1}}
+	tb, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, never := tb.Rows[0], tb.Rows[1]
+	if cell(t, ckpt[2]) == 0 {
+		t.Fatal("sweep delivered no restarts")
+	}
+	// Same restart schedule either way — only recovery cost may differ.
+	if cell(t, ckpt[2]) != cell(t, never[2]) || cell(t, ckpt[3]) != cell(t, never[3]) {
+		t.Fatalf("restart schedules diverged across checkpoint intervals: %v vs %v", ckpt, never)
+	}
+	// Without periodic checkpoints every restart replays the whole WAL, so
+	// both the replayed-record count and the modeled unavailability window
+	// must strictly dominate the checkpointed row.
+	if cell(t, never[4]) <= cell(t, ckpt[4]) {
+		t.Fatalf("replayed: never=%s should exceed ckpt=%s", never[4], ckpt[4])
+	}
+	if cell(t, never[5]) <= cell(t, ckpt[5]) {
+		t.Fatalf("outage_ms: never=%s should exceed ckpt=%s", never[5], ckpt[5])
+	}
+	// Warm recovery: every job still completes in every cell.
+	for i, row := range tb.Rows {
+		if int(cell(t, row[8])) != cfg.Jobs {
+			t.Fatalf("row %d: %s/%d jobs succeeded under restarts", i, row[8], cfg.Jobs)
+		}
+	}
+	again, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() != again.String() {
+		t.Fatalf("fig17 not deterministic:\n--- first ---\n%s\n--- second ---\n%s", tb, again)
+	}
+}
+
 func TestTable1FragmentationContrast(t *testing.T) {
 	tb, err := Table1(Table1Config{})
 	if err != nil {

@@ -67,12 +67,14 @@ func Fig14(cfg Fig14Config) (*metrics.Table, error) {
 		} else {
 			base := chaos.SoakConfig{}.WithDefaults().Faults
 			scfg.Faults = chaos.Config{
-				NodeCrashMean:    scaleMean(base.NodeCrashMean, intensity),
-				NodeOutageMean:   base.NodeOutageMean,
-				HolderKillMean:   scaleMean(base.HolderKillMean, intensity),
-				DeviceFaultMean:  scaleMean(base.DeviceFaultMean, intensity),
-				DeviceOutageMean: base.DeviceOutageMean,
-				WatchDropMean:    scaleMean(base.WatchDropMean, intensity),
+				NodeCrashMean:           scaleMean(base.NodeCrashMean, intensity),
+				NodeOutageMean:          base.NodeOutageMean,
+				HolderKillMean:          scaleMean(base.HolderKillMean, intensity),
+				DeviceFaultMean:         scaleMean(base.DeviceFaultMean, intensity),
+				DeviceOutageMean:        base.DeviceOutageMean,
+				WatchDropMean:           scaleMean(base.WatchDropMean, intensity),
+				APIRestartMean:          scaleMean(base.APIRestartMean, intensity),
+				APIRestartTornTailEvery: base.APIRestartTornTailEvery,
 			}
 		}
 		res, err := chaos.Soak(scfg)

@@ -13,6 +13,7 @@ import (
 	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
+	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
@@ -83,6 +84,11 @@ type SharingConfig struct {
 	// every trace, metric and placement — is byte-identical to the
 	// single-lane run).
 	Lanes int
+	// RestartAPIServerAt, when nonzero, enables store durability (WAL +
+	// checkpoints) and crash/warm-recovers the apiserver once at this
+	// virtual time — the mid-run control-plane restart whose markers and
+	// relist counters must land deterministically in the trace.
+	RestartAPIServerAt time.Duration
 	// ParallelPhases additionally drives the framework scheduler with
 	// parallel phase windows: prefilter/filter/score fan out across the
 	// lanes against the cycle-start snapshot. Placements stay deterministic
@@ -131,6 +137,17 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	c, err := newClusterObs(env, cfg.Nodes, cfg.GPUsPerNode, cfg.DisableObs)
 	if err != nil {
 		return SharingResult{}, err
+	}
+	if cfg.RestartAPIServerAt > 0 {
+		// Durability goes on before any consumer subscribes, so the whole
+		// run is covered by the enable-time checkpoint plus the WAL.
+		c.API.EnableDurability(apiserver.DurabilityConfig{})
+		env.Go("apiserver-restarter", func(p *sim.Proc) {
+			p.Sleep(cfg.RestartAPIServerAt)
+			if _, err := c.API.Restart(); err != nil {
+				panic(fmt.Sprintf("experiments: apiserver restart: %v", err))
+			}
+		})
 	}
 	switch cfg.System {
 	case KubeShare:

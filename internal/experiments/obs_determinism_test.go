@@ -26,6 +26,11 @@ func telemetryDump(lanes int, parallel bool) (string, error) {
 		System: KubeShare, Nodes: 1, GPUsPerNode: 2,
 		Jobs: jobs, ExportTelemetry: true,
 		Lanes: lanes, ParallelPhases: parallel,
+		// Crash/warm-recover the apiserver mid-workload: the restart markers
+		// (APIServerRestarted), the WAL/checkpoint counters and the
+		// per-consumer relist counters must all land byte-identically in the
+		// golden at every lane count.
+		RestartAPIServerAt: 9 * time.Second,
 	})
 	if err != nil {
 		return "", err

@@ -49,6 +49,8 @@ type Server struct {
 	reqWatches *obs.Counter // watch subscriptions opened (incl. resumes)
 	refResumes *obs.Counter // reflector resume-from-revision reconnects
 	refRelists *obs.Counter // reflector relist-on-gap reconnects
+	relistVec  *obs.CounterVec // relists partitioned by consumer component
+	restarts   *obs.Counter    // crash/restore cycles survived
 }
 
 // New returns a server over a fresh store with its own enabled telemetry
@@ -71,6 +73,8 @@ func NewWithObs(env *sim.Env, rt *obs.Runtime) *Server {
 		reqWatches: rt.Counter("kubeshare_apiserver_watches_total"),
 		refResumes: rt.Counter("kubeshare_apiserver_reflector_resumes_total"),
 		refRelists: rt.Counter("kubeshare_apiserver_reflector_relists_total"),
+		relistVec:  rt.CounterVec("kubeshare_reflector_relist_total", "consumer"),
+		restarts:   rt.Counter("kubeshare_apiserver_restarts_total"),
 	}
 	if rt != nil {
 		rt.SetEventSink(newEventSink(s))

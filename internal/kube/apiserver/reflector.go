@@ -5,6 +5,7 @@ import (
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/store"
+	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
 )
 
@@ -22,31 +23,47 @@ import (
 // (event, true), parking the proc while the stream is idle, and
 // (zero, false) only after Stop.
 type Reflector struct {
-	srv  *Server
-	kind string
-	opts WatchOptions
+	srv      *Server
+	kind     string
+	consumer string
+	opts     WatchOptions
 
 	q       *sim.Queue[store.Event]
 	lastRV  int64
+	epoch   int64                 // server restart epoch at last (re)subscribe
 	known   map[string]api.Object // last state delivered per name
 	backlog []store.Event         // synthesized relist events awaiting delivery
 	stopped bool
 
-	resumes int
-	relists int
+	resumes   int
+	relists   int
+	relistCtr *obs.Counter // per-consumer child of kubeshare_reflector_relist_total
 }
 
 // NewReflector subscribes to a kind with server-side filtering and drop
 // resilience. With opts.Replay the current matching objects are delivered
 // first as Added events, exactly like WatchFiltered.
 func (s *Server) NewReflector(kind string, opts WatchOptions) *Reflector {
-	r := &Reflector{srv: s, kind: kind, opts: opts, known: make(map[string]api.Object)}
+	return s.NewNamedReflector("anonymous", kind, opts)
+}
+
+// NewNamedReflector is NewReflector with the consuming component named, so
+// relists attribute to it in the kubeshare_reflector_relist_total{consumer}
+// family — after an apiserver restart, that family shows exactly which
+// control loops re-synced.
+func (s *Server) NewNamedReflector(consumer, kind string, opts WatchOptions) *Reflector {
+	r := &Reflector{
+		srv: s, kind: kind, consumer: consumer, opts: opts,
+		known:     make(map[string]api.Object),
+		relistCtr: s.relistVec.With(consumer),
+	}
 	r.q = s.WatchFiltered(kind, opts)
 	// The watch is registered and the replay snapshot buffered in the same
 	// instant, so the current revision is exactly the resume point: every
 	// later mutation either lands in the queue or is recoverable from
 	// history past this revision.
 	r.lastRV = s.Revision()
+	r.epoch = s.Epoch()
 	s.reflectors = append(s.reflectors, r)
 	return r
 }
@@ -95,21 +112,32 @@ func (r *Reflector) observe(ev store.Event) {
 
 // reconnect re-establishes the subscription after a drop: resume from the
 // last observed revision when the history still covers it, else relist and
-// synthesize the diff into the backlog.
+// synthesize the diff into the backlog. Resume is never attempted across a
+// restart epoch — the server's in-memory watch state died with the old
+// process, and a torn-tail restore may have reverted mutations this
+// consumer already observed, so only a relist-with-resync is sound.
 func (r *Reflector) reconnect() {
-	q, err := r.srv.WatchResume(r.kind, r.opts, r.lastRV)
-	if err == nil {
-		r.resumes++
-		r.srv.refResumes.Inc()
-		r.q = q
-		return
+	if e := r.srv.Epoch(); e == r.epoch {
+		q, err := r.srv.WatchResume(r.kind, r.opts, r.lastRV)
+		if err == nil {
+			r.resumes++
+			r.srv.refResumes.Inc()
+			r.q = q
+			return
+		}
 	}
-	// 410 Gone: the gap is unrecoverable from history. Subscribe fresh,
-	// snapshot the revision, and diff the filtered list against the
-	// consumer's view. Registration, revision and list happen without a
-	// yield, so the diff is atomic with the new subscription.
+	r.relist()
+}
+
+// relist handles the unrecoverable-gap path (410 Gone, or a restart
+// epoch): subscribe fresh, snapshot the revision, and diff the filtered
+// list against the consumer's view. Registration, revision and list happen
+// without a yield, so the diff is atomic with the new subscription.
+func (r *Reflector) relist() {
 	r.relists++
 	r.srv.refRelists.Inc()
+	r.relistCtr.Inc()
+	r.epoch = r.srv.Epoch()
 	r.q = r.srv.WatchFiltered(r.kind, WatchOptions{Name: r.opts.Name, Selector: r.opts.Selector})
 	r.lastRV = r.srv.Revision()
 	cur := make(map[string]api.Object)

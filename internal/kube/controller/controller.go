@@ -7,15 +7,14 @@ package controller
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"time"
 
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
+	"kubeshare/internal/kube/backoff"
 	"kubeshare/internal/kube/labels"
 	"kubeshare/internal/sim"
-	"kubeshare/internal/simrand"
 )
 
 // Reconcile processes one work-queue key. Returning an error requeues the
@@ -26,8 +25,8 @@ type Reconcile func(p *sim.Proc, key string) error
 const DefaultBackoffCap = 5 * time.Second
 
 // Runner is a single-worker reconciliation loop over a deduplicated work
-// queue. Failing keys are retried with capped exponential backoff and
-// deterministic jitter (seeded from the runner name, so identical runs
+// queue. Failing keys are retried under the shared backoff policy
+// (decorrelated jitter seeded from runner name + key, so identical runs
 // replay identically); a successful reconcile resets the key's backoff.
 type Runner struct {
 	name       string
@@ -36,34 +35,30 @@ type Runner struct {
 	queued     map[string]bool
 	base       time.Duration
 	backoffCap time.Duration
-	failures   map[string]int
-	rng        *simrand.Source
+	failures   map[string]*backoff.Backoff
 	fn         Reconcile
 	proc       *sim.Proc
 }
 
 // NewRunner creates a runner; keys enqueued while already pending are
-// coalesced. backoff is the base retry delay (default 100ms), doubled per
+// coalesced. base is the base retry delay (default 100ms), growing per
 // consecutive failure up to DefaultBackoffCap.
-func NewRunner(env *sim.Env, name string, backoff time.Duration, fn Reconcile) *Runner {
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+func NewRunner(env *sim.Env, name string, base time.Duration, fn Reconcile) *Runner {
+	if base <= 0 {
+		base = 100 * time.Millisecond
 	}
 	cap := DefaultBackoffCap
-	if backoff > cap {
-		cap = backoff
+	if base > cap {
+		cap = base
 	}
-	h := fnv.New64a()
-	h.Write([]byte(name))
 	return &Runner{
 		name:       name,
 		env:        env,
 		queue:      sim.NewQueue[string](env),
 		queued:     make(map[string]bool),
-		base:       backoff,
+		base:       base,
 		backoffCap: cap,
-		failures:   make(map[string]int),
-		rng:        simrand.New(int64(h.Sum64())),
+		failures:   make(map[string]*backoff.Backoff),
 		fn:         fn,
 	}
 }
@@ -85,20 +80,23 @@ func (r *Runner) EnqueueAfter(key string, d time.Duration) {
 
 // Failures returns the key's consecutive-failure count (for tests and
 // introspection).
-func (r *Runner) Failures(key string) int { return r.failures[key] }
+func (r *Runner) Failures(key string) int {
+	if b := r.failures[key]; b != nil {
+		return b.Attempts()
+	}
+	return 0
+}
 
-// retryDelay computes the capped exponential backoff for the n-th
-// consecutive failure, jittered up into [d, 1.5d) so synchronized failures
-// de-correlate while staying deterministic per runner.
-func (r *Runner) retryDelay(n int) time.Duration {
-	d := r.base
-	for i := 1; i < n && d < r.backoffCap; i++ {
-		d *= 2
+// retryDelay advances the key's backoff sequence, creating it on the first
+// failure. Seeding by runner name + key keeps failure bursts across keys
+// decorrelated while identical runs replay identically.
+func (r *Runner) retryDelay(key string) time.Duration {
+	b := r.failures[key]
+	if b == nil {
+		b = backoff.New(r.name+"/"+key, r.base, r.backoffCap)
+		r.failures[key] = b
 	}
-	if d > r.backoffCap {
-		d = r.backoffCap
-	}
-	return d + time.Duration(r.rng.Float64()*float64(d/2))
+	return b.Next()
 }
 
 // Start launches the worker loop.
@@ -112,9 +110,8 @@ func (r *Runner) Start() {
 			delete(r.queued, key)
 			if err := r.fn(p, key); err != nil {
 				key := key
-				r.failures[key]++
-				r.env.After(r.retryDelay(r.failures[key]), func() { r.Enqueue(key) })
-			} else if r.failures[key] != 0 {
+				r.env.After(r.retryDelay(key), func() { r.Enqueue(key) })
+			} else if r.failures[key] != nil {
 				delete(r.failures, key)
 			}
 		}
@@ -148,13 +145,15 @@ func NewReplicationManager(env *sim.Env, srv *apiserver.Server) *ReplicationMana
 	return m
 }
 
-// Start begins watching RCs and pods and reconciling.
+// Start begins watching RCs and pods and reconciling. The watches go
+// through named reflectors so an apiserver restart — which closes every raw
+// watch queue for good — only costs a relist, not the manager's liveness.
 func (m *ReplicationManager) Start() {
-	rcQ := m.srv.Watch("ReplicationController", true)
-	podQ := m.srv.Watch("Pod", true)
+	rcR := m.srv.NewNamedReflector("rc-manager", "ReplicationController", apiserver.WatchOptions{Replay: true})
+	podR := m.srv.NewNamedReflector("rc-manager", "Pod", apiserver.WatchOptions{Replay: true})
 	m.env.Go("rc-watch", func(p *sim.Proc) {
 		for {
-			ev, ok := rcQ.Get(p)
+			ev, ok := rcR.Get(p)
 			if !ok {
 				return
 			}
@@ -163,7 +162,7 @@ func (m *ReplicationManager) Start() {
 	})
 	m.env.Go("rc-watch-pods", func(p *sim.Proc) {
 		for {
-			ev, ok := podQ.Get(p)
+			ev, ok := podR.Get(p)
 			if !ok {
 				return
 			}

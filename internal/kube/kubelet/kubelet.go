@@ -136,7 +136,7 @@ func (k *Kubelet) Start() error {
 
 // startLoops launches the watch-driven sync loop and the heartbeat loop.
 func (k *Kubelet) startLoops() {
-	k.reflector = k.srv.NewReflector("Pod", apiserver.WatchOptions{Replay: true})
+	k.reflector = k.srv.NewNamedReflector("kubelet", "Pod", apiserver.WatchOptions{Replay: true})
 	k.proc = k.env.Go("kubelet-"+k.cfg.NodeName, k.syncLoop)
 	k.hbProc = k.env.GoDaemon("kubelet-hb-"+k.cfg.NodeName, k.heartbeatLoop)
 }

@@ -119,8 +119,8 @@ func (s *Scheduler) nodeCommitted(node string) api.ResourceList {
 // Start launches the watch and scheduling loops. The streams run through
 // reflectors, so the incremental caches stay exact across watch drops.
 func (s *Scheduler) Start() {
-	podR := s.srv.NewReflector("Pod", apiserver.WatchOptions{Replay: true})
-	nodeR := s.srv.NewReflector("Node", apiserver.WatchOptions{Replay: true})
+	podR := s.srv.NewNamedReflector("kube-scheduler", "Pod", apiserver.WatchOptions{Replay: true})
+	nodeR := s.srv.NewNamedReflector("kube-scheduler", "Node", apiserver.WatchOptions{Replay: true})
 	s.reflectors = append(s.reflectors, podR, nodeR)
 	s.watchProcs = append(s.watchProcs, s.env.Go("kube-scheduler-watch-pods", func(p *sim.Proc) {
 		for {

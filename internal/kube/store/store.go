@@ -224,6 +224,16 @@ type Store struct {
 	histHead   int
 	histCap    int
 	compactRev int64 // revision of the newest event dropped from history
+
+	// Durability (see wal.go): dur is the simulated durable medium — nil
+	// until EnableDurability, leaving the WAL append path a single nil
+	// check. epoch counts crash/restore cycles; the hooks surface WAL and
+	// checkpoint activity to the telemetry layer without the store
+	// importing obs.
+	dur          *Durable
+	epoch        atomic.Int64
+	onWALAppend  func(records int)
+	onCheckpoint func(bytes int)
 }
 
 // New returns an empty store.
@@ -682,6 +692,12 @@ func (s *Store) WatchFilteredFrom(prefix string, opts WatchOptions, fromRev int6
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 	}
+	if rev := s.rev.Load(); fromRev > rev {
+		// The subscriber observed a revision the store no longer has — a
+		// torn-tail restore reverted mutations it saw. Its cache may hold
+		// phantom state; only a relist can reconcile it.
+		return nil, fmt.Errorf("%w: from %d, store at %d (reverted by restore)", ErrGone, fromRev, rev)
+	}
 	s.histMu.Lock()
 	if fromRev < s.compactRev {
 		s.histMu.Unlock()
@@ -774,6 +790,7 @@ func (s *Store) StopWatch(q *sim.Queue[Event]) {
 // never leaks between consumers. Callers hold the kind's shard write lock,
 // which orders deliveries per kind; lock order is shard → global → history.
 func (s *Store) notify(b *bucket, ev Event) {
+	s.logMutation(ev)
 	meta := ev.Object.GetMeta()
 	for _, w := range b.watchers {
 		if w.opts.matches(meta.Name, meta.Labels) {

@@ -7,7 +7,8 @@
 // It also enforces metric-name hygiene on the telemetry registry: every
 // literal name passed to Counter/Gauge/FloatGauge/Histogram (and their
 // *Vec forms) must be kubeshare_-prefixed snake_case, and *Vec label KEYS
-// must come from the bounded vocabulary (gpu_uuid, tenant, node, pool) —
+// must come from the bounded vocabulary (gpu_uuid, tenant, node, pool,
+// consumer) —
 // label values may only be object names/UUIDs, never free-form strings,
 // and a bounded key set is what keeps cardinality reviewable.
 //
@@ -62,6 +63,14 @@ var dirBannedImports = map[string]map[string]string{
 		"kubeshare/internal/kube/apiserver": "plugins must not reach the API server; read the Pool, write via Txn/Reserve",
 		"kubeshare/internal/kube/store":     "plugins must not reach the store; read the Pool, write via Txn/Reserve",
 	},
+	// The WAL/checkpoint layer must stay deterministic and replayable: the
+	// log is modeled in memory with virtual-clock I/O costs, never real
+	// files, and record ordering comes from store revisions, never wall
+	// timestamps — so neither os nor time may creep into the package.
+	"kube/store": {
+		"os":   "the WAL is modeled in memory with virtual I/O costs; no real files",
+		"time": "durability ordering comes from store revisions and sim.Env's virtual clock; no wall time",
+	},
 }
 
 // metricMethods are registry methods whose first argument is a metric
@@ -76,7 +85,7 @@ var metricMethods = map[string]bool{
 // are object names and UUIDs, so per-family cardinality stays proportional
 // to cluster size.
 var allowedLabelKeys = map[string]bool{
-	"gpu_uuid": true, "tenant": true, "node": true, "pool": true,
+	"gpu_uuid": true, "tenant": true, "node": true, "pool": true, "consumer": true,
 }
 
 // metricName matches kubeshare_-prefixed snake_case.
@@ -301,7 +310,7 @@ func checkMetricCall(call *ast.CallExpr, report func(token.Pos, string)) {
 			continue
 		}
 		if !allowedLabelKeys[key] {
-			report(kl.Pos(), fmt.Sprintf("label key %q on %q is outside the bounded vocabulary (gpu_uuid, tenant, node, pool)", key, name))
+			report(kl.Pos(), fmt.Sprintf("label key %q on %q is outside the bounded vocabulary (gpu_uuid, tenant, node, pool, consumer)", key, name))
 		}
 	}
 }
