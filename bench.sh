@@ -71,8 +71,9 @@ OBS_RAW="$(mktemp)"
 FIG15_RAW="$(mktemp)"
 FIG16_RAW="$(mktemp)"
 FIG17_RAW="$(mktemp)"
+FIG18_RAW="$(mktemp)"
 RECORD="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$FIG17_RAW" "$RECORD"; cleanup' EXIT
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$FIG17_RAW" "$FIG18_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -112,6 +113,14 @@ GOMAXPROCS=$FIG16_GMP go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/full$'
 echo "fig17 (control-plane recovery sweep)..." >&2
 go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/full$' -benchtime 1x 2>/dev/null |
   grep '^BenchmarkFig17' >"$FIG17_RAW" || true
+
+# Sharing-strategy comparison (Figure 18): token vs MPS-overlap vs replica
+# time-slicing on small/large-kernel mixes, plus the memory-quantity mode's
+# typed-rejection and byte-placement witness. The metrics are virtual-clock
+# throughputs from identical seeded workloads, so one run suffices.
+echo "fig18 (sharing-strategy comparison)..." >&2
+go test . -run xxx -bench 'BenchmarkFig18StrategyComparison/full$' -benchtime 1x 2>/dev/null |
+  grep '^BenchmarkFig18' >"$FIG18_RAW" || true
 
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
 min_ns() {
@@ -229,6 +238,28 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
       WORST="$(awk -v a="${WORST:-0}" -v b="$NO" 'BEGIN { printf "%s", (b + 0 > a + 0) ? b : a }')"
     done
     echo "    \"worst_nockpt_outage_ms\": ${WORST:-0}"
+    echo '  },'
+  fi
+  if [ -s "$FIG18_RAW" ]; then
+    RATIO="$(metric_of "$FIG18_RAW" mps-over-token-small)"
+    echo '  "fig18_strategy_comparison": {'
+    echo '    "benchmark": "BenchmarkFig18StrategyComparison/full (token vs mps vs replica, small/large-kernel mixes)",'
+    echo "    \"cpus\": $CPUS,"
+    echo "    \"gomaxprocs\": $GMP,"
+    for mix in small large; do
+      T="$(metric_of "$FIG18_RAW" "$mix-token-tput")"
+      M="$(metric_of "$FIG18_RAW" "$mix-mps-tput")"
+      R="$(metric_of "$FIG18_RAW" "$mix-replica-tput")"
+      TS="$(metric_of "$FIG18_RAW" "$mix-token-stretch")"
+      MS="$(metric_of "$FIG18_RAW" "$mix-mps-stretch")"
+      [ -z "$T" ] && continue
+      echo "    \"${mix}_kernel\": {\"token_tput\": $T, \"mps_tput\": $M, \"replica_tput\": $R, \"token_stretch\": $TS, \"mps_stretch\": $MS},"
+    done
+    echo "    \"mps_over_token_small\": ${RATIO:-0},"
+    echo "    \"mps_beats_token_small\": $(awk -v r="${RATIO:-0}" 'BEGIN { print (r + 0 > 1) ? "true" : "false" }'),"
+    echo "    \"membytes_rejected_typed\": $(metric_of "$FIG18_RAW" membytes-rejected-typed),"
+    echo "    \"membytes_completed\": $(metric_of "$FIG18_RAW" membytes-completed),"
+    echo "    \"membytes_failed\": $(metric_of "$FIG18_RAW" membytes-failed)"
     echo '  },'
   fi
   echo '  "obs_overhead": {'

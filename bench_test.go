@@ -570,3 +570,53 @@ func BenchmarkFig17RecoverySweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFig18StrategyComparison regenerates Figure 18: the same seeded
+// serving workload replayed under each sharing strategy (token time-slicing,
+// MPS overlap, replica time-slicing) on a small-kernel and a large-kernel
+// mix, plus the memory-quantity mode's admission/placement witness. The
+// headline contrast is the small-kernel mix, where the token path's
+// per-grant handoff is pure overhead and the overlap strategies pull ahead;
+// on large kernels the gap amortizes away. The quick variant is the
+// check.sh smoke.
+func BenchmarkFig18StrategyComparison(b *testing.B) {
+	for _, scale := range []struct {
+		name string
+		cfg  experiments.Fig18Config
+	}{
+		{"quick", experiments.Fig18Config{Nodes: 1, GPUsPerNode: 4, Jobs: 16,
+			JobDuration: 10 * time.Second}},
+		{"full", experiments.Fig18Config{}},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Fig18(scale.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mb, err := experiments.Fig18MemBytes(scale.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i != 0 {
+					continue
+				}
+				// Rows come in mix-major order: small-kernel then
+				// large-kernel, each token/mps/replica.
+				for _, row := range t.Rows {
+					mix := "small"
+					if row[1] == "large-kernel" {
+						mix = "large"
+					}
+					b.ReportMetric(cellF(b, row[4]), mix+"-"+row[0]+"-tput")
+					b.ReportMetric(cellF(b, row[5]), mix+"-"+row[0]+"-stretch")
+				}
+				b.ReportMetric(cellF(b, t.Rows[1][4])/cellF(b, t.Rows[0][4]),
+					"mps-over-token-small")
+				b.ReportMetric(cellF(b, mb.Rows[0][4]), "membytes-rejected-typed")
+				b.ReportMetric(cellF(b, mb.Rows[1][2]), "membytes-completed")
+				b.ReportMetric(cellF(b, mb.Rows[1][3]), "membytes-failed")
+			}
+		})
+	}
+}

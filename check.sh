@@ -18,6 +18,10 @@ go test -run 'TestAlertDeterminismGolden|TestAuditDeterminismGolden' ./internal/
 go test -run TestServeEndpoints ./cmd/kubeshare-sim/
 go test -race ./internal/kube/... ./internal/core/...
 go test -race ./internal/sim/... ./internal/devlib/...
+# Sharing-strategy suites on the multi-worker path: the strategy interface
+# (token/mps/replica) and the frontend refactor behind it must hold under
+# the race detector with parallel test workers.
+GOMAXPROCS=4 go test -race ./internal/devlib/... ./internal/gpusim/...
 GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden|TestTraceDeterminismGolden' ./internal/experiments/
 # Labeled-family interning and the TSDB under the race detector: family
 # lookup is the one obs path exercised off the simulation goroutine.
@@ -60,6 +64,11 @@ GOMAXPROCS=4 go test . -run xxx -bench 'BenchmarkFig16ScaleSweep/quick' -benchti
 # invariants enforced per cell; bench.sh measures the full sweep into
 # BENCH.json.
 go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/quick' -benchtime 1x
+# Smoke the sharing-strategy comparison (Figure 18) at quick scale: all
+# three strategies plus the memory-quantity admission/placement witness run
+# deterministically per seed; bench.sh measures the full grid into
+# BENCH.json.
+go test . -run xxx -bench 'BenchmarkFig18StrategyComparison/quick' -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
 # workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

@@ -9,9 +9,17 @@
 //	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 fig16 fig17 latency, or "all" (the default). Full scale
-// matches the paper's 8-node × 4-GPU testbed and 5-run averages; quick scale
-// shrinks the cluster and workloads for fast iteration.
+// fig12 fig13 fig14 fig15 fig16 fig17 fig18 latency, or "all" (the default). Full
+// scale matches the paper's 8-node × 4-GPU testbed and 5-run averages; quick
+// scale shrinks the cluster and workloads for fast iteration.
+//
+// The -strategy flag selects the GPU-sharing strategy (token, mps or
+// replica) for the trace and -replay runs, e.g.
+//
+//	kubeshare-sim -strategy mps trace
+//
+// stamps every sharePod with the mps sharing-mode annotation and sets the
+// node default to match; fig18 compares all strategies side by side.
 //
 // The trace subcommand runs a small seeded workload with the observability
 // spine on and prints one object's causal span chain — submission through
@@ -37,6 +45,9 @@ import (
 	"strings"
 	"time"
 
+	"kubeshare/internal/core"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/devlib/sharing"
 	"kubeshare/internal/experiments"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
@@ -68,7 +79,7 @@ func writeGeneratedTrace(path string, seed int64) error {
 
 // replayTrace runs a recorded workload under the chosen system on the
 // paper-scale cluster and prints the outcome.
-func replayTrace(path, system string) error {
+func replayTrace(path, system string, mode sharing.Mode) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -89,8 +100,12 @@ func replayTrace(path, system string) error {
 	default:
 		return fmt.Errorf("unknown system %q", system)
 	}
+	for i := range jobs {
+		jobs[i].Mode = string(mode)
+	}
 	res, err := experiments.RunSharing(experiments.SharingConfig{
 		System: sys, Nodes: 8, GPUsPerNode: 4, Jobs: jobs,
+		Devlib: core.Config{Devlib: devlib.Config{Mode: mode}},
 	})
 	if err != nil {
 		return err
@@ -104,15 +119,17 @@ func replayTrace(path, system string) error {
 // runTrace executes a small seeded KubeShare workload with telemetry on and
 // prints the causal span chain for one trace key, the events involving that
 // object, and the final metrics snapshot.
-func runTrace(key string, seed int64) error {
+func runTrace(key string, seed int64, mode sharing.Mode) error {
 	jobs := workload.Generate(workload.GeneratorConfig{
 		Jobs: 8, MeanInterArrival: 2 * time.Second,
 		DemandMean: 0.35, DemandVar: 1,
 		JobDuration: 10 * time.Second, Seed: seed,
+		Mode: string(mode),
 	})
 	res, err := experiments.RunSharing(experiments.SharingConfig{
 		System: experiments.KubeShare, Nodes: 1, GPUsPerNode: 2,
 		Jobs: jobs, ExportTelemetry: true,
+		Devlib: core.Config{Devlib: devlib.Config{Mode: mode}},
 	})
 	if err != nil {
 		return err
@@ -157,7 +174,17 @@ func main() {
 	genTrace := flag.String("gen-trace", "", "write a Figure-8-style workload trace to this file and exit")
 	replay := flag.String("replay", "", "replay a workload trace file instead of running named experiments")
 	system := flag.String("system", "kubeshare", "system for -replay: kubernetes, kubeshare or extender")
+	strategy := flag.String("strategy", "", "GPU-sharing strategy for trace/-replay runs: token, mps or replica (default: node default)")
 	flag.Parse()
+
+	var mode sharing.Mode
+	if *strategy != "" {
+		var err error
+		if mode, err = sharing.ParseMode(*strategy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *genTrace != "" {
 		if err := writeGeneratedTrace(*genTrace, *seed); err != nil {
@@ -167,7 +194,7 @@ func main() {
 		return
 	}
 	if *replay != "" {
-		if err := replayTrace(*replay, *system); err != nil {
+		if err := replayTrace(*replay, *system, mode); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -191,7 +218,7 @@ func main() {
 			if len(args) > 1 {
 				key = args[1]
 			}
-			if err := runTrace(key, *seed); err != nil {
+			if err := runTrace(key, *seed, mode); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -214,7 +241,8 @@ func main() {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+			"fig17", "fig18"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -365,6 +393,18 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 			cfg.CheckpointIntervals = []time.Duration{5 * time.Second, -1}
 		}
 		return experiments.Fig17(cfg)
+	case "fig18":
+		cfg := experiments.Fig18Config{Seed: seed}
+		if !full {
+			cfg.Nodes, cfg.GPUsPerNode, cfg.Jobs = 1, 4, 16
+			cfg.JobDuration = 10 * time.Second
+		}
+		mem, err := experiments.Fig18MemBytes(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mem.Render(os.Stdout)
+		return experiments.Fig18(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig17, latency)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig18, latency)")
 }

@@ -9,10 +9,20 @@ import (
 type Request struct {
 	Util float64 // gpu_request
 	Mem  float64 // gpu_mem
-	Aff  string  // sched_affinity label ("" = none)
-	Anti string  // sched_anti-affinity label
-	Excl string  // sched_exclusion label
+	// MemBytes is the absolute memory request (gpu_mem_bytes, KAI-style).
+	// Zero means the request is purely fractional; positive means Mem is 0
+	// and the byte quantity drives memory fit.
+	MemBytes int64
+	Aff      string // sched_affinity label ("" = none)
+	Anti     string // sched_anti-affinity label
+	Excl     string // sched_exclusion label
 }
+
+// DeviceMemBytes is the physical memory per device the byte-quantity
+// accounting assumes — the paper's 16 GB V100s, matching gpusim's
+// DefaultMemoryBytes (core cannot import gpusim; the equality is pinned by
+// a test).
+const DeviceMemBytes = 16 << 30
 
 // DeviceState is Algorithm 1's d: one vGPU's scheduling view. Residuals are
 // fractions of the device remaining for gpu_request / gpu_mem commitments.
@@ -24,10 +34,15 @@ type DeviceState struct {
 	// MemCapacity is the device's total schedulable memory fraction — 1.0
 	// normally, >1.0 when GPUswap-style over-commitment is enabled.
 	MemCapacity float64
-	Aff         map[string]bool
-	Anti        map[string]bool
-	Excl        string
-	Idle        bool // no container scheduled on the device
+	// MemBytesUsed is the byte-denominated view of the committed memory:
+	// byte-quantity requests add their exact size, fractional requests their
+	// byte equivalent. Byte requests fit against memBytesCap() minus this,
+	// so the two denominations deduct from one shared capacity.
+	MemBytesUsed int64
+	Aff          map[string]bool
+	Anti         map[string]bool
+	Excl         string
+	Idle         bool // no container scheduled on the device
 }
 
 // NewDeviceState returns an empty (idle, full-capacity) device.
@@ -64,10 +79,26 @@ func (d *DeviceState) Clone() *DeviceState {
 func (d *DeviceState) Fits(r Request) bool { return d.fits(r) }
 
 func (d *DeviceState) fits(r Request) bool {
+	if !d.FitsMemBytes(r) {
+		return false
+	}
 	if d.Idle {
 		return r.Util <= 1 && r.Mem <= d.memCapacity()
 	}
 	return r.Util <= d.Util+1e-9 && r.Mem <= d.Mem+1e-9
+}
+
+// FitsMemBytes reports whether the request's byte-denominated memory demand
+// alone fits the device — vacuously true for purely fractional requests.
+// Exported for the schedfw MemoryFit filter plugin.
+func (d *DeviceState) FitsMemBytes(r Request) bool {
+	if r.MemBytes <= 0 {
+		return true
+	}
+	if d.Idle {
+		return r.MemBytes <= d.memBytesCap()
+	}
+	return d.MemBytesUsed+r.MemBytes <= d.memBytesCap()
 }
 
 func (d *DeviceState) memCapacity() float64 {
@@ -77,19 +108,40 @@ func (d *DeviceState) memCapacity() float64 {
 	return d.MemCapacity
 }
 
+// memBytesCap is the byte-denominated schedulable memory: the physical
+// device scaled by the over-commitment factor.
+func (d *DeviceState) memBytesCap() int64 {
+	return int64(d.memCapacity() * float64(DeviceMemBytes))
+}
+
 // Place commits r onto the device, updating residuals and labels. Placing
 // onto an idle device first resets its stale labels (a reused pool device
 // starts fresh, §4.4).
 func (d *DeviceState) Place(r Request) {
 	if d.Idle {
 		d.Util, d.Mem = 1, d.memCapacity()
+		d.MemBytesUsed = 0
 		d.Aff = map[string]bool{}
 		d.Anti = map[string]bool{}
 		d.Excl = ""
 		d.Idle = false
 	}
 	d.Util -= r.Util
-	d.Mem -= r.Mem
+	// Both memory denominations deduct from both books: a byte tenant
+	// shrinks the fractional residual by its byte equivalent (so later
+	// fractional tenants see the space gone) and vice versa. Purely
+	// fractional pools never see a byte-driven float change, keeping legacy
+	// placements bit-identical.
+	mem := r.Mem
+	if r.MemBytes > 0 && mem == 0 {
+		mem = float64(r.MemBytes) / float64(DeviceMemBytes)
+	}
+	bytes := r.MemBytes
+	if bytes == 0 && r.Mem > 0 {
+		bytes = int64(r.Mem * float64(DeviceMemBytes))
+	}
+	d.Mem -= mem
+	d.MemBytesUsed += bytes
 	if r.Aff != "" {
 		d.Aff[r.Aff] = true
 	}

@@ -19,8 +19,14 @@ import (
 // (kubeshare_tenant_token_share_ratio, kubeshare_gpu_fairness_jain), and
 // post-hoc, as the deterministic tables behind `kubeshare-sim audit`.
 type Auditor struct {
-	pods     apiserver.Client[*SharePod]
+	pods apiserver.Client[*SharePod]
+	// holdVec is the token/replica hold accounting; devVec is the overlap
+	// strategies' device-time accounting (kubeshare_sharing_devtime_ns_total).
+	// The two sources are disjoint per device — gated strategies meter holds,
+	// ungated ones meter device time — so summing their windows never double
+	// counts a tenant.
 	holdVec  *obs.CounterVec
+	devVec   *obs.CounterVec
 	shareVec *obs.FloatGaugeVec
 	ratioVec *obs.FloatGaugeVec
 	jainVec  *obs.FloatGaugeVec
@@ -28,6 +34,7 @@ type Auditor struct {
 	limVec   *obs.FloatGaugeVec
 
 	prev    map[string]int64 // gpu+tenant -> hold ns at the last sample
+	prevDev map[string]int64 // gpu+tenant -> device-time ns at the last sample
 	last    time.Duration
 	windows []AuditWindow
 }
@@ -63,12 +70,14 @@ func NewAuditor(c *kube.Cluster) *Auditor {
 	return &Auditor{
 		pods:     SharePods(c.API),
 		holdVec:  rt.CounterVec("kubeshare_devlib_token_hold_ns_total", "gpu_uuid", "tenant"),
+		devVec:   rt.CounterVec("kubeshare_sharing_devtime_ns_total", "gpu_uuid", "tenant"),
 		shareVec: rt.FloatGaugeVec("kubeshare_tenant_token_share", "gpu_uuid", "tenant"),
 		ratioVec: rt.FloatGaugeVec("kubeshare_tenant_token_share_ratio", "gpu_uuid", "tenant"),
 		jainVec:  rt.FloatGaugeVec("kubeshare_gpu_fairness_jain", "gpu_uuid"),
 		reqVec:   rt.FloatGaugeVec("kubeshare_tenant_gpu_request", "tenant"),
 		limVec:   rt.FloatGaugeVec("kubeshare_tenant_gpu_limit", "tenant"),
 		prev:     map[string]int64{},
+		prevDev:  map[string]int64{},
 	}
 }
 
@@ -96,28 +105,35 @@ func (a *Auditor) Sample(now time.Duration) {
 	})
 	win := AuditWindow{From: a.last, To: now, Jain: map[string]float64{}}
 	perGPU := map[string][]float64{}
-	a.holdVec.Each(func(labels []obs.Label, v int64) {
-		gpu, tenant := labels[0].Value, labels[1].Value
-		key := gpu + "\xff" + tenant
-		delta := v - a.prev[key]
-		a.prev[key] = v
-		share := float64(delta) / float64(interval)
-		sp := specs[tenant]
-		// Ratio semantics: an absent or finished sharePod has no demand, so
-		// its guarantee is vacuously met — without this, every completed
-		// tenant would read as permanently starved.
-		ratio := 1.0
-		if sp.active && sp.req > 0 {
-			ratio = share / sp.req
-			perGPU[gpu] = append(perGPU[gpu], ratio)
+	account := func(prev map[string]int64) func([]obs.Label, int64) {
+		return func(labels []obs.Label, v int64) {
+			gpu, tenant := labels[0].Value, labels[1].Value
+			key := gpu + "\xff" + tenant
+			delta := v - prev[key]
+			prev[key] = v
+			share := float64(delta) / float64(interval)
+			sp := specs[tenant]
+			// Ratio semantics: an absent or finished sharePod has no demand, so
+			// its guarantee is vacuously met — without this, every completed
+			// tenant would read as permanently starved.
+			ratio := 1.0
+			if sp.active && sp.req > 0 {
+				ratio = share / sp.req
+				perGPU[gpu] = append(perGPU[gpu], ratio)
+			}
+			a.shareVec.With(gpu, tenant).Set(share)
+			a.ratioVec.With(gpu, tenant).Set(ratio)
+			win.Tenants = append(win.Tenants, TenantShare{
+				GPU: gpu, Tenant: tenant, Share: share,
+				Request: sp.req, Limit: sp.lim, Ratio: ratio, Active: sp.active,
+			})
 		}
-		a.shareVec.With(gpu, tenant).Set(share)
-		a.ratioVec.With(gpu, tenant).Set(ratio)
-		win.Tenants = append(win.Tenants, TenantShare{
-			GPU: gpu, Tenant: tenant, Share: share,
-			Request: sp.req, Limit: sp.lim, Ratio: ratio, Active: sp.active,
-		})
-	})
+	}
+	a.holdVec.Each(account(a.prev))
+	// Overlap strategies meter device time instead of token holds; their
+	// tenants appear only here (the family is empty in token-only runs, so
+	// this visit adds nothing and legacy audits are unchanged).
+	a.devVec.Each(account(a.prevDev))
 	// Each visits children in sorted-key order, but the 0xff separator does
 	// not sort like the report's (GPU, Tenant) columns; normalize.
 	sort.Slice(win.Tenants, func(i, j int) bool {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kubeshare/internal/devlib"
+	"kubeshare/internal/devlib/sharing"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/kube/labels"
@@ -388,10 +389,15 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 		return
 	}
 	oldUUID := v.Status.UUID
-	var mgr *devlib.TokenManager
+	var strat sharing.Strategy
 	if b := m.backends[v.Spec.NodeName]; b != nil && oldUUID != "" {
-		mgr = b.Manager(oldUUID)
-		mgr.Suspend()
+		// Suspend whatever strategy serves the device (in the default mode
+		// this is the same TokenManager the pre-strategy code suspended).
+		strat = b.StrategyOf(oldUUID)
+		if strat == nil {
+			strat = b.Strategy(oldUUID)
+		}
+		strat.Suspend()
 		m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "TokenManagerSuspended",
 			"token manager %s suspended for recovery", oldUUID)
 	}
@@ -430,8 +436,8 @@ func (m *DevMgr) recoverVGPU(p *sim.Proc, gpuID, deadHolder string, done *sim.Ev
 			uuid, _ = val.(string)
 		}
 	}
-	if mgr != nil {
-		mgr.Resume()
+	if strat != nil {
+		strat.Resume()
 		m.recorder.Eventf(KindVGPU, gpuID, obs.EventNormal, "TokenManagerResumed",
 			"token manager %s resumed", oldUUID)
 	}
@@ -553,17 +559,26 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 		// stays pinned solely by the holder pod.
 		c.Env["NVIDIA_VISIBLE_DEVICES"] = uuid
 	}
+	ann := map[string]string{
+		AnnGPURequest: formatFloat(sp.Spec.GPURequest),
+		AnnGPULimit:   formatFloat(sp.Spec.Share().EffectiveLimit()),
+		AnnGPUMem:     formatFloat(sp.Spec.GPUMem),
+		AnnGPUID:      sp.Spec.GPUID,
+	}
+	// The byte-quantity and mode annotations are stamped only when used, so
+	// legacy bound pods keep their exact annotation set.
+	if sp.Spec.GPUMemBytes > 0 {
+		ann[AnnGPUMemBytes] = strconv.FormatInt(sp.Spec.GPUMemBytes, 10)
+	}
+	if sp.Spec.SharingMode != "" {
+		ann[AnnSharingMode] = sp.Spec.SharingMode
+	}
 	pod := &api.Pod{
 		ObjectMeta: api.ObjectMeta{
-			Name:   boundPodName(sp.Name, cur.Status.Restarts),
-			Labels: map[string]string{LabelSharePod: sp.Name},
-			Annotations: map[string]string{
-				AnnGPURequest: formatFloat(sp.Spec.GPURequest),
-				AnnGPULimit:   formatFloat(sp.Spec.Share().EffectiveLimit()),
-				AnnGPUMem:     formatFloat(sp.Spec.GPUMem),
-				AnnGPUID:      sp.Spec.GPUID,
-			},
-			OwnerName: KindSharePod + "/" + sp.Name,
+			Name:        boundPodName(sp.Name, cur.Status.Restarts),
+			Labels:      map[string]string{LabelSharePod: sp.Name},
+			Annotations: ann,
+			OwnerName:   KindSharePod + "/" + sp.Name,
 		},
 		Spec: spec,
 	}

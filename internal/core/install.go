@@ -7,6 +7,7 @@ import (
 
 	"kubeshare/internal/cuda"
 	"kubeshare/internal/devlib"
+	"kubeshare/internal/devlib/sharing"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
@@ -97,8 +98,20 @@ func InstallBase(c *kube.Cluster, cfg Config) (*KubeShare, error) {
 			if err != nil {
 				panic(fmt.Sprintf("kubeshare: bound pod %s has bad annotations: %v", pod.Name, err))
 			}
-			mgr := backend.Manager(base.Device().UUID)
-			f, err := devlib.NewFrontend(base, mgr, pod.Name+"/"+ctn.Name, share)
+			// An absent mode annotation means "node default" (StrategyFor's
+			// ""), not "token" — only explicit per-pod modes override.
+			var mode sharing.Mode
+			if s := pod.Annotations[AnnSharingMode]; s != "" {
+				mode, err = sharing.ParseMode(s)
+				if err != nil {
+					panic(fmt.Sprintf("kubeshare: bound pod %s has bad annotations: %v", pod.Name, err))
+				}
+			}
+			strat, err := backend.StrategyFor(base.Device().UUID, mode)
+			if err != nil {
+				panic(fmt.Sprintf("kubeshare: install frontend for %s: %v", pod.Name, err))
+			}
+			f, err := devlib.NewFrontendWith(base, strat, pod.Name+"/"+ctn.Name, share, backend.Config())
 			if err != nil {
 				panic(fmt.Sprintf("kubeshare: install frontend for %s: %v", pod.Name, err))
 			}
@@ -156,5 +169,13 @@ func shareFromAnnotations(ann map[string]string) (devlib.Share, error) {
 	if err != nil {
 		return devlib.Share{}, err
 	}
-	return devlib.Share{Request: req, Limit: lim, Memory: mem}, nil
+	share := devlib.Share{Request: req, Limit: lim, Memory: mem}
+	if v, ok := ann[AnnGPUMemBytes]; ok {
+		bytes, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return devlib.Share{}, fmt.Errorf("bad annotation %s: %v", AnnGPUMemBytes, err)
+		}
+		share.MemoryBytes = bytes
+	}
+	return share, nil
 }

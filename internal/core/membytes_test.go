@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"kubeshare/internal/gpusim"
+	"kubeshare/internal/kube/api"
+
+	. "kubeshare/internal/core"
+)
+
+// TestDeviceMemBytesMatchesGpusim pins the constant core duplicates because
+// it cannot import gpusim: the byte-denominated scheduler capacity must be
+// the simulated device's actual memory size, or MemoryFit would admit sets
+// the device cannot hold (or reject sets it could).
+func TestDeviceMemBytesMatchesGpusim(t *testing.T) {
+	if int64(DeviceMemBytes) != gpusim.DefaultMemoryBytes {
+		t.Fatalf("core.DeviceMemBytes = %d, gpusim.DefaultMemoryBytes = %d — keep them equal",
+			int64(DeviceMemBytes), int64(gpusim.DefaultMemoryBytes))
+	}
+}
+
+func gpuSpec(mutate func(*SharePodSpec)) SharePodSpec {
+	spec := SharePodSpec{
+		GPURequest: 0.5, GPULimit: 1.0, GPUMem: 0.5,
+		Pod: api.PodSpec{Containers: []api.Container{{Name: "c", Image: "img"}}},
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return spec
+}
+
+func TestValidateGPUFieldsTyped(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SharePodSpec)
+		field  string // "" = valid
+	}{
+		{"valid-fractional", nil, ""},
+		{"valid-bytes", func(s *SharePodSpec) { s.GPUMem = 0; s.GPUMemBytes = 4 << 30 }, ""},
+		{"valid-mode", func(s *SharePodSpec) { s.SharingMode = "replica" }, ""},
+		{"zero-request", func(s *SharePodSpec) { s.GPURequest = 0 }, "GPURequest"},
+		{"request-above-one", func(s *SharePodSpec) { s.GPURequest = 1.2 }, "GPURequest"},
+		{"request-above-limit", func(s *SharePodSpec) { s.GPULimit = 0.3 }, "GPULimit"},
+		{"negative-limit", func(s *SharePodSpec) { s.GPURequest = -2; s.GPULimit = -1 }, "GPURequest"},
+		{"mem-above-one", func(s *SharePodSpec) { s.GPUMem = 1.5 }, "GPUMem"},
+		{"negative-mem-bytes", func(s *SharePodSpec) { s.GPUMem = 0; s.GPUMemBytes = -1 }, "GPUMemBytes"},
+		{"bytes-beyond-device", func(s *SharePodSpec) { s.GPUMem = 0; s.GPUMemBytes = DeviceMemBytes + 1 }, "GPUMemBytes"},
+		{"no-memory-form", func(s *SharePodSpec) { s.GPUMem = 0 }, "GPUMem"},
+		{"both-memory-forms", func(s *SharePodSpec) { s.GPUMemBytes = 1 << 30 }, "GPUMemBytes"},
+		{"bad-mode", func(s *SharePodSpec) { s.SharingMode = "mig" }, "SharingMode"},
+	}
+	for _, tc := range cases {
+		sp := &SharePod{ObjectMeta: api.ObjectMeta{Name: tc.name}, Spec: gpuSpec(tc.mutate)}
+		err := ValidateSharePod(sp)
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error %v is not a *ValidationError", tc.name, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("%s: field %q, want %q (%v)", tc.name, ve.Field, tc.field, ve)
+		}
+	}
+}
+
+func TestFitsMemBytesAccounting(t *testing.T) {
+	d := NewDeviceState("d0", "n0")
+	d.Idle = false
+	// Fractional-only requests are vacuously fine — the byte filter never
+	// constrains legacy placements.
+	if !d.FitsMemBytes(Request{Util: 0.5, Mem: 0.9}) {
+		t.Fatal("fractional request rejected by byte filter")
+	}
+	half := Request{Util: 0.1, MemBytes: DeviceMemBytes / 2}
+	if !d.FitsMemBytes(half) {
+		t.Fatal("half-capacity byte request rejected on fresh device")
+	}
+	d.Place(half)
+	if d.MemBytesUsed != DeviceMemBytes/2 {
+		t.Fatalf("MemBytesUsed = %d, want %d", d.MemBytesUsed, DeviceMemBytes/2)
+	}
+	// Cross-dimension deduction: the byte placement consumed half the
+	// fractional residual too, so a second half-capacity set still fits but
+	// a byte over it does not.
+	if !d.FitsMemBytes(half) {
+		t.Fatal("second half-capacity set must fit")
+	}
+	if d.FitsMemBytes(Request{Util: 0.1, MemBytes: DeviceMemBytes/2 + 1}) {
+		t.Fatal("over-capacity byte request admitted")
+	}
+	if !d.Fits(Request{Util: 0.1, Mem: 0.5}) || d.Fits(Request{Util: 0.1, Mem: 0.51}) {
+		t.Fatalf("fractional residual %v not reduced by byte placement", d.Mem)
+	}
+	// And the reverse: a fractional placement shrinks the byte headroom.
+	d2 := NewDeviceState("d1", "n0")
+	d2.Idle = false
+	d2.Place(Request{Util: 0.1, Mem: 0.75})
+	if d2.MemBytesUsed != int64(0.75*float64(DeviceMemBytes)) {
+		t.Fatalf("fractional placement tracked %d bytes", d2.MemBytesUsed)
+	}
+	if d2.FitsMemBytes(Request{Util: 0.1, MemBytes: DeviceMemBytes / 2}) {
+		t.Fatal("byte request beyond the fractional residual admitted")
+	}
+}
+
+func TestPlaceOnIdleResetsByteAccounting(t *testing.T) {
+	d := NewDeviceState("d0", "n0")
+	d.Idle = false
+	d.Place(Request{Util: 0.2, MemBytes: 4 << 30})
+	d.Idle = true // previous tenants gone
+	d.Place(Request{Util: 0.2, MemBytes: 1 << 30})
+	if d.MemBytesUsed != 1<<30 {
+		t.Fatalf("idle reset kept stale bytes: %d", d.MemBytesUsed)
+	}
+}
+
+// TestOversubscribedMemBytesRejectedAtCreate is the admission half of the
+// memory-quantity mode at the API layer: Create must refuse the pod with the
+// typed error before it is stored.
+func TestOversubscribedMemBytesRejectedAtCreate(t *testing.T) {
+	s := newStack(t, 1, Config{})
+	sp := &SharePod{
+		ObjectMeta: api.ObjectMeta{Name: "over"},
+		Spec: gpuSpec(func(spec *SharePodSpec) {
+			spec.GPUMem = 0
+			spec.GPUMemBytes = DeviceMemBytes + 1
+		}),
+	}
+	_, err := SharePods(s.c.API).Create(sp)
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Field != "GPUMemBytes" {
+		t.Fatalf("create error %v, want typed GPUMemBytes ValidationError", err)
+	}
+	if _, getErr := SharePods(s.c.API).Get("over"); getErr == nil {
+		t.Fatal("rejected sharePod was stored")
+	}
+}

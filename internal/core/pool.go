@@ -22,6 +22,12 @@ const (
 	AnnGPULimit   = "kubeshare.io/gpu_limit"
 	AnnGPUMem     = "kubeshare.io/gpu_mem"
 	AnnGPUID      = "kubeshare.io/gpuid"
+	// AnnGPUMemBytes carries the absolute memory request (stamped only when
+	// the sharePod used the byte-quantity form).
+	AnnGPUMemBytes = "kubeshare.io/gpu_mem_bytes"
+	// AnnSharingMode carries the sharing strategy (stamped only when the
+	// sharePod overrides the node default).
+	AnnSharingMode = "kubeshare.io/sharing_mode"
 )
 
 // SharePods returns the typed SharePod client.
@@ -73,13 +79,7 @@ func BuildPoolWithFactor(srv *apiserver.Server, newID func() string, memFactor f
 			continue
 		}
 		d := add(sp.Spec.GPUID, sp.Spec.NodeName)
-		d.Place(Request{
-			Util: sp.Spec.GPURequest,
-			Mem:  sp.Spec.GPUMem,
-			Aff:  sp.Spec.Affinity,
-			Anti: sp.Spec.AntiAffinity,
-			Excl: sp.Spec.Exclusion,
-		})
+		d.Place(RequestOf(sp))
 	}
 
 	// Physical free GPUs: node allocatable minus native (non-KubeShare)
@@ -133,11 +133,12 @@ func PlacementOf(pod *api.Pod) (Placement, bool) {
 // RequestOf converts a sharePod spec into an Algorithm 1 request.
 func RequestOf(sp *SharePod) Request {
 	return Request{
-		Util: sp.Spec.GPURequest,
-		Mem:  sp.Spec.GPUMem,
-		Aff:  sp.Spec.Affinity,
-		Anti: sp.Spec.AntiAffinity,
-		Excl: sp.Spec.Exclusion,
+		Util:     sp.Spec.GPURequest,
+		Mem:      sp.Spec.GPUMem,
+		MemBytes: sp.Spec.GPUMemBytes,
+		Aff:      sp.Spec.Affinity,
+		Anti:     sp.Spec.AntiAffinity,
+		Excl:     sp.Spec.Exclusion,
 	}
 }
 

@@ -37,6 +37,7 @@ func Default() []fwk.Plugin {
 		Exclusion{},
 		AntiAffinity{},
 		ResourceFit{},
+		MemoryFit{},
 		LocalityBand{},
 		LocalityFit{},
 		NodeSpread{},
@@ -127,6 +128,24 @@ func (ResourceFit) Filter(u fwk.Unit, d *core.DeviceState) bool {
 		return true
 	}
 	return d.Fits(u.Req)
+}
+
+// MemoryFit filters devices that cannot hold the unit's absolute memory
+// request (gpu_mem_bytes) against the byte-denominated residual. Fractional
+// units pass through untouched, so legacy placements are identical; idle
+// devices are handled inside FitsMemBytes (full byte capacity) rather than
+// auto-passing, because a byte demand can exceed even an empty device.
+// Partially redundant with ResourceFit (Fits folds the same check in for
+// Algorithm-1 equivalence), but as its own phase the rejection is visible
+// per-plugin in the framework's filter accounting.
+type MemoryFit struct{}
+
+// Name implements fwk.Plugin.
+func (MemoryFit) Name() string { return "memory-fit" }
+
+// Filter implements fwk.FilterPlugin.
+func (MemoryFit) Filter(u fwk.Unit, d *core.DeviceState) bool {
+	return d.FitsMemBytes(u.Req)
 }
 
 // LocalityBand is the precedence half of step 3's policy: plain devices

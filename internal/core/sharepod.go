@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"kubeshare/internal/devlib"
+	"kubeshare/internal/devlib/sharing"
 	"kubeshare/internal/kube/api"
 	"kubeshare/internal/kube/apiserver"
 )
@@ -58,6 +59,17 @@ type SharePodSpec struct {
 	GPULimit float64
 	// GPUMem is the device-memory fraction in (0,1].
 	GPUMem float64
+	// GPUMemBytes is the absolute device-memory request in bytes (the
+	// KAI-style quantity form). Exactly one of GPUMem / GPUMemBytes may be
+	// positive; the byte form is enforced both at placement (byte residuals
+	// in Algorithm 1 and the MemoryFit plugin) and inside the device's
+	// memory model.
+	GPUMemBytes int64
+	// SharingMode selects the GPU-sharing strategy for the device this pod
+	// lands on: "" or "token" (the paper's token time-slicing), "mps"
+	// (MPS-style overlap), or "replica" (logical-GPU time-slicing). Devices
+	// run exactly one strategy; use Exclusion labels to segregate modes.
+	SharingMode string
 	// GPUID selects a specific vGPU. Usually assigned by KubeShare-Sched,
 	// but a client may set it directly — GPUs are first-class, explicitly
 	// addressable resources.
@@ -82,7 +94,12 @@ type SharePodSpec struct {
 
 // Share converts the spec's fractions into a device library share.
 func (s SharePodSpec) Share() devlib.Share {
-	return devlib.Share{Request: s.GPURequest, Limit: s.GPULimit, Memory: s.GPUMem}
+	return devlib.Share{
+		Request:     s.GPURequest,
+		Limit:       s.GPULimit,
+		Memory:      s.GPUMem,
+		MemoryBytes: s.GPUMemBytes,
+	}
 }
 
 // Clone returns a deep copy.
@@ -211,6 +228,67 @@ func RequeueSharePod(srv *apiserver.Server, name string) *SharePod {
 	return updated
 }
 
+// ValidationError is the typed admission error for bad GPU share fields,
+// returned by ValidateSharePod on both Create and Update (the validator is
+// registered for both verbs). Callers detect it with errors.As to
+// distinguish a malformed spec from infrastructure failures.
+type ValidationError struct {
+	// Field is the offending spec field (e.g. "GPURequest").
+	Field string
+	// Reason describes the violation.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("core: invalid %s: %s", e.Field, e.Reason)
+}
+
+// validateGPUFields checks the spec's GPU quantities, returning a typed
+// *ValidationError on the first violation.
+func validateGPUFields(spec SharePodSpec) error {
+	if spec.GPURequest <= 0 {
+		return &ValidationError{Field: "GPURequest", Reason: "must be positive"}
+	}
+	if spec.GPURequest > 1 {
+		return &ValidationError{Field: "GPURequest",
+			Reason: fmt.Sprintf("%v outside (0,1]", spec.GPURequest)}
+	}
+	if spec.GPULimit != 0 && spec.GPURequest > spec.GPULimit {
+		return &ValidationError{Field: "GPULimit",
+			Reason: fmt.Sprintf("%v below GPURequest %v", spec.GPULimit, spec.GPURequest)}
+	}
+	if spec.GPULimit < 0 || spec.GPULimit > 1 {
+		return &ValidationError{Field: "GPULimit",
+			Reason: fmt.Sprintf("%v outside [0,1]", spec.GPULimit)}
+	}
+	if spec.GPUMem < 0 || spec.GPUMem > 1 {
+		return &ValidationError{Field: "GPUMem",
+			Reason: fmt.Sprintf("%v outside [0,1]", spec.GPUMem)}
+	}
+	if spec.GPUMemBytes < 0 {
+		return &ValidationError{Field: "GPUMemBytes",
+			Reason: fmt.Sprintf("%d negative", spec.GPUMemBytes)}
+	}
+	if spec.GPUMemBytes > DeviceMemBytes {
+		// Mirrors the fractional cap of 1.0: a request no physical device can
+		// hold is rejected at admission, not left to starve in the queue.
+		return &ValidationError{Field: "GPUMemBytes",
+			Reason: fmt.Sprintf("%d exceeds device capacity %d", spec.GPUMemBytes, DeviceMemBytes)}
+	}
+	if spec.GPUMem == 0 && spec.GPUMemBytes == 0 {
+		return &ValidationError{Field: "GPUMem",
+			Reason: "one of GPUMem / GPUMemBytes must be positive"}
+	}
+	if spec.GPUMem > 0 && spec.GPUMemBytes > 0 {
+		return &ValidationError{Field: "GPUMemBytes",
+			Reason: "GPUMem and GPUMemBytes are mutually exclusive"}
+	}
+	if _, err := sharing.ParseMode(spec.SharingMode); err != nil {
+		return &ValidationError{Field: "SharingMode", Reason: err.Error()}
+	}
+	return nil
+}
+
 // ValidateSharePod is the admission validator for the SharePod kind.
 func ValidateSharePod(o api.Object) error {
 	sp, ok := o.(*SharePod)
@@ -230,11 +308,11 @@ func ValidateSharePod(o api.Object) error {
 	if gpus := sp.Spec.Pod.Requests()[api.ResourceGPU]; gpus != 0 {
 		return fmt.Errorf("core: sharePod container must not request %s (the share fields replace it)", api.ResourceGPU)
 	}
-	if err := sp.Spec.Share().Validate(); err != nil {
+	if err := validateGPUFields(sp.Spec); err != nil {
 		return err
 	}
-	if sp.Spec.GPURequest <= 0 {
-		return fmt.Errorf("core: gpu_request must be positive")
+	if err := sp.Spec.Share().Validate(); err != nil {
+		return err
 	}
 	if sp.Spec.GPUID != "" && sp.Spec.NodeName == "" {
 		return fmt.Errorf("core: GPUID set without NodeName")

@@ -305,6 +305,9 @@ func DiffPools(got, want *Pool) error {
 		if g.MemCapacity != w.MemCapacity {
 			return fmt.Errorf("device %s: memCapacity %v, want %v", g.ID, g.MemCapacity, w.MemCapacity)
 		}
+		if g.MemBytesUsed != w.MemBytesUsed {
+			return fmt.Errorf("device %s: memBytesUsed %d, want %d", g.ID, g.MemBytesUsed, w.MemBytesUsed)
+		}
 		if g.Excl != w.Excl {
 			return fmt.Errorf("device %s: excl %q, want %q", g.ID, g.Excl, w.Excl)
 		}

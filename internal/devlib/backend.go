@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"kubeshare/internal/devlib/sharing"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
 	"kubeshare/internal/sim"
@@ -56,6 +57,15 @@ type Config struct {
 	// grants, wait-latency histogram, throttle events). Nil disables
 	// instrumentation.
 	Obs *obs.Runtime
+	// Mode selects the node's default sharing strategy ("" = token). Pods
+	// may override it per sharePod via spec.sharing_mode, but a device runs
+	// exactly one strategy: the first client's mode wins and conflicting
+	// modes fail at library-hook time.
+	Mode sharing.Mode
+	// Replicas is the number of logical GPUs each physical device
+	// advertises under the replica strategy (default DefaultReplicas;
+	// ignored by the other modes).
+	Replicas int
 }
 
 // Defaults (see Config).
@@ -67,6 +77,9 @@ const (
 	// tenants (Fig 12's 1.5× B+B slowdown) depends on this being cheap.
 	DefaultHandoff = 500 * time.Microsecond
 	DefaultGrace   = 2 * time.Millisecond
+	// DefaultReplicas is the replica strategy's logical-GPU count per
+	// physical device (the NVIDIA time-slicing plugin's common default).
+	DefaultReplicas = 2
 )
 
 func (c Config) withDefaults() Config {
@@ -86,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SwapBandwidth <= 0 {
 		c.SwapBandwidth = 12 << 30
+	}
+	if c.Mode == "" {
+		c.Mode = sharing.ModeToken
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
 	}
 	return c
 }
@@ -112,16 +131,23 @@ type Token struct {
 // Valid reports whether the token is still usable at time now.
 func (t Token) Valid(now time.Duration) bool { return t.seq != 0 && now < t.ExpiresAt }
 
-// Backend is the per-node daemon: one token manager per device UUID.
+// Backend is the per-node daemon: one sharing strategy per device UUID
+// (one token manager per device in the default mode, §4.5).
 type Backend struct {
-	env      *sim.Env
-	cfg      Config
-	managers map[string]*TokenManager
+	env        *sim.Env
+	cfg        Config
+	managers   map[string]*TokenManager
+	strategies map[string]sharing.Strategy
 }
 
 // NewBackend creates a node backend.
 func NewBackend(env *sim.Env, cfg Config) *Backend {
-	return &Backend{env: env, cfg: cfg.withDefaults(), managers: make(map[string]*TokenManager)}
+	return &Backend{
+		env:        env,
+		cfg:        cfg.withDefaults(),
+		managers:   make(map[string]*TokenManager),
+		strategies: make(map[string]sharing.Strategy),
+	}
 }
 
 // Manager returns the token manager for a device UUID, creating it on first
@@ -133,6 +159,48 @@ func (b *Backend) Manager(uuid string) *TokenManager {
 		b.managers[uuid] = m
 	}
 	return m
+}
+
+// Strategy returns the device's sharing strategy under the backend's
+// default mode, creating it on first use. In token mode it wraps the same
+// TokenManager that Manager(uuid) returns, so both views stay consistent.
+func (b *Backend) Strategy(uuid string) sharing.Strategy {
+	s, _ := b.StrategyFor(uuid, b.cfg.Mode)
+	return s
+}
+
+// StrategyOf returns the device's already-instantiated strategy, or nil
+// when no client has reached the device yet.
+func (b *Backend) StrategyOf(uuid string) sharing.Strategy { return b.strategies[uuid] }
+
+// StrategyFor returns the device's strategy, creating it with the given
+// mode ("" = backend default) on first use. A device runs exactly one
+// strategy: once created, requesting a different mode is an error — the
+// scheduler should keep tenants of different modes off one device (the
+// exclusion-label mechanism segregates them).
+func (b *Backend) StrategyFor(uuid string, mode sharing.Mode) (sharing.Strategy, error) {
+	if mode == "" {
+		mode = b.cfg.Mode
+	}
+	if s, ok := b.strategies[uuid]; ok {
+		if s.Mode() != mode {
+			return nil, fmt.Errorf("devlib: device %s already shared in %q mode, cannot serve %q", uuid, s.Mode(), mode)
+		}
+		return s, nil
+	}
+	var s sharing.Strategy
+	switch mode {
+	case sharing.ModeMPS:
+		s = sharing.NewMPS(b.env, uuid, b.cfg.Obs)
+	case sharing.ModeReplica:
+		s = sharing.NewReplica(b.env, uuid, b.cfg.Replicas, b.cfg.Quota, b.cfg.Obs)
+	case sharing.ModeToken:
+		s = TokenStrategy{b.Manager(uuid)}
+	default:
+		return nil, fmt.Errorf("devlib: unknown sharing mode %q", mode)
+	}
+	b.strategies[uuid] = s
+	return s, nil
 }
 
 // Config returns the backend's (defaulted) configuration.
@@ -158,6 +226,7 @@ type client struct {
 	queued   *sim.Event // pending acquire, nil when none
 	acquire  *sim.Event // cached acquire event, Reset and reused per Acquire
 	enqueued time.Duration
+	grants   int64        // token grants to this client, for per-tenant stats
 	hold     *obs.Counter // cached kubeshare_devlib_token_hold_ns_total child
 }
 
@@ -190,6 +259,7 @@ type TokenManager struct {
 	// per client.
 	recorder  *obs.Recorder
 	grants    *obs.Counter
+	admits    *obs.Counter // kubeshare_sharing_admits_total{strategy="token"} child
 	throttles *obs.Counter
 	waitHist  *obs.Histogram
 	holdVec   *obs.CounterVec
@@ -204,6 +274,7 @@ func NewTokenManager(env *sim.Env, uuid string, cfg Config) *TokenManager {
 		clients:   make(map[string]*client),
 		recorder:  cfg.Obs.EventSource("devlib"),
 		grants:    cfg.Obs.CounterVec("kubeshare_devlib_token_grants_total", "gpu_uuid").With(uuid),
+		admits:    cfg.Obs.CounterVec("kubeshare_sharing_admits_total", "gpu_uuid", "strategy").With(uuid, string(sharing.ModeToken)),
 		throttles: cfg.Obs.CounterVec("kubeshare_devlib_throttle_retries_total", "gpu_uuid").With(uuid),
 		waitHist:  cfg.Obs.HistogramVec("kubeshare_devlib_token_wait_seconds", "gpu_uuid").With(uuid),
 		holdVec:   cfg.Obs.CounterVec("kubeshare_devlib_token_hold_ns_total", "gpu_uuid", "tenant"),
@@ -323,20 +394,10 @@ func (m *TokenManager) Clients() int { return len(m.clients) }
 // Handoffs returns the number of token grants so far.
 func (m *TokenManager) Handoffs() int64 { return m.handoffs }
 
-// Stats is a point-in-time snapshot of a token manager, for dashboards and
-// debugging.
-type Stats struct {
-	// Holder is the client currently holding the token ("" when free).
-	Holder string
-	// QueueDepth is the number of pending acquires.
-	QueueDepth int
-	// Clients is the number of registered containers.
-	Clients int
-	// Handoffs is the total token grants so far.
-	Handoffs int64
-	// SwappedBytes is the total memory-over-commitment swap traffic.
-	SwappedBytes int64
-}
+// Stats is a point-in-time snapshot of a token manager (an alias of the
+// sharing layer's strategy snapshot, so the token manager's stats are the
+// default strategy's stats, field for field).
+type Stats = sharing.Stats
 
 // Stats returns a snapshot of the manager's state.
 func (m *TokenManager) Stats() Stats {
@@ -486,7 +547,9 @@ func (m *TokenManager) trySchedule() {
 	m.queue = append(m.queue[:bestIdx], m.queue[bestIdx+1:]...)
 	m.tokSeq++
 	m.handoffs++
+	best.grants++
 	m.grants.Inc()
+	m.admits.Inc()
 	m.waitHist.ObserveDuration(now - best.enqueued)
 	m.holder = best
 	m.grant = now

@@ -1,0 +1,92 @@
+package devlib
+
+import (
+	"sort"
+
+	"kubeshare/internal/devlib/sharing"
+	"kubeshare/internal/sim"
+)
+
+// TokenStrategy re-expresses the Gemini-style token time-slicing manager as
+// the default sharing.Strategy. It is a zero-cost adapter over
+// *TokenManager: every interface method maps 1:1 onto the manager call the
+// frontend made before the sharing layer existed, so the token path's event
+// order (and therefore every golden) is unchanged.
+type TokenStrategy struct {
+	*TokenManager
+}
+
+var _ sharing.Strategy = TokenStrategy{}
+var _ Swapper = TokenStrategy{}
+
+// Mode returns sharing.ModeToken.
+func (t TokenStrategy) Mode() sharing.Mode { return sharing.ModeToken }
+
+// Gated reports true: tokens expire and are re-acquired.
+func (t TokenStrategy) Gated() bool { return true }
+
+// Register maps the resource demand onto the manager's request/limit pair.
+func (t TokenStrategy) Register(id string, res sharing.Resources) error {
+	if err := t.TokenManager.Register(id, res.Request, res.Limit); err != nil {
+		return err
+	}
+	if res.Tenant != "" {
+		t.TokenManager.SetTenant(id, res.Tenant)
+	}
+	return nil
+}
+
+// Admit acquires the device token, blocking until granted.
+func (t TokenStrategy) Admit(p *sim.Proc, id string) (sharing.Lease, error) {
+	tok, err := t.TokenManager.Acquire(p, id)
+	if err != nil {
+		return sharing.Lease{}, err
+	}
+	return sharing.Lease{ExpiresAt: tok.ExpiresAt, Seq: tok.seq, Gated: true}, nil
+}
+
+// Release returns the token; stale leases are ignored by the manager.
+func (t TokenStrategy) Release(id string, l sharing.Lease) {
+	t.TokenManager.Release(id, Token{ExpiresAt: l.ExpiresAt, seq: l.Seq})
+}
+
+// Waiting reports the queue depth (the token is device-global, so the id is
+// irrelevant).
+func (t TokenStrategy) Waiting(id string) int { return t.TokenManager.Waiting() }
+
+// TenantStats aggregates sliding-window usage and grants per tenant.
+func (t TokenStrategy) TenantStats() []sharing.TenantUsage {
+	m := t.TokenManager
+	byTenant := map[string]*sharing.TenantUsage{}
+	for id, c := range m.clients {
+		u, ok := byTenant[c.tenant]
+		if !ok {
+			u = &sharing.TenantUsage{Tenant: c.tenant}
+			byTenant[c.tenant] = u
+		}
+		u.Share += m.UsageRate(id)
+		u.Admits += c.grants
+	}
+	out := make([]sharing.TenantUsage, 0, len(byTenant))
+	for _, u := range byTenant {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Swapper is the optional memory-over-commitment surface a strategy may
+// provide (today only the token strategy does — swapping happens at token
+// handoff, which needs a gate). Frontends type-assert for it when
+// Config.MemOvercommit is set and fall back to plain fractional enforcement
+// when the strategy cannot swap.
+type Swapper interface {
+	// EnableSwap turns on the swap broker with the device capacity and
+	// host↔device bandwidth (idempotent).
+	EnableSwap(capacity, bw int64)
+	// SetVirtualUsage declares id's total virtual allocation.
+	SetVirtualUsage(id string, bytes int64) error
+	// EnsureResident blocks p until id's working set is on the device,
+	// paying transfer time for swap-ins (and evictions of others).
+	EnsureResident(p *sim.Proc, id string) error
+}

@@ -125,7 +125,7 @@ func measureShareCreation(cfg Fig10Config, n int, warmPool bool) (time.Duration,
 		return &core.SharePod{
 			ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("%s%02d", gen, i)},
 			Spec: core.SharePodSpec{
-				GPURequest: 0.45, GPULimit: 0.5, GPUMem: 0.2,
+				GPURequest: 0.45, GPULimit: 0.5, GPUMem: workload.MemShareSmall,
 				Pod: api.PodSpec{Containers: []api.Container{{
 					Name: "c", Image: workload.ServeImage,
 					Env: map[string]string{workload.EnvRate: "0", workload.EnvDuration: "3600"},

@@ -9,6 +9,7 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
 )
 
 // Fig11Config drives the scheduling-time experiment: how long one
@@ -65,7 +66,7 @@ func PopulateSchedulingState(n int) *apiserver.Server {
 		sp := &core.SharePod{
 			ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("sp-%04d", i)},
 			Spec: core.SharePodSpec{
-				GPURequest: 0.2, GPULimit: 0.3, GPUMem: 0.2,
+				GPURequest: 0.2, GPULimit: 0.3, GPUMem: workload.MemShareSmall,
 				GPUID: gpuID, NodeName: node,
 				Pod: api.PodSpec{Containers: []api.Container{{Name: "c", Image: "i"}}},
 			},

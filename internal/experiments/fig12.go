@@ -38,7 +38,7 @@ func interferenceSharePod(name string, prof interferenceProfile, steps int, anti
 		Spec: core.SharePodSpec{
 			GPURequest:   prof.request,
 			GPULimit:     prof.limit,
-			GPUMem:       0.2,
+			GPUMem:       workload.MemShareSmall,
 			AntiAffinity: antiAff,
 			Pod: api.PodSpec{Containers: []api.Container{{
 				Name:  "train",

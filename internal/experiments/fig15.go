@@ -10,6 +10,7 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
 )
 
 // Fig15Config drives the scheduler-throughput experiment (a framework
@@ -85,7 +86,7 @@ func fig15Run(n, batch, gangSize int, now func() time.Time) (time.Duration, time
 		sp := &core.SharePod{
 			ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("sp-%05d", i)},
 			Spec: core.SharePodSpec{
-				GPURequest: 0.5, GPULimit: 1.0, GPUMem: 0.5,
+				GPURequest: 0.5, GPULimit: 1.0, GPUMem: workload.MemShareHalf,
 				Pod: api.PodSpec{Containers: []api.Container{{Name: "c", Image: "i"}}},
 			},
 		}

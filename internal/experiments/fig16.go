@@ -10,6 +10,7 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
 )
 
 // Fig16Config drives the scale sweep of the partitioned hot path (a
@@ -126,7 +127,7 @@ func fig16Run(n, lanes int, cfg Fig16Config) fig16Result {
 			sp := &core.SharePod{
 				ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("sp-%06d", i)},
 				Spec: core.SharePodSpec{
-					GPURequest: 0.45, GPULimit: 1.0, GPUMem: 0.45,
+					GPURequest: 0.45, GPULimit: 1.0, GPUMem: workload.MemShareChurn,
 					Pod: api.PodSpec{Containers: []api.Container{{Name: "c", Image: "i"}}},
 				},
 			}

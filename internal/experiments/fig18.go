@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kubeshare/internal/core"
+	"kubeshare/internal/core/schedfw"
+	"kubeshare/internal/devlib"
+	"kubeshare/internal/devlib/sharing"
+	"kubeshare/internal/kube/api"
+	"kubeshare/internal/metrics"
+	"kubeshare/internal/sim"
+	"kubeshare/internal/workload"
+)
+
+// Fig18Config sizes the sharing-strategy comparison: the same seeded serving
+// workload is replayed under each strategy (token time-slicing, MPS overlap,
+// replica time-slicing) at two kernel granularities. The demand is chosen so
+// two tenants pack a device near capacity — there the token path's per-grant
+// handoff is pure overhead on small kernels (≈10% at 5 ms) while the overlap
+// strategies run the same mix without it.
+type Fig18Config struct {
+	Nodes       int
+	GPUsPerNode int
+	Jobs        int
+	// MeanInterArrival paces the Poisson arrivals.
+	MeanInterArrival time.Duration
+	// JobDuration is each job's serving time.
+	JobDuration time.Duration
+	// DemandMean is each job's GPU busy fraction (variance 0: packing is
+	// deterministic, so the strategy is the only variable across arms).
+	DemandMean float64
+	Seed       int64
+}
+
+func (c Fig18Config) withDefaults() Fig18Config {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 32
+	}
+	if c.MeanInterArrival == 0 {
+		c.MeanInterArrival = 500 * time.Millisecond
+	}
+	if c.JobDuration == 0 {
+		c.JobDuration = 20 * time.Second
+	}
+	if c.DemandMean == 0 {
+		c.DemandMean = 0.48
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// fig18Arm is one strategy × kernel-mix cell.
+type fig18Arm struct {
+	mode     sharing.Mode
+	mix      string
+	kernelMS int
+}
+
+// fig18Arms enumerates the comparison grid: every strategy against a
+// small-kernel inference mix (5 ms requests, where grant overhead bites) and
+// a large-kernel mix (50 ms, where it amortizes).
+func fig18Arms() []fig18Arm {
+	var arms []fig18Arm
+	for _, mix := range []struct {
+		name     string
+		kernelMS int
+	}{{"small-kernel", 5}, {"large-kernel", 50}} {
+		for _, mode := range []sharing.Mode{sharing.ModeToken, sharing.ModeMPS, sharing.ModeReplica} {
+			arms = append(arms, fig18Arm{mode: mode, mix: mix.name, kernelMS: mix.kernelMS})
+		}
+	}
+	return arms
+}
+
+// Fig18 runs the strategy comparison and reports per-arm throughput, mean
+// stretch ((finish − arrival) / serving time — the tenant-visible slowdown)
+// and the mean per-GPU Jain fairness index from the auditor windows. Every
+// arm replays the identical job list (same seed, same arrivals, same
+// demands); only the sharing strategy and kernel granularity differ, so the
+// columns isolate the strategy's own cost.
+func Fig18(cfg Fig18Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	arms := fig18Arms()
+	type armOut struct {
+		completed int
+		tput      float64
+		stretch   float64
+		jain      float64
+	}
+	outs, err := runIndexed(len(arms), func(i int) (armOut, error) {
+		arm := arms[i]
+		jobs := workload.Generate(workload.GeneratorConfig{
+			Jobs:             cfg.Jobs,
+			MeanInterArrival: cfg.MeanInterArrival,
+			DemandMean:       cfg.DemandMean,
+			JobDuration:      cfg.JobDuration,
+			Mode:             string(arm.mode),
+			MemShare:         workload.MemShareSmall,
+			ReqKernelMS:      arm.kernelMS,
+			Seed:             cfg.Seed,
+		})
+		res, err := RunSharing(SharingConfig{
+			System: KubeShare, Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode,
+			Jobs: jobs,
+			// The node default matches the per-pod annotation, so both the
+			// annotation path and the backend default are exercised.
+			Devlib:    core.Config{Devlib: devlib.Config{Mode: arm.mode}},
+			Telemetry: 2 * time.Second,
+		})
+		if err != nil {
+			return armOut{}, err
+		}
+		if res.Failed > 0 {
+			return armOut{}, fmt.Errorf("fig18 %s/%s: %d jobs failed", arm.mode, arm.mix, res.Failed)
+		}
+		return armOut{
+			completed: res.Completed,
+			tput:      res.ThroughputPerMin,
+			stretch:   meanStretch(jobs, res.FinishTimes),
+			jain:      meanJain(res.Telemetry.Auditor),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("Figure 18: sharing-strategy comparison (same workload per arm)",
+		"strategy", "mix", "kernel_ms", "completed", "throughput_jobs_min", "mean_stretch", "jain_mean")
+	for i, arm := range arms {
+		o := outs[i]
+		tb.AddRow(string(arm.mode), arm.mix, arm.kernelMS, o.completed,
+			fmt.Sprintf("%.2f", o.tput), fmt.Sprintf("%.3f", o.stretch),
+			fmt.Sprintf("%.3f", o.jain))
+	}
+	return tb, nil
+}
+
+// meanStretch averages (finish − arrival) / serving-duration over completed
+// jobs: 1.0 would be a job that finished the instant arrivals stopped; queue
+// waits, grant handoffs and backlog drain all push it up.
+func meanStretch(jobs []workload.Job, finish map[string]time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, j := range jobs {
+		f, ok := finish[j.Name]
+		if !ok || j.Duration <= 0 {
+			continue
+		}
+		sum += float64(f-j.Arrival) / float64(j.Duration)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// meanJain averages the auditor's per-GPU Jain index over every window that
+// observed an active tenant.
+func meanJain(a *core.Auditor) float64 {
+	var sum float64
+	var n int
+	for _, w := range a.Windows() {
+		for _, j := range w.Jain {
+			sum += j
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fig18MemBytes exercises the memory-quantity request mode: a sharePod
+// asking for more bytes than any device holds is rejected at admission with
+// a typed *core.ValidationError, while a byte-denominated workload sized so
+// two tenants fill a device runs to completion with the MemoryFit filter
+// packing by bytes (no over-placement, no OOM kills).
+func Fig18MemBytes(cfg Fig18Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("Figure 18 (memory-quantity mode): byte requests at admission and placement",
+		"case", "jobs", "completed", "failed", "rejected_typed")
+
+	// Admission: one byte over device capacity must be refused with the
+	// typed error before anything is stored.
+	env := sim.NewEnv()
+	c, err := newCluster(env, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := schedfw.Install(c, core.Config{}); err != nil {
+		return nil, err
+	}
+	rejectedTyped := 0
+	env.Go("oversubscriber", func(p *sim.Proc) {
+		_, err := core.SharePods(c.API).Create(&core.SharePod{
+			ObjectMeta: api.ObjectMeta{Name: "over-mem"},
+			Spec: core.SharePodSpec{
+				GPURequest:  0.5,
+				GPULimit:    1.0,
+				GPUMemBytes: core.DeviceMemBytes + 1,
+				Pod: api.PodSpec{Containers: []api.Container{{
+					Name: "serve", Image: workload.ServeImage,
+				}}},
+			},
+		})
+		var ve *core.ValidationError
+		if errors.As(err, &ve) {
+			rejectedTyped = 1
+		}
+	})
+	env.Run()
+	tb.AddRow("oversubscribed-admission", 1, 0, 0, rejectedTyped)
+	if rejectedTyped == 0 {
+		return nil, fmt.Errorf("fig18: oversubscribed gpu_mem_bytes was not rejected with a typed ValidationError")
+	}
+
+	// Placement: 6 GiB tenants — two fit a 16 GiB device, a third does not,
+	// so MemoryFit must spill the overflow to other devices and every job
+	// still completes.
+	jobs := workload.Generate(workload.GeneratorConfig{
+		Jobs:             cfg.Jobs / 2,
+		MeanInterArrival: cfg.MeanInterArrival,
+		DemandMean:       0.3,
+		JobDuration:      cfg.JobDuration,
+		MemBytes:         6 << 30,
+		ReqKernelMS:      5,
+		Seed:             cfg.Seed,
+	})
+	res, err := RunSharing(SharingConfig{
+		System: KubeShare, Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode,
+		Jobs: jobs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("byte-workload-6gib", len(jobs), res.Completed, res.Failed, 0)
+	if res.Failed > 0 || res.Completed != len(jobs) {
+		return nil, fmt.Errorf("fig18: byte workload completed %d/%d, failed %d",
+			res.Completed, len(jobs), res.Failed)
+	}
+	return tb, nil
+}

@@ -87,7 +87,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 				Spec: core.SharePodSpec{
 					GPURequest: j.request,
 					GPULimit:   j.limit,
-					GPUMem:     0.3,
+					GPUMem:     workload.MemShareTraining,
 					Pod: api.PodSpec{Containers: []api.Container{{
 						Name:  "train",
 						Image: workload.TrainImage,

@@ -54,7 +54,7 @@ func Fig7(cfg Fig7Config) (*metrics.Table, error) {
 			sp := &core.SharePod{
 				ObjectMeta: api.ObjectMeta{Name: "train"},
 				Spec: core.SharePodSpec{
-					GPURequest: 1.0, GPULimit: 1.0, GPUMem: 0.5,
+					GPURequest: 1.0, GPULimit: 1.0, GPUMem: workload.MemShareHalf,
 					Pod: api.PodSpec{Containers: []api.Container{{
 						Name: "c", Image: workload.TrainImage, Env: envVars,
 					}}},

@@ -121,6 +121,9 @@ type SharingResult struct {
 	// Telemetry is the attached consumption layer (TSDB, auditor, alerts)
 	// when SharingConfig.Telemetry was nonzero.
 	Telemetry *TelemetrySet
+	// FinishTimes maps each completed job's name to its finish time, for
+	// per-job slowdown metrics (the fig18 stretch column).
+	FinishTimes map[string]time.Duration
 }
 
 // RunSharing executes a full workload run under the chosen system and
@@ -214,11 +217,13 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 
 	// Collect outcomes.
 	var last time.Duration
+	res.FinishTimes = make(map[string]time.Duration)
 	if cfg.System == Kubernetes {
 		for _, pod := range c.Pods().List() {
 			switch pod.Status.Phase {
 			case api.PodSucceeded:
 				res.Completed++
+				res.FinishTimes[pod.Name] = pod.Status.FinishTime
 				if pod.Status.FinishTime > last {
 					last = pod.Status.FinishTime
 				}
@@ -231,6 +236,7 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 			switch sp.Status.Phase {
 			case core.SharePodSucceeded:
 				res.Completed++
+				res.FinishTimes[sp.Name] = sp.Status.FinishTime
 				if sp.Status.FinishTime > last {
 					last = sp.Status.FinishTime
 				}

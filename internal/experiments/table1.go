@@ -73,7 +73,7 @@ func runPlacement(cfg Table1Config, sys table1System) (placementStats, error) {
 			sp := &core.SharePod{
 				ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("ctr-%c", 'a'+i)},
 				Spec: core.SharePodSpec{
-					GPURequest: d, GPULimit: d, GPUMem: 0.1,
+					GPURequest: d, GPULimit: d, GPUMem: workload.MemShareInference,
 					Pod: api.PodSpec{Containers: []api.Container{{
 						Name:  "c",
 						Image: workload.ServeImage,

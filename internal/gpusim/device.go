@@ -68,6 +68,7 @@ type Device struct {
 type kernel struct {
 	ctx       *Context
 	remaining float64 // seconds of exclusive-device work left
+	weight    float64 // processor-sharing weight (the context's at launch)
 	done      *sim.Event
 }
 
@@ -130,7 +131,24 @@ func (d *Device) ActiveKernels() int { return len(d.active) }
 // ActiveContexts returns the number of open contexts.
 func (d *Device) ActiveContexts() int { return len(d.contexts) }
 
+// totalWeight sums the resident kernels' processor-sharing weights. With
+// unit weights (the default) the sum is exactly float64(len(d.active)),
+// which keeps the sharing arithmetic bit-identical to the unweighted form.
+func (d *Device) totalWeight() float64 {
+	w := 0.0
+	for _, k := range d.active {
+		w += k.weight
+	}
+	return w
+}
+
 // update advances processor-sharing bookkeeping to the current instant.
+// Each resident kernel progresses at weight/totalWeight of the device rate
+// — generalized processor sharing. Under MPS-overlap sharing the weights
+// are the tenants' gpu_request fractions (the SM/compute-fraction model);
+// everywhere else every weight is 1.0 and this reduces exactly to the
+// classic 1/n split (multiplying by 1.0 and dividing by an integer-valued
+// sum are exact in IEEE 754).
 func (d *Device) update() {
 	now := d.env.Now()
 	elapsed := now - d.lastUpdate
@@ -138,31 +156,36 @@ func (d *Device) update() {
 	if elapsed <= 0 || len(d.active) == 0 {
 		return
 	}
-	n := len(d.active)
-	share := elapsed.Seconds() / float64(n)
+	totalW := d.totalWeight()
+	secs := elapsed.Seconds()
 	for _, k := range d.active {
+		share := secs * k.weight / totalW
 		k.remaining -= share
 		k.ctx.devTime += time.Duration(share * float64(time.Second))
 	}
 	d.busyAccum += elapsed
 }
 
-// reschedule (re)arms the completion timer for the earliest-finishing kernel.
+// reschedule (re)arms the completion timer for the earliest-finishing
+// kernel. A kernel with remaining work r and weight w finishes (at the
+// current population) after r*totalW/w seconds; with unit weights this is
+// the classic r*n, bit-identical to the unweighted form.
 func (d *Device) reschedule() {
 	d.completion.Stop()
 	if len(d.active) == 0 {
 		return
 	}
-	minRem := d.active[0].remaining
+	totalW := d.totalWeight()
+	minEff := d.active[0].remaining * totalW / d.active[0].weight
 	for _, k := range d.active[1:] {
-		if k.remaining < minRem {
-			minRem = k.remaining
+		if eff := k.remaining * totalW / k.weight; eff < minEff {
+			minEff = eff
 		}
 	}
-	if minRem < 0 {
-		minRem = 0
+	if minEff < 0 {
+		minEff = 0
 	}
-	wait := time.Duration(minRem * float64(len(d.active)) * float64(time.Second))
+	wait := time.Duration(minEff * float64(time.Second))
 	d.completion = d.env.After(wait, d.onCompletion)
 }
 
@@ -217,6 +240,7 @@ func (d *Device) launchInto(ctx *Context, work time.Duration, done *sim.Event) {
 	}
 	k.ctx = ctx
 	k.remaining = work.Seconds()
+	k.weight = ctx.weight
 	k.done = done
 	d.active = append(d.active, k)
 	d.reschedule()
@@ -250,6 +274,57 @@ func (d *Device) InjectFault() {
 		"Xid fault: %d contexts poisoned", poisoned)
 }
 
+// InjectContextFault raises an Xid-style fault scoped to one context — the
+// failure model of MPS-overlap sharing, where tenants share a single device
+// context space and isolation is limited. The victim's resident kernels die
+// with ErrDeviceFault and the victim is poisoned; if the victim had kernels
+// in flight, every context with co-resident kernels at that instant is
+// poisoned too (their kernels also die). Contexts with nothing resident are
+// spared, and the device itself stays serviceable — no ClearFault needed.
+// Under token or replica gating at most one tenant's kernels are resident
+// per slot, so the same fault has a far smaller blast radius there.
+func (d *Device) InjectContextFault(victim *Context) {
+	if victim == nil || victim.dev != d || victim.closed {
+		return
+	}
+	d.update()
+	victimActive := false
+	for _, k := range d.active {
+		if k.ctx == victim {
+			victimActive = true
+			break
+		}
+	}
+	poison := map[*Context]bool{victim: true}
+	if victimActive {
+		for _, k := range d.active {
+			poison[k.ctx] = true
+		}
+	}
+	still := d.active[:0]
+	for _, k := range d.active {
+		if poison[k.ctx] {
+			k.done.Trigger(ErrDeviceFault)
+			k.done = nil
+			k.ctx = nil
+			d.freeKernels = append(d.freeKernels, k)
+		} else {
+			still = append(still, k)
+		}
+	}
+	for i := len(still); i < len(d.active); i++ {
+		d.active[i] = nil
+	}
+	d.active = still
+	for ctx := range poison {
+		ctx.faulted = true
+	}
+	d.faults.Inc()
+	d.recorder.Eventf("GPU", d.uuid, obs.EventWarning, "ContextFault",
+		"Xid fault in context %s: %d contexts poisoned", victim.owner, len(poison))
+	d.reschedule()
+}
+
 // ClearFault resets the device after a fault. Contexts poisoned by the
 // fault stay poisoned — their owners must close them and open fresh ones.
 func (d *Device) ClearFault() {
@@ -280,7 +355,7 @@ func (d *Device) CopyDuration(n int64) time.Duration {
 // OpenContext creates an execution context owned by the named principal
 // (a container id in the cluster).
 func (d *Device) OpenContext(owner string) *Context {
-	ctx := &Context{dev: d, owner: owner}
+	ctx := &Context{dev: d, owner: owner, weight: 1}
 	d.contexts[ctx] = true
 	return ctx
 }
@@ -290,12 +365,39 @@ type Context struct {
 	dev     *Device
 	owner   string
 	memUsed int64
+	// memLimit caps this context's allocations (0 = device capacity only);
+	// the enforcement point of absolute gpu_mem_bytes requests.
+	memLimit int64
+	// weight is the processor-sharing weight stamped onto launched kernels
+	// (1.0 default; MPS-overlap sets the tenant's compute fraction).
+	weight  float64
 	devTime time.Duration
 	// syncEv is the reusable completion event for synchronous Launch; it
 	// never escapes the Launch call, so one event serves every kernel.
 	syncEv  *sim.Event
 	closed  bool
 	faulted bool
+}
+
+// SetComputeWeight sets the processor-sharing weight for kernels launched
+// from this context — the SM/compute-fraction model of MPS-overlap sharing
+// (a tenant with weight 0.3 gets 0.3/Σweights of the device under
+// contention). Non-positive weights are ignored; kernels already resident
+// keep the weight they launched with.
+func (c *Context) SetComputeWeight(w float64) {
+	if w > 0 {
+		c.weight = w
+	}
+}
+
+// SetMemLimit caps the context's device-memory allocations at n bytes
+// (0 removes the cap). This is gpusim's enforcement of absolute
+// gpu_mem_bytes requests: unlike the frontend's fractional share check,
+// the limit lives in the device's own memory model.
+func (c *Context) SetMemLimit(n int64) {
+	if n >= 0 {
+		c.memLimit = n
+	}
 }
 
 // Faulted reports whether this context was poisoned by a device fault.
@@ -327,6 +429,9 @@ func (c *Context) Alloc(n int64) error {
 	}
 	if n < 0 {
 		return errors.New("gpusim: negative allocation")
+	}
+	if c.memLimit > 0 && c.memUsed+n > c.memLimit {
+		return ErrOutOfMemory
 	}
 	if c.dev.memUsed+n > c.dev.memCap {
 		return ErrOutOfMemory

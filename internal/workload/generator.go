@@ -24,6 +24,19 @@ type Job struct {
 	Affinity     string
 	AntiAffinity string
 	Exclusion    string
+	// Mode is the sharing strategy the job's sharePod requests ("" = node
+	// default; "token", "mps", "replica").
+	Mode string
+	// MemShare overrides the sharePod's gpu_mem fraction (0 = the
+	// MemShareInference default).
+	MemShare float64
+	// MemBytes switches the sharePod to the absolute memory-request form
+	// (gpu_mem_bytes); when set, gpu_mem is left 0.
+	MemBytes int64
+	// ReqKernelMS overrides the per-request kernel time (0 =
+	// DefaultReqKernelMS) — the knob that separates small-kernel from
+	// large-kernel mixes in the strategy comparison.
+	ReqKernelMS int
 	// Seed for the job's internal arrival process.
 	Seed int64
 }
@@ -41,6 +54,13 @@ type GeneratorConfig struct {
 	DemandVar  float64
 	// JobDuration is each job's serving time.
 	JobDuration time.Duration
+	// Mode, MemShare, MemBytes and ReqKernelMS stamp every generated job
+	// (see the Job fields) — mode-annotated generators for the strategy
+	// mixes.
+	Mode        string
+	MemShare    float64
+	MemBytes    int64
+	ReqKernelMS int
 	// Seed makes the workload reproducible.
 	Seed int64
 }
@@ -67,24 +87,33 @@ func Generate(cfg GeneratorConfig) []Job {
 			demand = demands.TruncNormal(cfg.DemandMean, sigma, 0.05, 0.95)
 		}
 		jobs = append(jobs, Job{
-			Name:     fmt.Sprintf("job-%03d", i),
-			Arrival:  clock,
-			Demand:   demand,
-			Duration: cfg.JobDuration,
-			Seed:     int64(seeds.Intn(1 << 30)),
+			Name:        fmt.Sprintf("job-%03d", i),
+			Arrival:     clock,
+			Demand:      demand,
+			Duration:    cfg.JobDuration,
+			Mode:        cfg.Mode,
+			MemShare:    cfg.MemShare,
+			MemBytes:    cfg.MemBytes,
+			ReqKernelMS: cfg.ReqKernelMS,
+			Seed:        int64(seeds.Intn(1 << 30)),
 		})
 	}
 	return jobs
 }
 
 // serveEnv builds the container environment realizing a job's demand: the
-// request rate is demand divided by the per-request kernel time.
+// request rate is demand divided by the per-request kernel time, so the
+// busy fraction stays the demand whatever the kernel granularity.
 func serveEnv(j Job) map[string]string {
-	kernelSec := float64(DefaultReqKernelMS) / 1000
+	kernelMS := j.ReqKernelMS
+	if kernelMS <= 0 {
+		kernelMS = DefaultReqKernelMS
+	}
+	kernelSec := float64(kernelMS) / 1000
 	rate := j.Demand / kernelSec
 	return map[string]string{
 		EnvRate:      fmt.Sprintf("%.4f", rate),
-		EnvReqKernel: fmt.Sprintf("%d", DefaultReqKernelMS),
+		EnvReqKernel: fmt.Sprintf("%d", kernelMS),
 		EnvDuration:  fmt.Sprintf("%.3f", j.Duration.Seconds()),
 		EnvModelMB:   "512",
 		EnvSeed:      fmt.Sprintf("%d", j.Seed),
@@ -99,12 +128,18 @@ func SharePodFor(j Job) *core.SharePod {
 	if limit > 1 {
 		limit = 1
 	}
+	mem := j.MemShare
+	if mem == 0 && j.MemBytes == 0 {
+		mem = MemShareInference
+	}
 	return &core.SharePod{
 		ObjectMeta: api.ObjectMeta{Name: j.Name},
 		Spec: core.SharePodSpec{
 			GPURequest:   j.Demand,
 			GPULimit:     limit,
-			GPUMem:       0.1,
+			GPUMem:       mem,
+			GPUMemBytes:  j.MemBytes,
+			SharingMode:  j.Mode,
 			Affinity:     j.Affinity,
 			AntiAffinity: j.AntiAffinity,
 			Exclusion:    j.Exclusion,

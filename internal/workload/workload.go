@@ -52,6 +52,25 @@ const (
 	DefaultReqKernelMS = 25
 )
 
+// Named gpu_mem profiles — the memory shares the experiment mixes request,
+// deduplicated from the per-figure literals so a profile change propagates
+// everywhere (and the fig18 strategy mixes reuse them by name).
+const (
+	// MemShareInference fits a serving model plus working space (the
+	// generator's default, Table 1's sweep).
+	MemShareInference = 0.1
+	// MemShareSmall is a modest working set (Fig 10/11/12 tenants).
+	MemShareSmall = 0.2
+	// MemShareTraining covers a training job's model plus activations
+	// (Fig 6's train+serve pair).
+	MemShareTraining = 0.3
+	// MemShareChurn is the churn-soak tenant size (Fig 16) — two fit, a
+	// third does not, keeping reuse pressure on the pool.
+	MemShareChurn = 0.45
+	// MemShareHalf splits a device between two tenants (Fig 7/15).
+	MemShareHalf = 0.5
+)
+
 func envFloat(env map[string]string, key string, def float64) float64 {
 	if v, ok := env[key]; ok {
 		if f, err := strconv.ParseFloat(v, 64); err == nil {

@@ -8,9 +8,10 @@
 // literal name passed to Counter/Gauge/FloatGauge/Histogram (and their
 // *Vec forms) must be kubeshare_-prefixed snake_case, and *Vec label KEYS
 // must come from the bounded vocabulary (gpu_uuid, tenant, node, pool,
-// consumer) —
-// label values may only be object names/UUIDs, never free-form strings,
-// and a bounded key set is what keeps cardinality reviewable.
+// consumer, strategy) —
+// label values may only be object names/UUIDs or closed enums, never
+// free-form strings, and a bounded key set is what keeps cardinality
+// reviewable.
 //
 // A fourth rule guards the event-lane barrier windows (laneguard): a
 // function literal passed to FanOut runs concurrently on every lane and
@@ -63,6 +64,15 @@ var dirBannedImports = map[string]map[string]string{
 		"kubeshare/internal/kube/apiserver": "plugins must not reach the API server; read the Pool, write via Txn/Reserve",
 		"kubeshare/internal/kube/store":     "plugins must not reach the store; read the Pool, write via Txn/Reserve",
 	},
+	// Sharing-strategy implementations arbitrate device time below the
+	// control plane: they see clients only through the Strategy interface
+	// (Register/Admit/Release), so a strategy holding an apiserver or store
+	// handle could condition grants on cluster state the device layer must
+	// not know about.
+	"devlib/sharing": {
+		"kubeshare/internal/kube/apiserver": "sharing strategies arbitrate device time; cluster state stays above the Strategy interface",
+		"kubeshare/internal/kube/store":     "sharing strategies arbitrate device time; cluster state stays above the Strategy interface",
+	},
 	// The WAL/checkpoint layer must stay deterministic and replayable: the
 	// log is modeled in memory with virtual-clock I/O costs, never real
 	// files, and record ordering comes from store revisions, never wall
@@ -83,9 +93,10 @@ var metricMethods = map[string]bool{
 
 // allowedLabelKeys is the bounded label vocabulary. Values for these keys
 // are object names and UUIDs, so per-family cardinality stays proportional
-// to cluster size.
+// to cluster size; strategy values come from the closed sharing.Mode enum.
 var allowedLabelKeys = map[string]bool{
 	"gpu_uuid": true, "tenant": true, "node": true, "pool": true, "consumer": true,
+	"strategy": true,
 }
 
 // metricName matches kubeshare_-prefixed snake_case.
@@ -310,7 +321,7 @@ func checkMetricCall(call *ast.CallExpr, report func(token.Pos, string)) {
 			continue
 		}
 		if !allowedLabelKeys[key] {
-			report(kl.Pos(), fmt.Sprintf("label key %q on %q is outside the bounded vocabulary (gpu_uuid, tenant, node, pool, consumer)", key, name))
+			report(kl.Pos(), fmt.Sprintf("label key %q on %q is outside the bounded vocabulary (gpu_uuid, tenant, node, pool, consumer, strategy)", key, name))
 		}
 	}
 }
