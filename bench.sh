@@ -72,8 +72,9 @@ FIG15_RAW="$(mktemp)"
 FIG16_RAW="$(mktemp)"
 FIG17_RAW="$(mktemp)"
 FIG18_RAW="$(mktemp)"
+FIG19_RAW="$(mktemp)"
 RECORD="$(mktemp)"
-trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$FIG17_RAW" "$FIG18_RAW" "$RECORD"; cleanup' EXIT
+trap 'rm -f "$NEW_RAW" "$BASE_RAW" "$OBS_RAW" "$FIG15_RAW" "$FIG16_RAW" "$FIG17_RAW" "$FIG18_RAW" "$FIG19_RAW" "$RECORD"; cleanup' EXIT
 
 for ((i = 1; i <= COUNT; i++)); do
   echo "round $i/$COUNT..." >&2
@@ -121,6 +122,14 @@ go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/full$' -benchtime 1x 2>/d
 echo "fig18 (sharing-strategy comparison)..." >&2
 go test . -run xxx -bench 'BenchmarkFig18StrategyComparison/full$' -benchtime 1x 2>/dev/null |
   grep '^BenchmarkFig18' >"$FIG18_RAW" || true
+
+# Latency attribution (Figure 19): the fig18 grid replayed with
+# critical-path attribution on; per-arm phase budgets (token-wait, e2e) in
+# virtual milliseconds. Virtual-clock, so one run suffices; the run itself
+# enforces the exact phase-sum invariant per chain.
+echo "fig19 (latency attribution)..." >&2
+go test . -run xxx -bench 'BenchmarkFig19Attribution/full$' -benchtime 1x 2>/dev/null |
+  grep '^BenchmarkFig19' >"$FIG19_RAW" || true
 
 # min_ns <raw-file> <bench-name>: minimum ns/op over rounds, or empty.
 min_ns() {
@@ -260,6 +269,24 @@ WITHIN="$(awk -v o="$OVERHEAD" 'BEGIN { print (o <= 0.05) ? "true" : "false" }')
     echo "    \"membytes_rejected_typed\": $(metric_of "$FIG18_RAW" membytes-rejected-typed),"
     echo "    \"membytes_completed\": $(metric_of "$FIG18_RAW" membytes-completed),"
     echo "    \"membytes_failed\": $(metric_of "$FIG18_RAW" membytes-failed)"
+    echo '  },'
+  fi
+  if [ -s "$FIG19_RAW" ]; then
+    echo '  "fig19_attribution": {'
+    echo '    "benchmark": "BenchmarkFig19Attribution/full (per-strategy phase budgets, completed chains only)",'
+    echo "    \"cpus\": $CPUS,"
+    echo "    \"gomaxprocs\": $GMP,"
+    for mix in small large; do
+      TW="$(metric_of "$FIG19_RAW" "$mix-token-tokenwait-ms")"
+      MW="$(metric_of "$FIG19_RAW" "$mix-mps-tokenwait-ms")"
+      RW="$(metric_of "$FIG19_RAW" "$mix-replica-tokenwait-ms")"
+      TE="$(metric_of "$FIG19_RAW" "$mix-token-e2e-ms")"
+      ME="$(metric_of "$FIG19_RAW" "$mix-mps-e2e-ms")"
+      RE="$(metric_of "$FIG19_RAW" "$mix-replica-e2e-ms")"
+      [ -z "$TW" ] && continue
+      echo "    \"${mix}_kernel\": {\"token_wait_ms\": $TW, \"mps_wait_ms\": $MW, \"replica_wait_ms\": $RW, \"token_e2e_ms\": $TE, \"mps_e2e_ms\": $ME, \"replica_e2e_ms\": $RE},"
+    done
+    echo "    \"open_chains\": $(metric_of "$FIG19_RAW" open-chains)"
     echo '  },'
   fi
   echo '  "obs_overhead": {'

@@ -620,3 +620,47 @@ func BenchmarkFig18StrategyComparison(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFig19Attribution regenerates Figure 19: the Fig 18 strategy ×
+// kernel-mix grid replayed with critical-path attribution on, reporting
+// each arm's phase-level latency budget — where the submit-to-launch
+// interval actually goes per strategy. The reported metrics are
+// virtual-clock means over completed chains (token-wait and end-to-end
+// per arm, plus the open-chain count, which is zero by construction on
+// these workloads). The quick variant is the check.sh smoke.
+func BenchmarkFig19Attribution(b *testing.B) {
+	for _, scale := range []struct {
+		name string
+		cfg  experiments.Fig19Config
+	}{
+		{"quick", experiments.Fig19Config{Fig18Config: experiments.Fig18Config{
+			Nodes: 1, GPUsPerNode: 4, Jobs: 16, JobDuration: 10 * time.Second}}},
+		{"full", experiments.Fig19Config{}},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Fig19(scale.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i != 0 {
+					continue
+				}
+				open := 0.0
+				// Rows come in mix-major order: small-kernel then
+				// large-kernel, each token/mps/replica. Columns: strategy,
+				// mix, chains, open, 8 phase_ms columns, e2e_ms.
+				for _, row := range t.Rows {
+					mix := "small"
+					if row[1] == "large-kernel" {
+						mix = "large"
+					}
+					open += cellF(b, row[3])
+					b.ReportMetric(cellF(b, row[10]), mix+"-"+row[0]+"-tokenwait-ms")
+					b.ReportMetric(cellF(b, row[12]), mix+"-"+row[0]+"-e2e-ms")
+				}
+				b.ReportMetric(open, "open-chains")
+			}
+		})
+	}
+}

@@ -8,8 +8,15 @@ go build ./...
 go vet ./...
 # Determinism vet: simulation code must not read the wall clock, print to
 # stdout, or use the global RNG; metric names must be kubeshare_-prefixed
-# snake_case with label keys from the bounded vocabulary (see tools/detvet).
-go run ./tools/detvet ./internal
+# snake_case with label keys from the bounded vocabulary; every registered
+# kubeshare_ family must have a docs/METRICS.md row and vice versa (see
+# tools/detvet).
+go run ./tools/detvet -metricsdoc docs/METRICS.md ./internal
+# The metrics reference itself must be freshly generated, not hand-edited.
+go run ./tools/metricsdoc -check
+# Perf-regression gate over BENCH.json: newest vs previous record per
+# watched section, declared tolerances (see tools/benchgate).
+go run ./tools/benchgate
 go test ./...
 # Telemetry export surface: the SLO alert engine and fairness auditor must
 # replay byte-identically at a fixed seed, and every `kubeshare-sim serve`
@@ -24,7 +31,9 @@ go test -race ./internal/sim/... ./internal/devlib/...
 GOMAXPROCS=4 go test -race ./internal/devlib/... ./internal/gpusim/...
 GOMAXPROCS=4 go test -race -run 'TestRunIndexed|TestFig8DeterminismGolden|TestTraceDeterminismGolden' ./internal/experiments/
 # Labeled-family interning and the TSDB under the race detector: family
-# lookup is the one obs path exercised off the simulation goroutine.
+# lookup is the one obs path exercised off the simulation goroutine. This
+# pass also covers internal/obs/attr — the critical-path attribution
+# engine and virtual-time profiler.
 GOMAXPROCS=4 go test -race ./internal/obs/...
 # Chaos soak under the race detector: the multi-seed recovery suite (node
 # crashes, holder kills, device faults, watch drops, apiserver
@@ -69,6 +78,11 @@ go test . -run xxx -bench 'BenchmarkFig17RecoverySweep/quick' -benchtime 1x
 # deterministically per seed; bench.sh measures the full grid into
 # BENCH.json.
 go test . -run xxx -bench 'BenchmarkFig18StrategyComparison/quick' -benchtime 1x
+# Smoke the latency-attribution experiment (Figure 19) at quick scale: the
+# fig18 grid with critical-path attribution on; the run enforces the exact
+# phase-sum invariant per chain and zero open chains; bench.sh measures the
+# full grid into BENCH.json.
+go test . -run xxx -bench 'BenchmarkFig19Attribution/quick' -benchtime 1x
 # Smoke the instrumentation-overhead benchmark (obs on vs off on the Fig 9
 # workload); ./bench.sh measures it properly into BENCH.json.
 go test . -run xxx -bench BenchmarkFig9Obs -benchtime 1x

@@ -4,14 +4,15 @@
 // Usage:
 //
 //	kubeshare-sim [-scale quick|full] [-csv] [-seed N] [experiment ...]
-//	kubeshare-sim [-seed N] trace [key]
+//	kubeshare-sim [-seed N] trace [-key KEY]
+//	kubeshare-sim [-seed N] profile [-folded]
 //	kubeshare-sim [-scale quick|full] [-seed N] serve [-addr HOST:PORT] [-speed X]
 //	kubeshare-sim [-scale quick|full] [-seed N] [-csv] audit
 //
 // Experiments: table1 fig5 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 fig16 fig17 fig18 latency, or "all" (the default). Full
-// scale matches the paper's 8-node × 4-GPU testbed and 5-run averages; quick
-// scale shrinks the cluster and workloads for fast iteration.
+// fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 latency, or "all" (the
+// default). Full scale matches the paper's 8-node × 4-GPU testbed and 5-run
+// averages; quick scale shrinks the cluster and workloads for fast iteration.
 //
 // The -strategy flag selects the GPU-sharing strategy (token, mps or
 // replica) for the trace and -replay runs, e.g.
@@ -25,8 +26,15 @@
 // spine on and prints one object's causal span chain — submission through
 // scheduling, binding, holder readiness, kubelet sync, token grant and first
 // kernel launch — followed by the events involving it. The default key is
-// SharePod/job-000; pass any trace key (e.g. "VGPU/vgpu-0001") to follow a
-// different chain, or "all" for the complete span log.
+// SharePod/job-000; pass -key (or a positional key, e.g. "VGPU/vgpu-0001")
+// to follow a different chain, or "all" for the complete span log.
+//
+// The profile subcommand runs the same workload with critical-path
+// attribution on and prints where the latency went: the phase-level budget
+// (queue wait, retry, scheduling, binding, handoff, pod sync, token wait,
+// launch) over every completed sharePod chain, plus the flat virtual-time
+// span profile per (component, op). With -folded it emits collapsed-stack
+// lines that flamegraph.pl or speedscope render directly.
 //
 // The serve subcommand replays the seeded Fig 9 sharing workload paced
 // against the wall clock and exports its telemetry over HTTP: a Prometheus
@@ -51,6 +59,7 @@ import (
 	"kubeshare/internal/experiments"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
+	"kubeshare/internal/obs/attr"
 	"kubeshare/internal/workload"
 )
 
@@ -113,6 +122,39 @@ func replayTrace(path, system string, mode sharing.Mode) error {
 	fmt.Printf("system=%s jobs=%d completed=%d failed=%d makespan=%v throughput=%.2f jobs/min\n",
 		system, len(jobs), res.Completed, res.Failed,
 		res.Makespan.Round(time.Second), res.ThroughputPerMin)
+	return nil
+}
+
+// runProfile executes the same seeded workload as the trace subcommand with
+// critical-path attribution on and prints the virtual-time profile: the
+// chains' phase-level latency budget plus the flat per-(component, op) span
+// profile, or — with -folded — collapsed-stack lines for flamegraph tooling.
+func runProfile(args []string, seed int64, mode sharing.Mode) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	folded := fs.Bool("folded", false, "emit collapsed-stack (flamegraph) lines instead of the flat profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jobs := workload.Generate(workload.GeneratorConfig{
+		Jobs: 8, MeanInterArrival: 2 * time.Second,
+		DemandMean: 0.35, DemandVar: 1,
+		JobDuration: 10 * time.Second, Seed: seed,
+		Mode: string(mode),
+	})
+	res, err := experiments.RunSharing(experiments.SharingConfig{
+		System: experiments.KubeShare, Nodes: 1, GPUsPerNode: 2,
+		Jobs: jobs, Attribution: true,
+		Devlib: core.Config{Devlib: devlib.Config{Mode: mode}},
+	})
+	if err != nil {
+		return err
+	}
+	p := attr.BuildProfile(res.Spans, string(mode))
+	if *folded {
+		p.WriteFolded(os.Stdout)
+	} else {
+		p.Format(os.Stdout)
+	}
 	return nil
 }
 
@@ -214,11 +256,22 @@ func main() {
 	if args := flag.Args(); len(args) > 0 {
 		switch args[0] {
 		case "trace":
-			key := "SharePod/job-000"
-			if len(args) > 1 {
-				key = args[1]
+			fs := flag.NewFlagSet("trace", flag.ExitOnError)
+			key := fs.String("key", "SharePod/job-000", `trace key to follow ("all" for the complete span log)`)
+			if err := fs.Parse(args[1:]); err != nil {
+				os.Exit(2)
 			}
-			if err := runTrace(key, *seed, mode); err != nil {
+			k := *key
+			if fs.NArg() > 0 {
+				k = fs.Arg(0) // positional form kept for compatibility
+			}
+			if err := runTrace(k, *seed, mode); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case "profile":
+			if err := runProfile(args[1:], *seed, mode); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -242,7 +295,7 @@ func main() {
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
 			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-			"fig17", "fig18"}
+			"fig17", "fig18", "fig19"}
 	}
 	for _, name := range names {
 		tb, err := run(name, full, *seed)
@@ -405,6 +458,13 @@ func run(name string, full bool, seed int64) (*metrics.Table, error) {
 		}
 		mem.Render(os.Stdout)
 		return experiments.Fig18(cfg)
+	case "fig19":
+		cfg := experiments.Fig19Config{Fig18Config: experiments.Fig18Config{Seed: seed}}
+		if !full {
+			cfg.Nodes, cfg.GPUsPerNode, cfg.Jobs = 1, 4, 16
+			cfg.JobDuration = 10 * time.Second
+		}
+		return experiments.Fig19(cfg)
 	}
-	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig18, latency)")
+	return nil, fmt.Errorf("unknown experiment (want table1, fig5..fig19, latency)")
 }

@@ -21,6 +21,8 @@ const serveIndex = `kubeshare-sim serve — live telemetry export
   /alerts                      SLO alert engine states (JSON)
   /audit                       per-tenant fairness report (text tables)
   /trace                       span log (NDJSON)
+  /profile                     virtual-time profile: phase budget + span table
+  /profile?format=folded       collapsed-stack lines for flamegraph tooling
   /events                      event log (NDJSON)
   /clock                       virtual clock and workload progress (JSON)
 `
@@ -70,6 +72,10 @@ func newServeMux(live *experiments.Live) *http.ServeMux {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		live.WriteTrace(w)
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		live.WriteProfile(w, r.URL.Query().Get("format") == "folded")
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")

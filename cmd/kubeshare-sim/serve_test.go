@@ -114,6 +114,12 @@ func TestServeEndpoints(t *testing.T) {
 	if body := get(t, srv, "/events"); !strings.Contains(body, `"reason"`) {
 		t.Error("/events returned no events")
 	}
+	if body := get(t, srv, "/profile"); !strings.Contains(body, "--- phase budget") {
+		t.Errorf("/profile missing phase budget:\n%s", body)
+	}
+	if body := get(t, srv, "/profile?format=folded"); !strings.Contains(body, "spans;token;") {
+		t.Errorf("/profile?format=folded missing folded frames:\n%s", body)
+	}
 	var clock struct {
 		VirtualSeconds float64 `json:"virtual_seconds"`
 		Done           bool    `json:"done"`

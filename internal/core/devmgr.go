@@ -593,7 +593,7 @@ func (m *DevMgr) bind(p *sim.Proc, sp *SharePod) {
 	})
 	m.markVGPU(sp.Spec.GPUID, VGPUActive)
 	m.binds.Inc()
-	m.bindHist.ObserveDuration(m.env.Now() - bindStart)
+	m.bindHist.ObserveDurationExemplar(m.env.Now()-bindStart, KindSharePod+"/"+sp.Name, span.ID())
 	span.EndNote("pod=%s uuid=%s", pod.Name, uuid)
 }
 

@@ -601,9 +601,9 @@ func (s *Scheduler) commit(st staged, cycleStart time.Duration) {
 		s.applyRejection(st.name, st.dec.Reason)
 		return
 	}
-	s.tracer.Record("kubeshare-sched", "schedule", st.key,
+	id := s.tracer.Record("kubeshare-sched", "schedule", st.key,
 		fmt.Sprintf("gpuid=%s node=%s", st.dec.GPUID, st.dec.NodeName), cycleStart)
-	s.schedHist.ObserveDuration(s.env.Now() - st.created)
+	s.schedHist.ObserveDurationExemplar(s.env.Now()-st.created, st.key, id)
 	s.applyPlacement(st.name, st.dec)
 }
 

@@ -550,7 +550,9 @@ func (m *TokenManager) trySchedule() {
 	best.grants++
 	m.grants.Inc()
 	m.admits.Inc()
-	m.waitHist.ObserveDuration(now - best.enqueued)
+	// Token-wait exemplar: the chain key is the owning sharePod; no span
+	// anchors the grant itself (span 0), the chain's grant mark does.
+	m.waitHist.ObserveDurationExemplar(now-best.enqueued, "SharePod/"+best.tenant, 0)
 	m.holder = best
 	m.grant = now
 	tok := Token{ExpiresAt: now + m.cfg.Quota, seq: m.tokSeq}

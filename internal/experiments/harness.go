@@ -16,6 +16,7 @@ import (
 	"kubeshare/internal/kube/apiserver"
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
+	"kubeshare/internal/obs/attr"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/workload"
 )
@@ -89,6 +90,13 @@ type SharingConfig struct {
 	// virtual time — the mid-run control-plane restart whose markers and
 	// relist counters must land deterministically in the trace.
 	RestartAPIServerAt time.Duration
+	// Attribution turns on critical-path latency attribution: histogram
+	// exemplars are enabled on the run's registry, and after the run the
+	// span trace is analyzed into per-sharePod phase breakdowns (the
+	// result's Attr field), with open (never-launched) chains counted in
+	// the kubeshare_obs_open_chains gauge before the snapshot is taken.
+	// Implies ExportTelemetry.
+	Attribution bool
 	// ParallelPhases additionally drives the framework scheduler with
 	// parallel phase windows: prefilter/filter/score fan out across the
 	// lanes against the cycle-start snapshot. Placements stay deterministic
@@ -124,6 +132,9 @@ type SharingResult struct {
 	// FinishTimes maps each completed job's name to its finish time, for
 	// per-job slowdown metrics (the fig18 stretch column).
 	FinishTimes map[string]time.Duration
+	// Attr is the critical-path analysis of the run's span trace when
+	// SharingConfig.Attribution was set.
+	Attr attr.Result
 }
 
 // RunSharing executes a full workload run under the chosen system and
@@ -140,6 +151,11 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	c, err := newClusterObs(env, cfg.Nodes, cfg.GPUsPerNode, cfg.DisableObs)
 	if err != nil {
 		return SharingResult{}, err
+	}
+	if cfg.Attribution {
+		// Exemplars go on before any observation, so the max-latency trace
+		// keys cover the whole run.
+		c.Obs.EnableExemplars()
 	}
 	if cfg.RestartAPIServerAt > 0 {
 		// Durability goes on before any consumer subscribes, so the whole
@@ -251,7 +267,13 @@ func RunSharing(cfg SharingConfig) (SharingResult, error) {
 	if last > 0 {
 		res.ThroughputPerMin = float64(res.Completed) / last.Minutes()
 	}
-	if cfg.ExportTelemetry {
+	if cfg.Attribution {
+		// Analyze before the snapshot so the open-chain gauge — registered
+		// lazily, only on attribution runs — lands in the exported metrics.
+		res.Attr = attr.Analyze(c.Obs.Tracer().Spans())
+		c.Obs.Gauge("kubeshare_obs_open_chains").Set(int64(len(res.Attr.Open)))
+	}
+	if cfg.ExportTelemetry || cfg.Attribution {
 		res.Obs = c.Obs.Snapshot()
 		res.Spans = c.Obs.Tracer().Spans()
 		res.Events = c.Obs.Events()

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"sort"
+	"time"
+
 	"kubeshare/internal/metrics"
 	"kubeshare/internal/obs"
+	"kubeshare/internal/obs/attr"
 )
 
 // LatencyConfig drives the end-to-end latency experiment: the Fig 9
@@ -19,6 +23,14 @@ type LatencyResult struct {
 	Table *metrics.Table
 	// Obs is the full registry snapshot of the run.
 	Obs obs.MetricsSnapshot
+	// Attr is the critical-path attribution of the run's span trace.
+	Attr attr.Result
+	// OpenChains counts sharePods whose chains never reached a kernel
+	// launch. Their latency is unbounded-in-progress, not zero: they are
+	// excluded from every percentile above rather than folded in, and
+	// surfaced here (and as kubeshare_obs_open_chains) so the exclusion
+	// is visible instead of silently under-reporting the tail.
+	OpenChains int
 }
 
 // latencyMetrics are the distributions the experiment reports, in table
@@ -41,11 +53,11 @@ func Latency(cfg LatencyConfig) (*LatencyResult, error) {
 	c := cfg.Fig9Config.withDefaults()
 	jobs := fig9Jobs(c)
 	res, err := RunSharing(SharingConfig{
-		System:          KubeShare,
-		Nodes:           c.Nodes,
-		GPUsPerNode:     c.GPUsPerNode,
-		Jobs:            jobs,
-		ExportTelemetry: true,
+		System:      KubeShare,
+		Nodes:       c.Nodes,
+		GPUsPerNode: c.GPUsPerNode,
+		Jobs:        jobs,
+		Attribution: true,
 	})
 	if err != nil {
 		return nil, err
@@ -59,5 +71,24 @@ func Latency(cfg LatencyConfig) (*LatencyResult, error) {
 		}
 		tb.AddRow(m.label, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 	}
-	return &LatencyResult{Table: tb, Obs: res.Obs}, nil
+	// End-to-end submit-to-first-kernel-launch, from the attribution
+	// breakdowns: exact per-sharePod values, completed chains only. Open
+	// chains are excluded (not zero-filled) and counted separately.
+	if n := len(res.Attr.Breakdowns); n > 0 {
+		e2e := make([]float64, 0, n)
+		var sum time.Duration
+		for _, bd := range res.Attr.Breakdowns {
+			e2e = append(e2e, bd.EndToEnd.Seconds())
+			sum += bd.EndToEnd
+		}
+		sort.Float64s(e2e)
+		q := func(p float64) float64 { return e2e[int(p*float64(n-1)+0.5)] }
+		tb.AddRow("e2e_launch", int64(n), (sum / time.Duration(n)).Seconds(), q(0.50), q(0.90), q(0.99))
+	}
+	return &LatencyResult{
+		Table:      tb,
+		Obs:        res.Obs,
+		Attr:       res.Attr,
+		OpenChains: len(res.Attr.Open),
+	}, nil
 }

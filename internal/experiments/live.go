@@ -11,6 +11,7 @@ import (
 	"kubeshare/internal/core/schedfw"
 	"kubeshare/internal/kube"
 	"kubeshare/internal/obs"
+	"kubeshare/internal/obs/attr"
 	"kubeshare/internal/sim"
 	"kubeshare/internal/workload"
 )
@@ -171,6 +172,24 @@ func (l *Live) WriteTrace(w io.Writer) error {
 	spans := l.cluster.Obs.Tracer().Spans()
 	l.mu.Unlock()
 	return obs.WriteSpansNDJSON(w, spans)
+}
+
+// WriteProfile renders the virtual-time profile of the spans recorded so
+// far: the attribution phase budget over completed chains plus the flat
+// per-(component, op) span profile, or collapsed-stack lines when folded
+// is set. Live runs use the node-default token strategy, which tags the
+// profile frames.
+func (l *Live) WriteProfile(w io.Writer, folded bool) error {
+	l.mu.Lock()
+	spans := l.cluster.Obs.Tracer().Spans()
+	l.mu.Unlock()
+	p := attr.BuildProfile(spans, "token")
+	if folded {
+		p.WriteFolded(w)
+	} else {
+		p.Format(w)
+	}
+	return nil
 }
 
 // WriteEvents exports the event log as NDJSON.

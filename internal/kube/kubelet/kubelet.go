@@ -335,7 +335,7 @@ func (k *Kubelet) admit(pod *api.Pod) {
 			pp.Status.StartTime = k.env.Now()
 		})
 		k.syncs.Inc()
-		k.syncHist.ObserveDuration(k.env.Now() - syncStart)
+		k.syncHist.ObserveDurationExemplar(k.env.Now()-syncStart, api.TraceKey(pod), span.ID())
 		k.recorder.Eventf("Pod", pod.Name, obs.EventNormal, "Started",
 			"pod running on %s", k.cfg.NodeName)
 		span.EndNote("pod=%s", pod.Name)

@@ -1,0 +1,254 @@
+// Package attr is the critical-path analysis engine over the causal span
+// chains the observability runtime records. For every completed sharePod
+// it walks the six-layer chain — create → schedule → bind → holder-ready
+// → pod-sync → token-grant → kernel-launch — and attributes the
+// end-to-end latency to typed phases: queue wait, scheduling, binding,
+// device handoff, kubelet sync, token wait and launch, with retry time
+// (requeues after chaos restarts, lost pods, mid-bind device deaths)
+// attributed to a dedicated retry phase rather than silently inflating
+// schedule.
+//
+// The attribution is telescoping over monotonic chain anchors: each
+// phase is the interval between two consecutive milestones of the final
+// scheduling attempt, so the per-chain phase durations sum to the
+// end-to-end latency exactly (not within a tolerance — exactly), and a
+// missing milestone (a gang member sharing another member's bind, say)
+// folds its interval into the next present phase instead of losing it.
+//
+// Chains that never reach their first kernel launch — a run ending
+// mid-flight, a sharePod stuck pending — are open chains: they are
+// excluded from breakdowns (an open span's duration would silently
+// under-report) and surfaced separately, so consumers can count them
+// (kubeshare_obs_open_chains) instead of folding zeros into percentiles.
+package attr
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"kubeshare/internal/obs"
+)
+
+// Phase names one attributed slice of a sharePod's end-to-end latency.
+type Phase string
+
+// The attribution phases, in chain order.
+const (
+	// PhaseQueueWait is submission to the start of the first scheduling
+	// attempt: apiserver admission, watch delivery, pending-queue wait.
+	PhaseQueueWait Phase = "queue_wait"
+	// PhaseRetry is the first scheduling attempt's start to the final
+	// attempt's start — all failed attempts, lost runtime and requeue
+	// waits. Zero on chains that scheduled once.
+	PhaseRetry Phase = "retry"
+	// PhaseSchedule is the final (successful) scheduling cycle itself.
+	PhaseSchedule Phase = "schedule"
+	// PhaseBind is schedule commit to bind completion: DevMgr's vGPU
+	// ensure (holder pod start falls inside) and bound-pod creation.
+	PhaseBind Phase = "bind"
+	// PhaseHandoff is bind completion to the kubelet observing the bound
+	// pod — the watch/device handoff between control-plane layers.
+	PhaseHandoff Phase = "handoff"
+	// PhasePodSync is the kubelet's pod sync: device-plugin allocation,
+	// image pull, container starts.
+	PhasePodSync Phase = "pod_sync"
+	// PhaseTokenWait is pod running to the device library's first token
+	// grant — the sharing-pressure wait the paper's guarantees bound.
+	PhaseTokenWait Phase = "token_wait"
+	// PhaseLaunch is token grant to the first kernel launch.
+	PhaseLaunch Phase = "launch"
+)
+
+// Phases lists every phase in chain order — the canonical iteration
+// order for tables and folded profiles.
+var Phases = []Phase{
+	PhaseQueueWait, PhaseRetry, PhaseSchedule, PhaseBind,
+	PhaseHandoff, PhasePodSync, PhaseTokenWait, PhaseLaunch,
+}
+
+// SpanRef identifies one span on a breakdown's critical path.
+type SpanRef struct {
+	ID        int64
+	Component string
+	Op        string
+}
+
+// Breakdown attributes one completed sharePod chain's end-to-end
+// latency (submission to first kernel launch) to phases.
+type Breakdown struct {
+	// Key is the chain key ("SharePod/job-003").
+	Key string
+	// Start is the chain's submission time on the virtual clock.
+	Start time.Duration
+	// EndToEnd is first-kernel-launch minus submission. The phase
+	// durations sum to it exactly.
+	EndToEnd time.Duration
+	// Phases maps each phase to its attributed duration. Absent phases
+	// (no retry, no distinct launch gap) carry zero.
+	Phases map[Phase]time.Duration
+	// CriticalPath lists the milestone spans the attribution anchored
+	// on, in chain order.
+	CriticalPath []SpanRef
+	// Retries counts scheduling attempts beyond the first.
+	Retries int
+}
+
+// Sum returns the total of all attributed phases — by construction equal
+// to EndToEnd.
+func (b Breakdown) Sum() time.Duration {
+	var s time.Duration
+	for _, d := range b.Phases {
+		s += d
+	}
+	return s
+}
+
+// Result is the analysis of one span trace.
+type Result struct {
+	// Breakdowns holds one entry per completed sharePod chain, sorted
+	// by chain key.
+	Breakdowns []Breakdown
+	// Open lists the chain keys that never completed (no kernel launch
+	// after the final scheduling attempt), sorted.
+	Open []string
+}
+
+// chainPrefix selects the sharePod chains out of a mixed trace (vGPU
+// recovery spans, scheduler batch spans and native-pod chains share the
+// same tracer).
+const chainPrefix = "SharePod/"
+
+// Analyze walks every sharePod chain in spans and returns the per-chain
+// breakdowns plus the open (incomplete) chains. Spans arrive in record
+// order — single-threaded virtual time — so within a chain, element
+// order is causal order.
+func Analyze(spans []obs.Span) Result {
+	chains := map[string][]obs.Span{}
+	keys := []string{}
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Key, chainPrefix) {
+			continue
+		}
+		if _, ok := chains[s.Key]; !ok {
+			keys = append(keys, s.Key)
+		}
+		chains[s.Key] = append(chains[s.Key], s)
+	}
+	sort.Strings(keys)
+	var res Result
+	for _, k := range keys {
+		if bd, ok := analyzeChain(k, chains[k]); ok {
+			res.Breakdowns = append(res.Breakdowns, bd)
+		} else {
+			res.Open = append(res.Open, k)
+		}
+	}
+	return res
+}
+
+// analyzeChain attributes one chain, or reports it open.
+func analyzeChain(key string, chain []obs.Span) (Breakdown, bool) {
+	// Anchor 0: submission. A chain without a create mark is not a
+	// sharePod lifecycle we can attribute.
+	createIdx := -1
+	for i, s := range chain {
+		if s.Op == "create" {
+			createIdx = i
+			break
+		}
+	}
+	if createIdx < 0 {
+		return Breakdown{}, false
+	}
+	t0 := chain[createIdx].Start
+
+	// Scheduling attempts: the final attempt is the last closed
+	// "schedule" span; everything between the first attempt's start and
+	// the final attempt's start is retry time (failed cycles, lost pods
+	// after chaos, requeue waits).
+	firstSched, finalSched := -1, -1
+	attempts := 0
+	for i, s := range chain {
+		if s.Op == "schedule" && !s.Open() {
+			if firstSched < 0 {
+				firstSched = i
+			}
+			finalSched = i
+			attempts++
+		}
+	}
+	if finalSched < 0 {
+		return Breakdown{}, false
+	}
+
+	bd := Breakdown{
+		Key:     key,
+		Start:   t0,
+		Phases:  map[Phase]time.Duration{},
+		Retries: attempts - 1,
+	}
+	ref := func(i int) SpanRef {
+		return SpanRef{ID: chain[i].ID, Component: chain[i].Component, Op: chain[i].Op}
+	}
+	bd.CriticalPath = append(bd.CriticalPath, ref(createIdx))
+	bd.Phases[PhaseQueueWait] = chain[firstSched].Start - t0
+	if firstSched != finalSched {
+		bd.CriticalPath = append(bd.CriticalPath, ref(firstSched))
+		bd.Phases[PhaseRetry] = chain[finalSched].Start - chain[firstSched].Start
+	}
+	bd.CriticalPath = append(bd.CriticalPath, ref(finalSched))
+	bd.Phases[PhaseSchedule] = chain[finalSched].End - chain[finalSched].Start
+
+	// Milestones of the final attempt, scanned past the final schedule
+	// span. Each phase closes at its anchor; a missing anchor (gang
+	// members share one member's bind span; overlap strategies can grant
+	// and launch in the same instant) folds into the next present phase,
+	// so the telescoping sum stays exact.
+	type milestone struct {
+		phase  Phase
+		anchor time.Duration
+		span   int // chain index, -1 when absent
+	}
+	find := func(op string, from int, wantClosed bool) int {
+		for i := from + 1; i < len(chain); i++ {
+			if chain[i].Op == op && (!wantClosed || !chain[i].Open()) {
+				return i
+			}
+		}
+		return -1
+	}
+	bindIdx := find("bind", finalSched, true)
+	syncIdx := find("pod-sync", finalSched, true)
+	grantIdx := find("token-grant", finalSched, false)
+	launchIdx := find("kernel-launch", finalSched, false)
+	if launchIdx < 0 {
+		// Never launched after the final attempt: the chain is open —
+		// a run that ended mid-flight, or a sharePod stuck in binding.
+		return Breakdown{}, false
+	}
+	steps := []milestone{}
+	if bindIdx >= 0 {
+		steps = append(steps, milestone{PhaseBind, chain[bindIdx].End, bindIdx})
+	}
+	if syncIdx >= 0 {
+		steps = append(steps,
+			milestone{PhaseHandoff, chain[syncIdx].Start, -1},
+			milestone{PhasePodSync, chain[syncIdx].End, syncIdx})
+	}
+	if grantIdx >= 0 {
+		steps = append(steps, milestone{PhaseTokenWait, chain[grantIdx].Start, grantIdx})
+	}
+	steps = append(steps, milestone{PhaseLaunch, chain[launchIdx].Start, launchIdx})
+
+	cursor := chain[finalSched].End
+	for _, m := range steps {
+		bd.Phases[m.phase] += m.anchor - cursor
+		cursor = m.anchor
+		if m.span >= 0 {
+			bd.CriticalPath = append(bd.CriticalPath, ref(m.span))
+		}
+	}
+	bd.EndToEnd = chain[launchIdx].Start - t0
+	return bd, true
+}

@@ -1,0 +1,194 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kubeshare/internal/obs"
+)
+
+const ms = time.Millisecond
+
+// span builds a closed span; end < 0 marks it open (the tracer's
+// in-flight sentinel).
+func span(id int64, key, component, op string, start, end time.Duration) obs.Span {
+	return obs.Span{ID: id, Key: key, Component: component, Op: op, Start: start, End: end}
+}
+
+// mark builds an instantaneous milestone span.
+func mark(id int64, key, component, op string, at time.Duration) obs.Span {
+	return span(id, key, component, op, at, at)
+}
+
+// simpleChain is a complete six-layer chain: create at 0, schedule
+// 100..115, bind 120..220 (holder-ready inside), pod-sync 220..320,
+// token grant 350, kernel launch 352.
+func simpleChain(key string) []obs.Span {
+	return []obs.Span{
+		mark(1, key, "apiserver", "create", 0),
+		span(2, key, "kubeshare-sched", "schedule", 100*ms, 115*ms),
+		span(3, key, "devmgr", "bind", 120*ms, 220*ms),
+		mark(4, key, "devmgr", "holder-ready", 200*ms),
+		span(5, key, "kubelet", "pod-sync", 220*ms, 320*ms),
+		mark(6, key, "devlib", "token-grant", 350*ms),
+		mark(7, key, "gpusim", "kernel-launch", 352*ms),
+	}
+}
+
+func TestAnalyzeSimpleChain(t *testing.T) {
+	res := Analyze(simpleChain("SharePod/a"))
+	if len(res.Open) != 0 || len(res.Breakdowns) != 1 {
+		t.Fatalf("want 1 completed chain, got %d completed %d open", len(res.Breakdowns), len(res.Open))
+	}
+	bd := res.Breakdowns[0]
+	want := map[Phase]time.Duration{
+		PhaseQueueWait: 100 * ms,
+		PhaseSchedule:  15 * ms,
+		PhaseBind:      105 * ms, // schedule end 115 -> bind end 220
+		PhaseHandoff:   0,
+		PhasePodSync:   100 * ms,
+		PhaseTokenWait: 30 * ms,
+		PhaseLaunch:    2 * ms,
+	}
+	for ph, d := range want {
+		if bd.Phases[ph] != d {
+			t.Errorf("%s = %v, want %v", ph, bd.Phases[ph], d)
+		}
+	}
+	if bd.Phases[PhaseRetry] != 0 || bd.Retries != 0 {
+		t.Errorf("unexpected retry attribution: %v (%d retries)", bd.Phases[PhaseRetry], bd.Retries)
+	}
+	if bd.EndToEnd != 352*ms {
+		t.Errorf("EndToEnd = %v, want 352ms", bd.EndToEnd)
+	}
+	if bd.Sum() != bd.EndToEnd {
+		t.Errorf("phase sum %v != end-to-end %v", bd.Sum(), bd.EndToEnd)
+	}
+	if len(bd.CriticalPath) != 6 {
+		t.Errorf("critical path has %d spans, want 6: %+v", len(bd.CriticalPath), bd.CriticalPath)
+	}
+}
+
+// TestAnalyzeRetry: a first attempt that scheduled, bound and ran, then
+// lost its pod (requeue) and went through a second full attempt. All
+// first-attempt time past its schedule start lands in retry, and the
+// phase sum still telescopes exactly to the end-to-end latency.
+func TestAnalyzeRetry(t *testing.T) {
+	key := "SharePod/b"
+	chain := []obs.Span{
+		mark(1, key, "apiserver", "create", 0),
+		span(2, key, "kubeshare-sched", "schedule", 50*ms, 65*ms),
+		span(3, key, "devmgr", "bind", 70*ms, 170*ms),
+		mark(4, key, "kubeshare-sched", "requeue", 400*ms),
+		span(5, key, "kubeshare-sched", "schedule", 430*ms, 445*ms),
+		span(6, key, "devmgr", "bind", 450*ms, 550*ms),
+		span(7, key, "kubelet", "pod-sync", 550*ms, 650*ms),
+		mark(8, key, "devlib", "token-grant", 700*ms),
+		mark(9, key, "gpusim", "kernel-launch", 700*ms),
+	}
+	res := Analyze(chain)
+	if len(res.Breakdowns) != 1 {
+		t.Fatalf("want 1 completed chain, got %d (open %v)", len(res.Breakdowns), res.Open)
+	}
+	bd := res.Breakdowns[0]
+	if bd.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", bd.Retries)
+	}
+	if bd.Phases[PhaseRetry] != 380*ms { // first attempt start 50 -> final start 430
+		t.Errorf("retry = %v, want 380ms", bd.Phases[PhaseRetry])
+	}
+	if bd.Phases[PhaseQueueWait] != 50*ms {
+		t.Errorf("queue_wait = %v, want 50ms", bd.Phases[PhaseQueueWait])
+	}
+	if bd.Phases[PhaseSchedule] != 15*ms {
+		t.Errorf("schedule = %v, want 15ms (final attempt only)", bd.Phases[PhaseSchedule])
+	}
+	if bd.EndToEnd != 700*ms || bd.Sum() != bd.EndToEnd {
+		t.Errorf("sum %v vs end-to-end %v (want 700ms, exact)", bd.Sum(), bd.EndToEnd)
+	}
+}
+
+// TestAnalyzeSharedBind: a gang member with no bind span of its own —
+// the schedule-to-pod-sync interval folds into handoff, nothing is
+// lost, and the sum stays exact.
+func TestAnalyzeSharedBind(t *testing.T) {
+	key := "SharePod/c"
+	chain := []obs.Span{
+		mark(1, key, "apiserver", "create", 0),
+		span(2, key, "kubeshare-sched", "schedule", 10*ms, 25*ms),
+		span(3, key, "kubelet", "pod-sync", 125*ms, 200*ms),
+		mark(4, key, "devlib", "token-grant", 230*ms),
+		mark(5, key, "gpusim", "kernel-launch", 230*ms),
+	}
+	res := Analyze(chain)
+	if len(res.Breakdowns) != 1 {
+		t.Fatalf("want 1 completed chain, got %d", len(res.Breakdowns))
+	}
+	bd := res.Breakdowns[0]
+	if bd.Phases[PhaseBind] != 0 {
+		t.Errorf("bind = %v, want 0 (no bind span)", bd.Phases[PhaseBind])
+	}
+	if bd.Phases[PhaseHandoff] != 100*ms {
+		t.Errorf("handoff = %v, want 100ms (absorbs the missing bind)", bd.Phases[PhaseHandoff])
+	}
+	if bd.Sum() != bd.EndToEnd {
+		t.Errorf("sum %v != end-to-end %v", bd.Sum(), bd.EndToEnd)
+	}
+}
+
+// TestAnalyzeOpenChains: a chain cut off mid-flight (open bind, no
+// kernel launch) and a chain that never scheduled are both open, and
+// non-sharePod keys are ignored entirely.
+func TestAnalyzeOpenChains(t *testing.T) {
+	spans := []obs.Span{
+		mark(1, "SharePod/x", "apiserver", "create", 0),
+		span(2, "SharePod/x", "kubeshare-sched", "schedule", 10*ms, 25*ms),
+		span(3, "SharePod/x", "devmgr", "bind", 30*ms, -1), // still in flight
+		mark(4, "SharePod/y", "apiserver", "create", 5*ms),
+		span(5, "VGPU/vgpu-0001", "devmgr", "recover", 0, 40*ms),
+	}
+	res := Analyze(spans)
+	if len(res.Breakdowns) != 0 {
+		t.Fatalf("no chain completed, got %d breakdowns", len(res.Breakdowns))
+	}
+	if len(res.Open) != 2 || res.Open[0] != "SharePod/x" || res.Open[1] != "SharePod/y" {
+		t.Fatalf("Open = %v, want [SharePod/x SharePod/y]", res.Open)
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	spans := append(simpleChain("SharePod/a"),
+		span(8, "SharePod/open", "devmgr", "bind", 0, -1),
+		mark(9, "SharePod/open", "apiserver", "create", 0),
+	)
+	p := BuildProfile(spans, "token")
+	if p.Chains != 1 || p.OpenChains != 1 {
+		t.Fatalf("chains=%d open=%d, want 1/1", p.Chains, p.OpenChains)
+	}
+	for _, e := range p.Entries {
+		if e.Component == "devmgr" && e.Op == "bind" {
+			if e.Count != 1 || e.Open != 1 {
+				t.Errorf("devmgr/bind count=%d open=%d, want closed=1 open=1", e.Count, e.Open)
+			}
+			if e.Total != 100*ms {
+				t.Errorf("devmgr/bind total=%v, want 100ms (open span excluded)", e.Total)
+			}
+		}
+	}
+	var flat, folded strings.Builder
+	p.Format(&flat)
+	p.WriteFolded(&folded)
+	if !strings.Contains(flat.String(), "strategy=token chains=1 open=1") {
+		t.Errorf("flat profile header missing counts:\n%s", flat.String())
+	}
+	for _, want := range []string{
+		"kubeshare;token;queue_wait 100000000",
+		"kubeshare;token;token_wait 30000000",
+		"spans;token;devmgr;bind 100000000",
+	} {
+		if !strings.Contains(folded.String(), want+"\n") {
+			t.Errorf("folded output missing %q:\n%s", want, folded.String())
+		}
+	}
+}

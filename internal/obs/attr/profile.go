@@ -1,0 +1,144 @@
+// Virtual-time profiler: aggregates a span trace into a flat
+// per-(component, op) profile and the chains' phase-level latency
+// budget, with a collapsed-stack ("folded") rendering that flamegraph
+// tooling consumes directly. All durations are virtual-clock, so a
+// profile is byte-identical run-to-run at a fixed seed.
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"kubeshare/internal/obs"
+)
+
+// ProfileEntry is one (component, op) row of the flat profile.
+type ProfileEntry struct {
+	Component string
+	Op        string
+	// Count is the number of closed spans aggregated; Open counts the
+	// in-flight spans excluded from the time columns (an open span's
+	// zero duration would otherwise skew every mean downward).
+	Count int
+	Open  int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the entry's mean closed-span duration.
+func (e ProfileEntry) Mean() time.Duration {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.Total / time.Duration(e.Count)
+}
+
+// Profile is the aggregate view of one run's trace: the flat span
+// profile plus the chain-level phase budget from Analyze.
+type Profile struct {
+	// Strategy tags the run's sharing strategy ("token", "mps",
+	// "replica") — the third key of the per-(component, op, strategy)
+	// aggregation; the caller supplies it since a trace does not carry
+	// run configuration.
+	Strategy string
+	// Entries is the flat profile, sorted by (component, op).
+	Entries []ProfileEntry
+	// Phases sums each attribution phase over every completed chain.
+	Phases map[Phase]time.Duration
+	// Chains and OpenChains count completed and open sharePod chains.
+	Chains     int
+	OpenChains int
+}
+
+// BuildProfile aggregates spans into a Profile tagged with the run's
+// sharing strategy (empty defaults to "default").
+func BuildProfile(spans []obs.Span, strategy string) *Profile {
+	if strategy == "" {
+		strategy = "default"
+	}
+	byKey := map[[2]string]*ProfileEntry{}
+	for _, s := range spans {
+		k := [2]string{s.Component, s.Op}
+		e := byKey[k]
+		if e == nil {
+			e = &ProfileEntry{Component: s.Component, Op: s.Op}
+			byKey[k] = e
+		}
+		if s.Open() {
+			e.Open++
+			continue
+		}
+		e.Count++
+		e.Total += s.Duration()
+		if d := s.Duration(); d > e.Max {
+			e.Max = d
+		}
+	}
+	p := &Profile{Strategy: strategy, Phases: map[Phase]time.Duration{}}
+	for _, e := range byKey {
+		p.Entries = append(p.Entries, *e)
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		a, b := p.Entries[i], p.Entries[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Op < b.Op
+	})
+	res := Analyze(spans)
+	p.Chains = len(res.Breakdowns)
+	p.OpenChains = len(res.Open)
+	for _, bd := range res.Breakdowns {
+		for ph, d := range bd.Phases {
+			p.Phases[ph] += d
+		}
+	}
+	return p
+}
+
+// Format writes the profile as stable text: the chain-phase budget
+// first (the "where did my latency go" answer), then the flat
+// per-(component, op) table.
+func (p *Profile) Format(w io.Writer) {
+	fmt.Fprintf(w, "profile strategy=%s chains=%d open=%d\n", p.Strategy, p.Chains, p.OpenChains)
+	fmt.Fprintf(w, "--- phase budget (sum over %d completed chains) ---\n", p.Chains)
+	var total time.Duration
+	for _, ph := range Phases {
+		total += p.Phases[ph]
+	}
+	for _, ph := range Phases {
+		d := p.Phases[ph]
+		share := 0.0
+		if total > 0 {
+			share = float64(d) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "%-12s %12.6fs %5.1f%%\n", ph, d.Seconds(), share)
+	}
+	fmt.Fprintf(w, "%-12s %12.6fs\n", "total", total.Seconds())
+	fmt.Fprintf(w, "--- span profile (component/op, closed spans) ---\n")
+	for _, e := range p.Entries {
+		fmt.Fprintf(w, "%-16s %-14s count=%-6d open=%-4d total=%.6fs mean=%.6fs max=%.6fs\n",
+			e.Component, e.Op, e.Count, e.Open,
+			e.Total.Seconds(), e.Mean().Seconds(), e.Max.Seconds())
+	}
+}
+
+// WriteFolded writes the profile in collapsed-stack format — one
+// "frame;frame;frame value" line per stack, values in nanoseconds of
+// virtual time — which flamegraph.pl and speedscope consume directly.
+// The chain phases fold under kubeshare;<strategy>;<phase>, the raw
+// span totals under spans;<strategy>;<component>;<op>.
+func (p *Profile) WriteFolded(w io.Writer) {
+	for _, ph := range Phases {
+		if d := p.Phases[ph]; d > 0 {
+			fmt.Fprintf(w, "kubeshare;%s;%s %d\n", p.Strategy, ph, d.Nanoseconds())
+		}
+	}
+	for _, e := range p.Entries {
+		if e.Total > 0 {
+			fmt.Fprintf(w, "spans;%s;%s;%s %d\n", p.Strategy, e.Component, e.Op, e.Total.Nanoseconds())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"kubeshare/internal/sim"
+)
+
+// TestExemplarsDisabledByDefault: without EnableExemplars,
+// ObserveExemplar records the observation but keeps no exemplar and
+// changes nothing about the snapshot or its Format output.
+func TestExemplarsDisabledByDefault(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	h := rt.Histogram("kubeshare_test_latency_seconds")
+	h.ObserveExemplar(0.2, "SharePod/a", 7)
+	snap := rt.Snapshot()
+	hs := snap.Histograms[0]
+	if hs.Count != 1 {
+		t.Fatalf("observation lost: count=%d", hs.Count)
+	}
+	if hs.Exemplars != nil {
+		t.Fatalf("exemplars recorded while disabled: %+v", hs.Exemplars)
+	}
+	var b strings.Builder
+	snap.FormatExemplars(&b)
+	if b.String() != "" {
+		t.Fatalf("FormatExemplars emitted output while disabled: %q", b.String())
+	}
+}
+
+// TestExemplarMaxPerBucket: with exemplars on, each bucket keeps the
+// max-latency observation's (trace key, span ID), ties going to the
+// latest — and the metric values themselves are identical to plain
+// Observe calls.
+func TestExemplarMaxPerBucket(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	rt.EnableExemplars()
+	h := rt.Histogram("kubeshare_test_latency_seconds")
+	// 0.15 and 0.19 share the (0.128, 0.256] bucket; 0.01 lands lower.
+	h.ObserveExemplar(0.15, "SharePod/a", 3)
+	h.ObserveExemplar(0.19, "SharePod/b", 5)
+	h.ObserveExemplar(0.01, "SharePod/c", 9)
+	hs := rt.Snapshot().Histograms[0]
+	if hs.Count != 3 {
+		t.Fatalf("count=%d, want 3", hs.Count)
+	}
+	var got []Exemplar
+	for _, e := range hs.Exemplars {
+		if e.TraceKey != "" {
+			got = append(got, e)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 populated buckets, got %+v", got)
+	}
+	if got[0].TraceKey != "SharePod/c" || got[0].SpanID != 9 {
+		t.Errorf("low bucket exemplar = %+v, want SharePod/c span 9", got[0])
+	}
+	if got[1].TraceKey != "SharePod/b" || got[1].SpanID != 5 || got[1].Value != 0.19 {
+		t.Errorf("high bucket exemplar = %+v, want the max (SharePod/b, 0.19)", got[1])
+	}
+}
+
+// TestExemplarVecChildren: labeled-family children share the registry
+// switch, including children created before the flip, and
+// FormatExemplars renders them with their labels.
+func TestExemplarVecChildren(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	early := rt.HistogramVec("kubeshare_test_wait_seconds", "gpu_uuid").With("uuid-0")
+	rt.EnableExemplars()
+	late := rt.HistogramVec("kubeshare_test_wait_seconds", "gpu_uuid").With("uuid-1")
+	early.ObserveDurationExemplar(200e6, "SharePod/x", 11) // 0.2s
+	late.ObserveDurationExemplar(400e6, "SharePod/y", 12)  // 0.4s
+	var b strings.Builder
+	rt.Snapshot().FormatExemplars(&b)
+	out := b.String()
+	for _, want := range []string{
+		`kubeshare_test_wait_seconds{gpu_uuid="uuid-0"}`,
+		"key=SharePod/x span=#11",
+		`kubeshare_test_wait_seconds{gpu_uuid="uuid-1"}`,
+		"key=SharePod/y span=#12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatExemplars missing %q:\n%s", want, out)
+		}
+	}
+}

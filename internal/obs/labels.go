@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one metric dimension: a key (fixed per family: gpu_uuid, tenant,
@@ -158,15 +159,24 @@ func (v *FloatGaugeVec) With(values ...string) *FloatGauge {
 	return v.f.lookup(values, func() any { return &FloatGauge{} }).(*FloatGauge)
 }
 
-// HistogramVec is a family of duration histograms.
-type HistogramVec struct{ f *family }
+// HistogramVec is a family of duration histograms. exOn is the owning
+// registry's exemplar switch, threaded into every child so labeled
+// histograms record exemplars exactly like flat ones.
+type HistogramVec struct {
+	f    *family
+	exOn *atomic.Bool
+}
 
 // With fetches or creates the child histogram for the label values.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil {
 		return nil
 	}
-	return v.f.lookup(values, func() any { return newHistogram(defaultBounds()) }).(*Histogram)
+	return v.f.lookup(values, func() any {
+		h := newHistogram(defaultBounds())
+		h.exOn = v.exOn
+		return h
+	}).(*Histogram)
 }
 
 // vecRegistry interns the *Vec families themselves, one per metric name.
@@ -219,7 +229,7 @@ func (g *Registry) HistogramVec(name string, labelKeys ...string) *HistogramVec 
 	if g == nil {
 		return nil
 	}
-	return g.histVecs.get(name, labelKeys, func(f *family) any { return &HistogramVec{f: f} }).(*HistogramVec)
+	return g.histVecs.get(name, labelKeys, func(f *family) any { return &HistogramVec{f: f, exOn: &g.exemplars} }).(*HistogramVec)
 }
 
 // CounterVec fetches or registers a labeled counter family on the runtime.

@@ -44,20 +44,56 @@ func (s Span) Duration() time.Duration {
 	return s.End - s.Start
 }
 
+// DefaultSpanCap bounds the retained span buffer. A 100k-sharePod fig16
+// sweep records ~7 spans per chain, comfortably under the cap; the bound
+// exists so a runaway or adversarial workload degrades to dropped spans
+// (counted in kubeshare_obs_spans_dropped_total) instead of unbounded
+// trace memory.
+const DefaultSpanCap = 1 << 20
+
 // Tracer records spans on the env's virtual clock. It is env-confined:
 // all writes happen on the simulation goroutine, reads after the run.
 type Tracer struct {
-	env   *sim.Env
-	spans []Span
-	heads map[string]int64 // key -> last span ID on that chain
+	env     *sim.Env
+	spans   []Span
+	heads   map[string]int64 // key -> last span ID on that chain
+	cap     int              // max retained spans; <= 0 means unbounded
+	dropped int64
+	onDrop  func() // bumps the drop counter; registered lazily by Runtime
 }
 
 func newTracer(env *sim.Env) *Tracer {
-	return &Tracer{env: env, heads: map[string]int64{}}
+	return &Tracer{env: env, heads: map[string]int64{}, cap: DefaultSpanCap}
 }
 
-// push appends a span, linking it under the key's current head.
+// SetSpanCap bounds the span buffer to n spans; once full, further spans
+// are dropped (and counted) rather than recorded. n <= 0 removes the
+// bound — the setting for golden runs, which must retain every span.
+func (t *Tracer) SetSpanCap(n int) {
+	if t != nil {
+		t.cap = n
+	}
+}
+
+// Dropped returns the number of spans discarded at the cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// push appends a span, linking it under the key's current head. At the
+// cap it drops the span and returns 0 — the zero SpanRef/parent ID, so
+// chains simply stop growing and End on a dropped span no-ops.
 func (t *Tracer) push(component, op, key, note string, start, end time.Duration) int64 {
+	if t.cap > 0 && len(t.spans) >= t.cap {
+		t.dropped++
+		if t.onDrop != nil {
+			t.onDrop()
+		}
+		return 0
+	}
 	id := int64(len(t.spans)) + 1
 	t.spans = append(t.spans, Span{
 		ID: id, Parent: t.heads[key], Key: key,
@@ -88,12 +124,14 @@ func (t *Tracer) Mark(component, op, key, note string) {
 
 // Record appends an already-finished span that started at start and
 // ends now — for callers that only know the outcome after the fact
-// (e.g. a scheduling cycle that spans many candidates).
-func (t *Tracer) Record(component, op, key, note string, start time.Duration) {
+// (e.g. a scheduling cycle that spans many candidates). It returns the
+// span's ID (0 if the span was dropped at the cap) so the caller can
+// attach it to a histogram exemplar.
+func (t *Tracer) Record(component, op, key, note string, start time.Duration) int64 {
 	if t == nil {
-		return
+		return 0
 	}
-	t.push(component, op, key, note, start, t.env.Now())
+	return t.push(component, op, key, note, start, t.env.Now())
 }
 
 // Spans returns a copy of every recorded span in ID order.
@@ -115,18 +153,22 @@ func (t *Tracer) Len() int {
 }
 
 // SpanRef is a handle to an open span. The zero value (from a nil
-// tracer) no-ops.
+// tracer, or a span dropped at the buffer cap) no-ops.
 type SpanRef struct {
 	t  *Tracer
 	id int64
 }
+
+// ID returns the referenced span's ID, or 0 for a no-op handle — the
+// value exemplars carry to link a histogram bucket back to its span.
+func (r SpanRef) ID() int64 { return r.id }
 
 // End closes the span at the current virtual time.
 func (r SpanRef) End() { r.EndNote("") }
 
 // EndNote closes the span and attaches a note.
 func (r SpanRef) EndNote(format string, args ...any) {
-	if r.t == nil {
+	if r.t == nil || r.id == 0 {
 		return
 	}
 	sp := &r.t.spans[r.id-1]

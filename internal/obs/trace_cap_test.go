@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+
+	"kubeshare/internal/sim"
+)
+
+// TestSpanCap: once the buffer reaches the cap, further spans are
+// dropped and counted — in the tracer and, lazily, in the
+// kubeshare_obs_spans_dropped_total counter — and handles to dropped
+// spans no-op instead of corrupting the buffer.
+func TestSpanCap(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	tr := rt.Tracer()
+	tr.SetSpanCap(3)
+
+	tr.Mark("a", "op", "K/1", "")
+	tr.Record("a", "op", "K/2", "", 0)
+	kept := tr.Start("a", "op", "K/3")
+	dropped := tr.Start("a", "op", "K/4")
+	tr.Mark("a", "op", "K/5", "")
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (cap)", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	if dropped.ID() != 0 {
+		t.Fatalf("dropped span ref has ID %d, want 0", dropped.ID())
+	}
+	dropped.End() // must not panic or touch the buffer
+	kept.End()
+	if got := tr.Spans()[2]; got.Open() {
+		t.Fatalf("kept span should have closed: %+v", got)
+	}
+	if v := rt.Snapshot().Counter("kubeshare_obs_spans_dropped_total"); v != 2 {
+		t.Fatalf("kubeshare_obs_spans_dropped_total = %d, want 2", v)
+	}
+}
+
+// TestSpanCapLazyCounter: a run that never drops must not register the
+// drop counter — the metric namespace (and so every telemetry golden)
+// is unchanged unless drops actually happen.
+func TestSpanCapLazyCounter(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	rt.Tracer().Mark("a", "op", "K/1", "")
+	for _, c := range rt.Snapshot().Counters {
+		if c.Name == "kubeshare_obs_spans_dropped_total" {
+			t.Fatal("drop counter registered without any drop")
+		}
+	}
+}
+
+// TestSpanCapOff: SetSpanCap(0) removes the bound.
+func TestSpanCapOff(t *testing.T) {
+	env := sim.NewEnv()
+	rt := New(env)
+	tr := rt.Tracer()
+	tr.SetSpanCap(2)
+	tr.Mark("a", "op", "K/1", "")
+	tr.Mark("a", "op", "K/2", "")
+	tr.SetSpanCap(0)
+	tr.Mark("a", "op", "K/3", "")
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 3/0 with the cap off", tr.Len(), tr.Dropped())
+	}
+}
